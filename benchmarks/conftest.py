@@ -1,0 +1,33 @@
+"""Shared benchmark configuration.
+
+Benchmarks double as the experiment regeneration harness: each one runs
+a (scaled-down) version of a paper table/figure and asserts the paper's
+qualitative claims — who wins, by roughly what factor — so a regression
+in the dataplane or transport shows up as a benchmark failure.
+
+A shortened timeline keeps every file in tens of seconds on one core;
+``python -m repro.experiments.report`` runs the full-length versions.
+"""
+
+import pytest
+
+from repro.experiments.common import Timeline
+
+#: Shortened experiment timeline for benchmark runs.  The failure
+#: window starts 1.5 s after the failure so the measured plateau skips
+#: TCP's reordering-adaptation transient (the full-length timeline in
+#: repro.experiments.common does the same proportionally).
+QUICK = Timeline(
+    flow_start=0.2,
+    fail_at=2.0,
+    repair_at=6.0,
+    end=8.0,
+    baseline_window=(1.0, 2.0),
+    failure_window=(3.5, 6.0),
+    sample_interval_s=0.25,
+)
+
+
+@pytest.fixture(scope="session")
+def quick_timeline():
+    return QUICK

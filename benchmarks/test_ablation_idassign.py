@@ -1,0 +1,60 @@
+"""Ablation: switch-ID assignment strategy vs route-ID bit growth.
+
+Section 2.3 warns that header cost grows with the product of switch IDs
+on the route.  This ablation quantifies the design choice the paper
+leaves implicit: coprime-greedy ID pools (admitting 4, 9, 25, ...) grow
+route IDs measurably slower than prime pools.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis.bitgrowth import bit_growth_by_strategy, protection_budget_table
+from repro.controller.idassign import assign_switch_ids
+from repro.topology.generators import random_connected
+
+
+def test_ablation_idassign(benchmark):
+    growth = benchmark(bit_growth_by_strategy, 24)
+    greedy, prime = growth["greedy"], growth["prime"]
+    # Same hop counts, never more bits for greedy, strictly fewer by the
+    # time routes get long.
+    assert [g.hops for g in greedy] == [p.hops for p in prime]
+    assert all(g.bits <= p.bits for g, p in zip(greedy, prime))
+    assert greedy[-1].bits < prime[-1].bits
+    # Growth is monotone for both.
+    assert [g.bits for g in greedy] == sorted(g.bits for g in greedy)
+
+
+def test_ablation_idassign_on_random_topologies(benchmark):
+    def products():
+        out = []
+        for seed in range(5):
+            g = random_connected(20, extra_links=10, seed=seed,
+                                 min_switch_id=23)
+            degrees = {n.name: n.degree for n in g.nodes()}
+            greedy = math.prod(assign_switch_ids(degrees, "greedy").values())
+            prime = math.prod(assign_switch_ids(degrees, "prime").values())
+            out.append((greedy, prime))
+        return out
+
+    for greedy, prime in benchmark.pedantic(products, rounds=1, iterations=1):
+        assert greedy <= prime
+
+
+def test_ablation_budget_table(benchmark):
+    rows = benchmark(
+        protection_budget_table,
+        [10, 7, 13, 29],                 # the 15-node primary route
+        [11, 23, 31, 17, 37, 41],        # its protection switches
+        [15, 20, 28, 35, 43, 64],
+    )
+    budgets = [b for b, _ in rows]
+    fits = [f for _, f in rows]
+    # Table 1's anchor points: 15 bits fit nothing extra, 28 bits fit
+    # the partial set (3), 43 bits fit the full set (6).
+    assert fits[budgets.index(15)] == 0
+    assert fits[budgets.index(28)] == 3
+    assert fits[budgets.index(43)] == 6
+    assert fits == sorted(fits)  # more budget never fits fewer hops

@@ -1,0 +1,59 @@
+"""Ablation: multiple simultaneous link failures (Table 2's claim).
+
+Table 2 credits KAR with "support multiple link failures" — unlike
+Slick Packets / KeyFlow / SlickFlow, whose single pre-encoded
+alternative is exhausted by the first failure.  This benchmark fails
+TWO primary-route links at once on the 15-node network and verifies
+that driven deflection still delivers (each failure point deflects
+independently; the route ID needs no per-failure state).
+"""
+
+import pytest
+
+from repro.runner import KarSimulation
+from repro.topology.topologies import FULL, UNPROTECTED, fifteen_node
+
+DOUBLE_FAILURE = (("SW10", "SW7"), ("SW13", "SW29"))
+
+
+def _run(deflection, protection, seed=6):
+    ks = KarSimulation(
+        fifteen_node(rate_mbps=20.0, delay_s=0.0002),
+        deflection=deflection, protection=protection, seed=seed, ttl=96,
+    )
+    for a, b in DOUBLE_FAILURE:
+        ks.schedule_failure(a, b, at=0.5)
+    src, sink = ks.add_udp_probe(rate_pps=300, duration_s=2.0)
+    src.start(at=1.0)
+    ks.run(until=8.0)
+    return src, sink, ks
+
+
+def test_ablation_double_failure_nip_full(benchmark):
+    src, sink, ks = benchmark.pedantic(
+        _run, args=("nip", FULL), rounds=1, iterations=1
+    )
+    # Both failure points deflect; nothing is lost and paths stay
+    # bounded (first deflection lands on the protection tree, the
+    # second forces the SW19 rejoin around SW13-SW29).
+    assert sink.received == src.sent
+    assert sink.mean_hops() < 10.0
+
+
+def test_ablation_double_failure_connectivity_only(benchmark):
+    # Even unprotected, deflection keeps a usable fraction flowing
+    # through a double failure — the property single-alternative
+    # schemes (Slick Packets et al.) structurally lack.
+    src, sink, ks = benchmark.pedantic(
+        _run, args=("nip", UNPROTECTED), rounds=1, iterations=1
+    )
+    assert sink.received >= 0.8 * src.sent
+    accounted = sink.received + sum(ks.tracer.drop_reasons.values())
+    assert accounted == src.sent
+
+
+def test_ablation_double_failure_no_deflection_dies(benchmark):
+    src, sink, ks = benchmark.pedantic(
+        _run, args=("none", FULL), rounds=1, iterations=1
+    )
+    assert sink.received == 0

@@ -1,0 +1,94 @@
+"""Ablation: protection bit-budget vs coverage vs delivered performance.
+
+Sweeps the automatic protection planner across header budgets on the
+15-node network and verifies the core trade-off of Section 2.3: more
+header bits -> more covered deflection candidates -> fewer wandering
+packets (measured with a UDP probe under the worst failure).
+"""
+
+import pytest
+
+from repro.analysis.coverage import analyze_failure
+from repro.controller.protection import ProtectionPlanner
+from repro.runner import KarSimulation
+from repro.topology.topologies import Scenario, fifteen_node
+
+BUDGETS = (15, 24, 30, 43, 60)
+
+
+def _plan_coverage(budget):
+    scn = fifteen_node()
+    planner = ProtectionPlanner(scn.graph)
+    plan = planner.partial(scn.primary_route, budget_bits=budget)
+    return plan
+
+
+def test_ablation_protection_sweep(benchmark):
+    plans = benchmark.pedantic(
+        lambda: [_plan_coverage(b) for b in BUDGETS], rounds=1, iterations=1
+    )
+    covered = [len(p.covered) for p in plans]
+    bits = [p.bit_length for p in plans]
+    assert covered == sorted(covered)          # budget buys coverage
+    assert all(b <= budget for b, budget in zip(bits, BUDGETS))
+    assert covered[0] == 0                     # 15 bits: primary only
+    # 60 bits: everything coverable is covered (SW9 has no off-route
+    # path to the destination; NIP's forced rejoin handles it instead).
+    assert plans[-1].uncovered == ("SW9",)
+
+
+def test_ablation_planned_protection_delivers(benchmark):
+    # Wire the *planned* (not hand-pinned) full protection into a live
+    # scenario and verify deterministic delivery under the SW10-SW7
+    # failure (the case hand-partial leaves 2/3 wandering).
+    def run():
+        base = fifteen_node(rate_mbps=20.0, delay_s=0.0002)
+        planner = ProtectionPlanner(base.graph)
+        plan = planner.full(base.primary_route)
+        scn = Scenario(
+            name="fifteen_node_planned",
+            graph=base.graph,
+            primary_route=base.primary_route,
+            src_host=base.src_host,
+            dst_host=base.dst_host,
+            protection={"planned": tuple(plan.segments)},
+            reverse_protection={},
+            failure_links=base.failure_links,
+        )
+        ks = KarSimulation(scn, deflection="nip", protection="planned", seed=5)
+        ks.schedule_failure("SW10", "SW7", at=0.5)
+        src, sink = ks.add_udp_probe(rate_pps=400, duration_s=3.0)
+        src.start(at=1.0)
+        ks.run(until=6.0)
+        return src, sink
+
+    src, sink = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert sink.delivery_ratio(src.sent) == 1.0
+    # Planner coverage: all deflected traffic is driven, so path length
+    # stays bounded (no wandering tails).
+    assert sink.mean_hops() < 7.0
+
+
+def test_ablation_coverage_analysis_matches_plan(benchmark):
+    scn = fifteen_node()
+    planner = ProtectionPlanner(scn.graph)
+    plan = planner.full(scn.primary_route)
+    dst_edge = scn.graph.edge_of_host(scn.dst_host)
+
+    def analyze():
+        return [
+            analyze_failure(scn.graph, scn.primary_route, dst_edge,
+                            plan.segments, failure)
+            for failure in scn.failure_links
+        ]
+
+    reports = benchmark(analyze)
+    # The ingress failure (SW10-SW7) is fully covered by the planned
+    # tree: every candidate is chained to the destination.
+    assert reports[0].wandering_fraction == 0.0, reports[0].describe()
+    assert reports[0].delivered_fraction == pytest.approx(1.0)
+    # Later failures can re-randomize at an already-visited route switch
+    # (the residue points at the failed link); the plan still delivers
+    # the large majority deterministically.
+    for report in reports:
+        assert report.delivered_fraction >= 0.7, report.describe()

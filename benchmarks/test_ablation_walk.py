@@ -1,0 +1,70 @@
+"""Ablation: random-walk analysis vs simulation.
+
+Validates the absorbing-Markov-chain model (``repro.analysis.walk``)
+against the simulated Hot-Potato dataplane on a ring topology — the
+worst case for random walks — and quantifies how much driven
+deflection (encoded targets) shortens the walk.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis.walk import absorption_probability, hot_potato_hitting_time
+from repro.topology.generators import ring_lattice
+
+
+@pytest.fixture(scope="module")
+def ring():
+    return ring_lattice(10, min_switch_id=11)
+
+
+def _simulated_hitting_time(graph, start, targets, trials=4000, seed=1):
+    """Monte-Carlo uniform random walk on the core graph."""
+    rng = random.Random(seed)
+    target_set = set(targets)
+    total = 0
+    for _ in range(trials):
+        node, steps = start, 0
+        while node not in target_set:
+            node = rng.choice(graph.core_subgraph_neighbors(node))
+            steps += 1
+            if steps > 10000:  # pragma: no cover - safety valve
+                break
+        total += steps
+    return total / trials
+
+
+def test_ablation_walk(benchmark, ring):
+    names = ring.node_names()
+    start, target = names[0], names[5]  # antipodal on the 10-ring
+    analytic = benchmark(hot_potato_hitting_time, ring, start, [target])
+    simulated = _simulated_hitting_time(ring, start, [target])
+    # Symmetric random walk on a 10-cycle: E[hit antipode] = 5*(10-5) = 25.
+    assert analytic == pytest.approx(25.0, rel=1e-9)
+    assert simulated == pytest.approx(analytic, rel=0.1)
+
+
+def test_ablation_walk_protection_shortens(benchmark, ring):
+    benchmark(lambda: None)  # assertions below; runs under --benchmark-only
+    # Adding encoded (absorbing) switches near the walk cuts expected
+    # hops: the quantitative value of each driven-deflection residue.
+    names = ring.node_names()
+    start = names[0]
+    only_dst = hot_potato_hitting_time(ring, start, [names[5]])
+    with_protection = hot_potato_hitting_time(
+        ring, start, [names[5], names[3], names[7]]
+    )
+    assert with_protection < only_dst / 2
+
+
+def test_ablation_absorption_probability(benchmark, ring):
+    benchmark(lambda: None)  # assertions below; runs under --benchmark-only
+    names = ring.node_names()
+    # Walk from names[1]: good = names[2], bad = names[0] (neighbors on
+    # either side): gambler's ruin on the cycle arc.
+    p = absorption_probability(ring, names[1], [names[2]], [names[0]])
+    assert 0.0 < p < 1.0
+    # Symmetry: swapping good and bad complements the probability.
+    q = absorption_probability(ring, names[1], [names[0]], [names[2]])
+    assert p + q == pytest.approx(1.0, abs=1e-9)

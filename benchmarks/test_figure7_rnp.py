@@ -1,0 +1,56 @@
+"""Figure 7 benchmark: RNP backbone failures (Boa Vista → São Paulo).
+
+Asserted paper shape (Section 3.2):
+* SW7–SW13 failure barely hurts (single covered alternative; paper <5 %),
+* SW13–SW41 is the worst case (5-way deflection split, 3/5 wander),
+* SW41–SW73 sits in between (2-way split, both covered),
+* liveness: throughput never reaches zero under any of the failures.
+"""
+
+import pytest
+
+from repro.experiments.common import run_failure_experiment, scenario_factory
+from repro.topology.topologies import PARTIAL
+
+CASES = (None, ("SW7", "SW13"), ("SW13", "SW41"), ("SW41", "SW73"))
+
+
+def _run_case(failure, timeline, seed=1):
+    scenario = scenario_factory("rnp28")()
+    return run_failure_experiment(
+        scenario, "nip", PARTIAL, failure, seed, timeline
+    )
+
+
+@pytest.fixture(scope="module")
+def outcomes(quick_timeline):
+    out = {}
+    for case in CASES:
+        ratios = []
+        for seed in (1, 2):
+            ratios.append(_run_case(case, quick_timeline, seed).ratio)
+        out[case] = sum(ratios) / len(ratios)
+    return out
+
+
+def test_figure7_rnp(benchmark, quick_timeline, outcomes):
+    benchmark.pedantic(
+        _run_case, args=(("SW13", "SW41"), quick_timeline),
+        rounds=1, iterations=1,
+    )
+    assert outcomes[None] == pytest.approx(1.0, abs=0.05)
+    # SW7-SW13: near-nominal (paper < 5 % loss; we allow 15 %).
+    assert outcomes[("SW7", "SW13")] > 0.85
+    # SW13-SW41 is the worst failure case.
+    assert outcomes[("SW13", "SW41")] <= outcomes[("SW41", "SW73")] + 0.05
+    assert outcomes[("SW13", "SW41")] < outcomes[("SW7", "SW13")]
+    # Liveness: deflection keeps every case above zero.
+    assert all(r > 0.05 for r in outcomes.values())
+
+
+def test_figure7_heterogeneous_rates_profile(benchmark):
+    benchmark(lambda: None)  # assertions below; runs under --benchmark-only
+    scn = scenario_factory("rnp28")()
+    thin = scn.graph.link("SW7", "SW13").rate_mbps
+    fat = scn.graph.link("SW41", "SW73").rate_mbps
+    assert thin < fat

@@ -1,0 +1,49 @@
+"""Header-overhead study: Section 2.3 quantified across scenarios.
+
+Asserted shape:
+* Table 1 anchors (15/28/43 bits) reappear in the scenario rows;
+* even full protection costs ~10 wire bytes — under 1 % of an MTU;
+* the greedy ID pool beats the prime pool in best-case capacity and
+  never loses in the worst case.
+"""
+
+import pytest
+
+from repro.experiments.header_overhead import (
+    capacity_table,
+    render_overhead_report,
+    scenario_overhead,
+)
+from repro.topology.topologies import fifteen_node
+
+
+def test_header_overhead(benchmark):
+    rows = benchmark(scenario_overhead, fifteen_node())
+    by_level = {r.level: r for r in rows}
+    assert by_level["unprotected"].bits == 15
+    assert by_level["partial"].bits == 28
+    assert by_level["full"].bits == 43
+    # The paper's whole design point: protection stays cheap on the wire.
+    assert by_level["full"].wire_bytes <= 10
+    assert by_level["full"].mtu_fraction < 0.01
+
+
+def test_header_overhead_capacity(benchmark):
+    best = benchmark(capacity_table, worst_case=False)
+    worst = capacity_table(worst_case=True)
+    budgets = [b for b, _ in best["greedy"]]
+    for i, _budget in enumerate(budgets):
+        # Greedy never supports fewer hops than prime...
+        assert best["greedy"][i][1] >= best["prime"][i][1]
+        assert worst["greedy"][i][1] >= worst["prime"][i][1]
+        # ...and best-case capacity dominates worst-case.
+        assert best["greedy"][i][1] >= worst["greedy"][i][1]
+    # More budget, more hops.
+    hops = [h for _, h in worst["prime"]]
+    assert hops == sorted(hops)
+
+
+def test_header_overhead_report(benchmark):
+    text = benchmark(render_overhead_report)
+    assert "fifteen_node" in text and "% of MTU" in text
+    assert "best-case" in text and "worst-case" in text

@@ -1,0 +1,15 @@
+"""Benchmark + regeneration of Table 1 (route-ID bit lengths)."""
+
+from repro.experiments.table1 import PAPER_TABLE1, compute_table1, render_table1
+
+
+def test_table1_matches_paper_exactly(benchmark):
+    rows = benchmark(compute_table1)
+    assert [(r.mechanism, r.bit_length, r.switch_count) for r in rows] == [
+        (p.mechanism, p.bit_length, p.switch_count) for p in PAPER_TABLE1
+    ]
+
+
+def test_table1_render(benchmark):
+    text = benchmark(render_table1)
+    assert "Unprotected" in text and "43" in text

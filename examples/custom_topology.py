@@ -1,0 +1,136 @@
+#!/usr/bin/env python
+"""Bring KAR to your own topology: generate, assign IDs, plan protection.
+
+Demonstrates the full controller workflow on a random network none of
+the paper's figures cover:
+
+1. generate a random connected core topology,
+2. assign pairwise-coprime switch IDs automatically,
+3. let the protection planner build driven-deflection trees for a route
+   under a header-bit budget,
+4. run traffic through a failure and verify hitless delivery.
+
+Run:  python examples/custom_topology.py
+"""
+
+import math
+import random
+
+from repro import KarSimulation, assign_switch_ids
+from repro.controller.protection import ProtectionPlanner
+from repro.rns import route_id_bit_length
+from repro.topology import (
+    NodeKind,
+    PortGraph,
+    Scenario,
+    attach_host_pair,
+    random_connected,
+    shortest_path,
+)
+
+SEED = 2024
+
+
+def build_custom_network() -> PortGraph:
+    """A random 18-switch core; IDs assigned by the controller."""
+    # Generate the wiring first, then assign IDs from the degrees —
+    # the workflow a real deployment would follow.
+    skeleton = random_connected(18, extra_links=9, seed=SEED,
+                                min_switch_id=101)
+    degrees = {n.name: n.degree + 1 for n in skeleton.nodes()}
+    # +1 port slack so edge nodes can attach anywhere.
+    ids = assign_switch_ids(degrees, strategy="greedy")
+
+    graph = PortGraph()
+    for name in skeleton.node_names():
+        graph.add_node(name, kind=NodeKind.CORE, switch_id=ids[name])
+    for link in skeleton.links():
+        graph.add_link(link.a, link.b, rate_mbps=20.0, delay_s=0.0003)
+    return graph
+
+
+def main() -> None:
+    graph = build_custom_network()
+
+    # Pick far-apart endpoints (double-BFS diameter heuristic) so the
+    # route crosses real core distance.
+    def farthest_from(start):
+        best, best_len = start, 0
+        for name in graph.node_names():
+            path = shortest_path(graph, start, name)
+            if len(path) > best_len:
+                best, best_len = name, len(path)
+        return best
+
+    src_switch = farthest_from(graph.node_names()[0])
+    dst_switch = farthest_from(src_switch)
+    names = sorted(graph.node_names(), key=lambda n: graph.switch_id(n))
+    src_host, dst_host = attach_host_pair(
+        graph, src_switch, dst_switch, rate_mbps=20.0, delay_s=0.0003
+    )
+    graph.validate()
+
+    route = shortest_path(graph, src_switch, dst_switch)
+    print(f"=== custom 18-switch network ===")
+    print("switch IDs:", {n: graph.switch_id(n) for n in names})
+    print("route:", " -> ".join(route))
+
+    planner = ProtectionPlanner(graph)
+    print("\nprotection plans by header budget:")
+    chosen = None
+    for budget in (16, 24, 32, 48, 64):
+        plan = planner.partial(route, budget_bits=budget)
+        print(f"  {budget:2d} bits -> {len(plan.covered):2d} candidates "
+              f"covered, {len(plan.uncovered):2d} wandering "
+              f"({plan.bit_length} bits used)")
+        if plan.uncovered == () and chosen is None:
+            chosen = plan
+    if chosen is None:
+        chosen = planner.full(route)
+    print(f"\nusing full protection: {len(chosen.segments)} segments, "
+          f"{chosen.bit_length} header bits")
+
+    scenario = Scenario(
+        name="custom",
+        graph=graph,
+        primary_route=tuple(route),
+        src_host=src_host,
+        dst_host=dst_host,
+        protection={"planned": tuple(chosen.segments), "none": ()},
+    )
+
+    # Fail the first route link whose upstream switch actually has
+    # deflection candidates (a stub switch with one uplink leaves KAR —
+    # or anything else — no alternative).
+    fail_link = None
+    for i, (up, down) in enumerate(zip(route, route[1:])):
+        banned = {down} | ({route[i - 1]} if i > 0 else set())
+        candidates = set(graph.core_subgraph_neighbors(up)) - banned
+        if candidates:
+            fail_link = (up, down)
+            break
+    if fail_link is None:
+        raise SystemExit("route has no deflectable link; pick another seed")
+    for level in ("none", "planned"):
+        ks = KarSimulation(scenario, deflection="nip", protection=level,
+                           seed=1)
+        ks.schedule_failure(*fail_link, at=0.5)
+        src, sink = ks.add_udp_probe(rate_pps=400, duration_s=3.0)
+        src.start(at=1.0)
+        ks.run(until=6.0)
+        hops = sink.mean_hops()
+        print(f"\nprotection={level!r}, link {fail_link[0]}-{fail_link[1]} "
+              f"down: delivered {sink.received}/{src.sent} "
+              f"({100 * sink.delivery_ratio(src.sent):.1f}%), "
+              f"mean hops {hops:.2f}, " if hops is not None else
+              f"\nprotection={level!r}: nothing delivered, ",
+              end="")
+        print(f"drops {dict(ks.tracer.drop_reasons) or 'none'}")
+
+    print("\nRoute IDs stay compact: the route needs "
+          f"{route_id_bit_length(math.prod(graph.switch_id(s) for s in route))} "
+          f"bits unprotected, {chosen.bit_length} bits fully protected.")
+
+
+if __name__ == "__main__":
+    main()

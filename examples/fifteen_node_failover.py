@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""The paper's Section 3.1 experiment, condensed: TCP across a failure.
+
+Runs an iperf-style TCP flow over the 15-node network, fails SW7-SW13
+mid-flow, and prints a throughput-vs-time table comparing the three
+deflection techniques (plus no deflection) under partial protection —
+the essence of the paper's Fig. 4.
+
+Run:  python examples/fifteen_node_failover.py
+"""
+
+from repro import PARTIAL, KarSimulation, fifteen_node
+
+FAIL_AT, REPAIR_AT, END = 3.0, 7.0, 10.0
+
+
+def run_one(technique: str):
+    scenario = fifteen_node(rate_mbps=20.0, delay_s=0.0002)
+    ks = KarSimulation(
+        scenario, deflection=technique, protection=PARTIAL, seed=11
+    )
+    ks.schedule_failure("SW7", "SW13", at=FAIL_AT, repair_at=REPAIR_AT)
+    flow = ks.add_iperf(sample_interval_s=0.5)
+    flow.start(at=0.2, duration_s=END - 0.2)
+    ks.run(until=END)
+    return flow.result()
+
+
+def main() -> None:
+    print("=== 15-node network: SW7-SW13 fails at "
+          f"{FAIL_AT:g}s, repairs at {REPAIR_AT:g}s ===\n")
+    results = {t: run_one(t) for t in ("nip", "avp", "hp", "none")}
+
+    times = [t for t, _ in results["nip"].intervals]
+    print("throughput (Mbit/s) per 0.5 s interval:")
+    print("  time " + "".join(f"{name:>8s}" for name in results))
+    for i, t in enumerate(times):
+        marker = " <- failure" if FAIL_AT <= t < FAIL_AT + 0.5 else (
+            " <- repair" if REPAIR_AT <= t < REPAIR_AT + 0.5 else "")
+        row = "".join(f"{r.intervals[i][1]:8.2f}" for r in results.values())
+        print(f"{t:6.1f} {row}{marker}")
+
+    print("\nsummary:")
+    for name, res in results.items():
+        baseline = res.mean_mbps_between(1.5, FAIL_AT)
+        during = res.mean_mbps_between(FAIL_AT + 0.5, REPAIR_AT)
+        pct = 100 * during / baseline if baseline else 0.0
+        print(f"  {name:5s}: {during:5.2f} of {baseline:5.2f} Mbit/s "
+              f"({pct:5.1f}%) during failure | "
+              f"{res.retransmits} retransmits | "
+              f"reordering {res.reordering.describe()}")
+
+    print("\nPaper's Fig. 4 shape: NIP keeps most of the throughput, AVP "
+          "less, HP nearly\nnothing, and no-deflection stops entirely — "
+          "yet with deflection not a single\nin-flight packet was lost to "
+          "the failure.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Quickstart: the paper's Fig. 1 example, end to end.
+
+Builds the 6-node network, encodes the paper's route IDs (R = 44
+unprotected, R = 660 with the SW5 driven-deflection hop), fails the
+SW7-SW11 link, and shows deflection delivering every packet anyway.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import FULL, UNPROTECTED, KarSimulation, RouteEncoder, six_node
+
+
+def show_route_encoding() -> None:
+    """Reproduce Section 2.2's arithmetic with the RNS encoder."""
+    encoder = RouteEncoder()
+
+    plain = encoder.encode_path([4, 7, 11], [0, 2, 0])
+    print(f"unprotected route id R = {plain.route_id} (paper: 44), "
+          f"M = {plain.modulus}, {plain.bit_length} header bits")
+
+    protected = encoder.encode_path([4, 7, 11, 5], [0, 2, 0, 0])
+    print(f"protected route id   R = {protected.route_id} (paper: 660), "
+          f"M = {protected.modulus}, {protected.bit_length} header bits")
+
+    # Every switch decodes with one modulo — including SW5, the
+    # driven-deflection hop that never appears on the primary path.
+    for switch_id in (4, 7, 11, 5):
+        print(f"  switch {switch_id:2d} forwards on port "
+              f"{protected.port_at(switch_id)}")
+
+
+def run_failure_experiment() -> None:
+    """Fail SW7-SW11 and watch driven deflection keep packets flowing."""
+    for protection in (UNPROTECTED, FULL):
+        scenario = six_node(rate_mbps=50.0, delay_s=0.0002)
+        ks = KarSimulation(
+            scenario, deflection="nip", protection=protection, seed=7
+        )
+        ks.schedule_failure("SW7", "SW11", at=1.0, repair_at=3.0)
+        source, sink = ks.add_udp_probe(rate_pps=500, duration_s=2.0)
+        source.start(at=1.0)  # probe entirely inside the failure window
+        ks.run(until=5.0)
+
+        print(f"\nprotection={protection}: sent {source.sent}, "
+              f"delivered {sink.received} "
+              f"({100 * sink.delivery_ratio(source.sent):.1f}%), "
+              f"mean hops {sink.mean_hops():.2f}")
+        print(f"  deflections: {ks.tracer.deflection_count}, "
+              f"drops: {dict(ks.tracer.drop_reasons) or 'none'}")
+
+
+def main() -> None:
+    print("=== KAR quickstart: Fig. 1 worked example ===\n")
+    show_route_encoding()
+    run_failure_experiment()
+    print("\nWith FULL protection every deflected packet is driven through "
+          "SW5 to SW11:\nliveness holds with exactly one extra hop.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Service chaining over KAR — the paper's §5 future work, running.
+
+Parks two virtual network functions (a "firewall" and a "DPI" box) on
+edges of the 15-node network and steers traffic AS1 -> FW -> DPI -> AS3
+as three KAR segments, each with its own compact route ID.  Then fails
+a core link under the chain and shows deflection keeping the chain
+alive.
+
+Run:  python examples/service_chaining.py
+"""
+
+from repro import KarSimulation, fifteen_node
+from repro.chaining import ServiceChain, add_chain_probe, deploy_chain
+from repro.topology import NodeKind
+
+
+def build_scenario():
+    scn = fifteen_node(rate_mbps=50.0, delay_s=0.0002)
+    g = scn.graph
+    for vnf, core in (("H-FW", "SW23"), ("H-DPI", "SW41")):
+        edge = f"E-{vnf[2:]}"
+        g.add_node(edge, kind=NodeKind.EDGE)
+        g.add_node(vnf, kind=NodeKind.HOST)
+        g.add_link(core, edge, rate_mbps=50.0, delay_s=0.0002)
+        g.add_link(edge, vnf, rate_mbps=50.0, delay_s=0.0002)
+    g.validate()
+    return scn
+
+
+def main() -> None:
+    print("=== KAR service chaining: AS1 -> firewall -> DPI -> AS3 ===\n")
+    scn = build_scenario()
+    ks = KarSimulation(scn, deflection="nip", protection="unprotected",
+                       seed=21, install_primary_flow=False)
+
+    inspected = []
+    chain = ServiceChain(
+        name="sfc-demo",
+        src_host="H-AS1",
+        vnf_hosts=("H-FW", "H-DPI"),
+        dst_host="H-AS3",
+    )
+    deployment = deploy_chain(
+        ks, chain,
+        processing_delay_s=0.0003,
+        transforms=[
+            lambda p: (inspected.append(("fw", p.seq)), p)[1],
+            lambda p: (inspected.append(("dpi", p.seq)), p)[1],
+        ],
+    )
+
+    print("chain segments and their route IDs:")
+    for (a, b), (fwd, _) in zip(chain.segments(), deployment.segment_routes):
+        print(f"  {a:7s} -> {b:7s}: R = {fwd.route_id:>12d} "
+              f"({fwd.bit_length} bits)")
+    print(f"total header budget across segments: "
+          f"{deployment.total_header_bits} bits\n")
+
+    source, sink = add_chain_probe(ks, deployment, rate_pps=300,
+                                   duration_s=2.0)
+    # Fail a link on the middle of the chain while traffic flows.
+    ks.schedule_failure("SW23", "SW13", at=1.0, repair_at=2.0)
+    source.start(at=0.5)
+    ks.run(until=5.0)
+
+    fw_count = sum(1 for tag, _ in inspected if tag == "fw")
+    dpi_count = sum(1 for tag, _ in inspected if tag == "dpi")
+    print(f"sent {source.sent}, delivered {sink.received} "
+          f"({100 * sink.received / source.sent:.1f}%)")
+    print(f"firewall processed {fw_count}, DPI processed {dpi_count}")
+    print(f"mean end-to-end delay {1e3 * sink.mean_delay():.2f} ms "
+          f"(includes 2 x 0.3 ms VNF processing)")
+    print(f"deflections during the failure: {ks.tracer.deflection_count}")
+    print("\nEach segment is an ordinary KAR route: the chain inherits "
+          "deflection\nresilience for free, and the core stayed "
+          "completely stateless.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""KAR (Key-for-Any-Route) — a resilient source-routing system.
+
+Reproduction of Gomes et al., *"KAR: Key-for-Any-Route, a Resilient
+Routing System"* (DSN Workshops 2016).
+
+The top-level namespace re-exports the pieces most users need:
+
+* the RNS route encoder (:class:`RouteEncoder`, :class:`Hop`),
+* the paper's scenarios (:func:`six_node`, :func:`fifteen_node`,
+  :func:`rnp28`, :func:`redundant_path`),
+* the simulation facade (:class:`KarSimulation`),
+* deflection technique names (``"none"``, ``"hp"``, ``"avp"``,
+  ``"nip"``) and protection levels (:data:`UNPROTECTED`,
+  :data:`PARTIAL`, :data:`FULL`).
+"""
+
+from repro.controller import KarController, ProtectionPlanner, assign_switch_ids
+from repro.rns import (
+    EncodedRoute,
+    Hop,
+    RouteEncoder,
+    bit_length_for_switches,
+    crt,
+    route_id_bit_length,
+)
+from repro.runner import KarSimulation
+from repro.switches import STRATEGY_NAMES, strategy_by_name
+from repro.topology import (
+    FULL,
+    PARTIAL,
+    UNPROTECTED,
+    PortGraph,
+    ProtectionSegment,
+    Scenario,
+    fifteen_node,
+    redundant_path,
+    rnp28,
+    six_node,
+)
+from repro.transport import IperfFlow, IperfResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "KarSimulation",
+    "KarController",
+    "ProtectionPlanner",
+    "assign_switch_ids",
+    "RouteEncoder",
+    "EncodedRoute",
+    "Hop",
+    "crt",
+    "route_id_bit_length",
+    "bit_length_for_switches",
+    "Scenario",
+    "ProtectionSegment",
+    "PortGraph",
+    "six_node",
+    "fifteen_node",
+    "rnp28",
+    "redundant_path",
+    "UNPROTECTED",
+    "PARTIAL",
+    "FULL",
+    "STRATEGY_NAMES",
+    "strategy_by_name",
+    "IperfFlow",
+    "IperfResult",
+    "__version__",
+]

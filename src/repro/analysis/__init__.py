@@ -1,0 +1,50 @@
+"""Analytical models: coverage, random walks, stats, header growth."""
+
+from repro.analysis.bitgrowth import (
+    GrowthPoint,
+    bit_growth_by_strategy,
+    protection_budget_table,
+)
+from repro.analysis.delay import DelayReport, analyze_delays, rfc3550_jitter
+from repro.analysis.coverage import (
+    CandidateOutcome,
+    CoverageReport,
+    Fate,
+    analyze_failure,
+)
+from repro.analysis.residues import (
+    ResidueProfile,
+    expected_random_hops_fraction,
+    network_residue_profiles,
+    residue_profile,
+)
+from repro.analysis.stats import MeanCI, mean_ci
+from repro.analysis.walk import (
+    GeometricRetryModel,
+    absorption_probability,
+    geometric_retry,
+    hot_potato_hitting_time,
+)
+
+__all__ = [
+    "analyze_failure",
+    "CoverageReport",
+    "CandidateOutcome",
+    "Fate",
+    "hot_potato_hitting_time",
+    "absorption_probability",
+    "geometric_retry",
+    "GeometricRetryModel",
+    "mean_ci",
+    "DelayReport",
+    "analyze_delays",
+    "rfc3550_jitter",
+    "ResidueProfile",
+    "residue_profile",
+    "network_residue_profiles",
+    "expected_random_hops_fraction",
+    "MeanCI",
+    "bit_growth_by_strategy",
+    "GrowthPoint",
+    "protection_budget_table",
+]

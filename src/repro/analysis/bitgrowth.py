@@ -1,0 +1,87 @@
+"""Route-ID bit-length growth studies (Section 2.3 extensions).
+
+Beyond Table 1's three rows, these sweeps quantify how the header cost
+scales with route length and with the switch-ID assignment strategy —
+the design trade-off the paper flags ("this restriction should be
+considered for implementation purposes").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.rns.bitlength import route_id_bit_length
+from repro.rns.coprime import greedy_coprime_pool, prime_pool
+
+__all__ = ["GrowthPoint", "bit_growth_by_strategy", "protection_budget_table"]
+
+
+@dataclass(frozen=True)
+class GrowthPoint:
+    """Bit length needed for a route of *hops* switches."""
+
+    hops: int
+    bits: int
+
+    @property
+    def bits_per_hop(self) -> float:
+        return self.bits / self.hops if self.hops else 0.0
+
+
+def bit_growth_by_strategy(
+    max_hops: int,
+    strategies: Sequence[str] = ("greedy", "prime"),
+    min_value: int = 4,
+) -> Dict[str, List[GrowthPoint]]:
+    """Worst-case bit growth per strategy.
+
+    For each strategy the route uses the *largest* IDs of a pool sized
+    ``max_hops`` — the worst case, since any network must provision for
+    its longest route through its biggest IDs.
+    """
+    if max_hops < 1:
+        raise ValueError(f"max_hops must be >= 1, got {max_hops}")
+    out: Dict[str, List[GrowthPoint]] = {}
+    for strategy in strategies:
+        if strategy == "greedy":
+            pool = greedy_coprime_pool(max_hops, min_value=min_value)
+        elif strategy == "prime":
+            pool = prime_pool(max_hops, min_value=min_value)
+        else:
+            raise ValueError(f"unknown strategy {strategy!r}")
+        worst_first = sorted(pool, reverse=True)
+        points: List[GrowthPoint] = []
+        product = 1
+        for i, sid in enumerate(worst_first, start=1):
+            product *= sid
+            points.append(GrowthPoint(hops=i, bits=route_id_bit_length(product)))
+        out[strategy] = points
+    return out
+
+
+def protection_budget_table(
+    route_ids: Sequence[int],
+    protection_ids: Sequence[int],
+    budgets: Sequence[int],
+) -> List[Tuple[int, int]]:
+    """(budget_bits, protection_hops_that_fit) rows.
+
+    Mirrors the paper's loose/partial protection discussion: given a
+    header budget, how many protection switches can the controller fold
+    into the route ID after the primary route is paid for?
+    """
+    base = 1
+    for sid in route_ids:
+        base *= sid
+    rows: List[Tuple[int, int]] = []
+    for budget in budgets:
+        product = base
+        fitted = 0
+        for sid in protection_ids:
+            if route_id_bit_length(product * sid) > budget:
+                break
+            product *= sid
+            fitted += 1
+        rows.append((budget, fitted))
+    return rows

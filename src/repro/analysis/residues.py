@@ -1,0 +1,102 @@
+"""Residue statistics at unencoded switches.
+
+When a deflected packet reaches a switch that is *not* encoded in its
+route ID, the modulo result is an arbitrary residue in ``[0, s)``.
+Three things can happen, and their probabilities shape every wandering
+walk in the evaluation:
+
+* the residue hits a **valid port** (``< degree``): AVP/NIP forward
+  there *deterministically* — the packet may be captured by a fixed
+  (per-route) pseudo-path;
+* the residue hits the **input port** (NIP only): re-randomize;
+* the residue is **invalid**: uniform random next hop.
+
+For a route ID uniformly distributed in ``[0, M)`` (CRT output over
+coprime moduli is equidistributed mod any other coprime ``s``), the
+accidental-validity probability at a switch with degree ``d`` and ID
+``s`` is ``d / s`` — which is why the paper's small IDs on high-degree
+switches (e.g. SW13 with ID 13, degree 7 in the RNP) wander so much
+less randomly than large-ID leaf switches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.topology.graph import NodeKind, PortGraph
+
+__all__ = [
+    "ResidueProfile",
+    "residue_profile",
+    "network_residue_profiles",
+    "expected_random_hops_fraction",
+]
+
+
+@dataclass(frozen=True)
+class ResidueProfile:
+    """Accidental-forwarding statistics for one unencoded switch."""
+
+    switch: str
+    switch_id: int
+    degree: int
+
+    @property
+    def p_valid(self) -> float:
+        """P(residue addresses an existing port)."""
+        return min(self.degree / self.switch_id, 1.0)
+
+    @property
+    def p_invalid(self) -> float:
+        """P(residue is out of range -> random deflection)."""
+        return 1.0 - self.p_valid
+
+    def p_deterministic_nip(self, in_degree_known: bool = True) -> float:
+        """P(NIP forwards deterministically on the residue).
+
+        NIP rejects the residue when it equals the input port, so one of
+        the ``degree`` ports is excluded: ``(degree - 1) / switch_id``.
+        """
+        if self.degree <= 1:
+            return 0.0
+        return (self.degree - 1) / self.switch_id
+
+
+def residue_profile(graph: PortGraph, switch: str) -> ResidueProfile:
+    """Profile one core switch."""
+    info = graph.node(switch)
+    if info.kind != NodeKind.CORE or info.switch_id is None:
+        raise ValueError(f"{switch!r} is not a core switch")
+    return ResidueProfile(
+        switch=switch, switch_id=info.switch_id, degree=info.degree
+    )
+
+
+def network_residue_profiles(graph: PortGraph) -> List[ResidueProfile]:
+    """Profiles for every core switch, sorted by accidental validity."""
+    profiles = [
+        residue_profile(graph, n.name) for n in graph.nodes(NodeKind.CORE)
+    ]
+    profiles.sort(key=lambda p: p.p_valid, reverse=True)
+    return profiles
+
+
+def expected_random_hops_fraction(
+    graph: PortGraph, visited: Sequence[str]
+) -> float:
+    """Mean P(random re-pick) along a walk through *visited* switches.
+
+    The fraction of hops on a wandering walk where NIP must fall back to
+    a uniform random choice (residue invalid or equal to the input
+    port) rather than following the pseudo-deterministic residue.  Low
+    values mean route IDs effectively *capture* wanderers onto fixed
+    pseudo-paths; high values mean true random walks.
+    """
+    if not visited:
+        raise ValueError("no switches given")
+    total = 0.0
+    for name in visited:
+        profile = residue_profile(graph, name)
+        total += 1.0 - profile.p_deterministic_nip()
+    return total / len(visited)

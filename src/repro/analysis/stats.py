@@ -1,0 +1,62 @@
+"""Statistics helpers for experiment reporting.
+
+The paper reports TCP throughput means with 95 % confidence intervals
+over 30 iperf runs (Fig. 5); these helpers compute the same Student-t
+intervals for our (typically smaller, seeded) run sets.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from scipy import stats as _scipy_stats
+
+__all__ = ["MeanCI", "mean_ci"]
+
+
+@dataclass(frozen=True)
+class MeanCI:
+    """A sample mean with its confidence half-width."""
+
+    mean: float
+    half_width: float
+    n: int
+    confidence: float
+
+    @property
+    def low(self) -> float:
+        return self.mean - self.half_width
+
+    @property
+    def high(self) -> float:
+        return self.mean + self.half_width
+
+    def describe(self) -> str:
+        return (
+            f"{self.mean:.2f} ± {self.half_width:.2f} "
+            f"({int(self.confidence * 100)}% CI, n={self.n})"
+        )
+
+
+def mean_ci(values: Sequence[float], confidence: float = 0.95) -> MeanCI:
+    """Student-t confidence interval for the mean of *values*.
+
+    A single sample yields a zero-width interval (no variance estimate);
+    an empty sample is an error.
+    """
+    if not values:
+        raise ValueError("cannot compute a confidence interval of no data")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    n = len(values)
+    mean = sum(values) / n
+    if n == 1:
+        return MeanCI(mean=mean, half_width=0.0, n=1, confidence=confidence)
+    variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+    sem = math.sqrt(variance / n)
+    t_crit = float(_scipy_stats.t.ppf((1.0 + confidence) / 2.0, df=n - 1))
+    return MeanCI(
+        mean=mean, half_width=t_crit * sem, n=n, confidence=confidence
+    )

@@ -1,0 +1,181 @@
+"""Random-walk analysis of deflected packets.
+
+Two exact (non-simulated) models:
+
+* :func:`hot_potato_hitting_time` — a Hot-Potato packet performs a
+  uniform random walk on the core graph; the expected number of hops
+  until it first reaches a target set (destination or any encoded
+  switch) is the classic absorbing-Markov-chain hitting time, solved
+  with one dense linear system (numpy).
+* :func:`geometric_retry` — the Fig. 8 redundant-path loop: each visit
+  to the decision switch succeeds with probability *p*; failures cost a
+  fixed loop detour.  Expected extra hops follow the geometric series
+  the paper describes qualitatively ("this protection loop will
+  continue until SW109 is probabilistically chosen").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.topology.graph import NodeKind, PortGraph, TopologyError
+
+__all__ = [
+    "hot_potato_hitting_time",
+    "absorption_probability",
+    "geometric_retry",
+    "GeometricRetryModel",
+]
+
+
+def _core_adjacency(graph: PortGraph) -> Dict[str, List[str]]:
+    return {
+        n.name: graph.core_subgraph_neighbors(n.name)
+        for n in graph.nodes(NodeKind.CORE)
+    }
+
+
+def hot_potato_hitting_time(
+    graph: PortGraph,
+    start: str,
+    targets: Iterable[str],
+) -> float:
+    """Expected hops for a uniform random walk from *start* to *targets*.
+
+    Models a Hot-Potato-deflected packet: at every core switch it exits
+    via a uniformly random port (edges and the input port included in
+    the real dataplane; here the walk is over the core subgraph, which
+    upper-bounds the core wandering).
+
+    Returns ``inf`` when some probability mass never reaches a target
+    (disconnected component).
+    """
+    adj = _core_adjacency(graph)
+    target_set = set(targets)
+    for t in target_set:
+        if t not in adj:
+            raise TopologyError(f"target {t!r} is not a core switch")
+    if start in target_set:
+        return 0.0
+    if start not in adj:
+        raise TopologyError(f"start {start!r} is not a core switch")
+
+    transient = [n for n in adj if n not in target_set]
+    index = {n: i for i, n in enumerate(transient)}
+    n = len(transient)
+    # (I - Q) t = 1, where Q is the transient-to-transient transition
+    # matrix; t[i] is the expected steps to absorption from state i.
+    A = np.eye(n)
+    reaches = np.zeros(n, dtype=bool)
+    for name in transient:
+        i = index[name]
+        neighbors = adj[name]
+        if not neighbors:
+            continue
+        p = 1.0 / len(neighbors)
+        for nb in neighbors:
+            if nb in target_set:
+                reaches[i] = True
+            else:
+                A[i, index[nb]] -= p
+    try:
+        t = np.linalg.solve(A, np.ones(n))
+    except np.linalg.LinAlgError:
+        return float("inf")
+    value = float(t[index[start]])
+    if not np.isfinite(value) or value < 0:
+        return float("inf")
+    return value
+
+
+def absorption_probability(
+    graph: PortGraph,
+    start: str,
+    good: Iterable[str],
+    bad: Iterable[str],
+) -> float:
+    """P(walk from *start* hits *good* before *bad*).
+
+    Useful for questions like "what fraction of HP packets reach the
+    destination before straying back to the ingress edge?".
+    """
+    adj = _core_adjacency(graph)
+    good_set, bad_set = set(good), set(bad)
+    if start in good_set:
+        return 1.0
+    if start in bad_set:
+        return 0.0
+    transient = [n for n in adj if n not in good_set | bad_set]
+    index = {n: i for i, n in enumerate(transient)}
+    n = len(transient)
+    A = np.eye(n)
+    b = np.zeros(n)
+    for name in transient:
+        i = index[name]
+        neighbors = adj[name]
+        if not neighbors:
+            continue
+        p = 1.0 / len(neighbors)
+        for nb in neighbors:
+            if nb in good_set:
+                b[i] += p
+            elif nb in bad_set:
+                continue
+            else:
+                A[i, index[nb]] -= p
+    x = np.linalg.solve(A, b)
+    return float(x[index[start]])
+
+
+@dataclass(frozen=True)
+class GeometricRetryModel:
+    """Closed-form Fig. 8 model.
+
+    Attributes:
+        p_success: probability the decision switch picks the delivering
+            branch (1/2 at SW73: SW109 vs SW71).
+        direct_hops: hops from the decision switch to delivery on the
+            success branch.
+        loop_hops: hops consumed by one failed attempt (the protection
+            loop back to the decision switch).
+    """
+
+    p_success: float
+    direct_hops: int
+    loop_hops: int
+
+    @property
+    def expected_attempts(self) -> float:
+        return 1.0 / self.p_success
+
+    @property
+    def expected_extra_hops(self) -> float:
+        """Mean hops added by the retry loop (excludes the direct tail)."""
+        return (1.0 - self.p_success) / self.p_success * self.loop_hops
+
+    @property
+    def expected_total_hops(self) -> float:
+        return self.direct_hops + self.expected_extra_hops
+
+    def attempt_distribution(self, k_max: int) -> List[float]:
+        """P(delivered on attempt k) for k = 1..k_max (geometric)."""
+        return [
+            (1.0 - self.p_success) ** (k - 1) * self.p_success
+            for k in range(1, k_max + 1)
+        ]
+
+
+def geometric_retry(
+    p_success: float, direct_hops: int, loop_hops: int
+) -> GeometricRetryModel:
+    """Build the Fig. 8 geometric-retry model (validated inputs)."""
+    if not 0.0 < p_success <= 1.0:
+        raise ValueError(f"p_success must be in (0, 1], got {p_success}")
+    if direct_hops < 0 or loop_hops < 0:
+        raise ValueError("hop counts must be non-negative")
+    return GeometricRetryModel(
+        p_success=p_success, direct_hops=direct_hops, loop_hops=loop_hops
+    )

@@ -1,0 +1,21 @@
+"""Baselines: Table 2 feature matrix and executable comparison systems."""
+
+from repro.baselines.fastfailover import (
+    FastFailoverStrategy,
+    FastFailoverSwitch,
+    plan_backup_ports,
+    plan_destination_tree,
+)
+from repro.baselines.feature_matrix import TABLE2_ROWS, FeatureRow, render_table2
+from repro.baselines.repair import ControllerRepair
+
+__all__ = [
+    "FeatureRow",
+    "TABLE2_ROWS",
+    "render_table2",
+    "ControllerRepair",
+    "FastFailoverStrategy",
+    "FastFailoverSwitch",
+    "plan_backup_ports",
+    "plan_destination_tree",
+]

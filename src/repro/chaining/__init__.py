@@ -1,0 +1,17 @@
+"""Service chaining over KAR segments (the paper's §5 future work)."""
+
+from repro.chaining.chain import (
+    ChainDeployment,
+    ServiceChain,
+    VnfFunction,
+    add_chain_probe,
+    deploy_chain,
+)
+
+__all__ = [
+    "ServiceChain",
+    "VnfFunction",
+    "ChainDeployment",
+    "deploy_chain",
+    "add_chain_probe",
+]

@@ -1,0 +1,201 @@
+"""Service chaining over KAR (the paper's named future work).
+
+Section 5: *"we plan ... to investigate the application of KAR in the
+service chaining of virtualized network functions."*  This module
+builds that extension on the reproduced system.
+
+The one-residue-per-switch constraint means a single route ID cannot
+express a path that crosses the same switch twice with different exits
+— which service chains routinely need.  The natural KAR answer is
+**segment re-encoding**: the chain is a sequence of ordinary KAR
+segments (ingress → VNF₁ → VNF₂ → ... → destination), each with its own
+route ID; the edge serving each VNF re-encapsulates the packet for the
+next segment, exactly the way edges already re-encode stray packets.
+The core stays stateless; all chain state lives at the edges (one
+ingress entry per segment) and in the VNF hosts.
+
+Because every segment is a plain KAR route, each can carry its own
+driven-deflection protection — chains inherit the paper's resilience
+story unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.rns.encoder import EncodedRoute
+from repro.runner import KarSimulation
+from repro.sim.packet import Packet
+from repro.topology.graph import TopologyError
+from repro.topology.topologies import ProtectionSegment
+
+__all__ = ["ServiceChain", "VnfFunction", "ChainDeployment", "deploy_chain"]
+
+
+@dataclass(frozen=True)
+class ServiceChain:
+    """An ordered service chain between two hosts.
+
+    Attributes:
+        name: chain identifier (also used as the flow-ID prefix).
+        src_host: traffic source.
+        vnf_hosts: hosts running the virtualized functions, in traversal
+            order.  Each must hang off an edge node.
+        dst_host: final destination.
+    """
+
+    name: str
+    src_host: str
+    vnf_hosts: Tuple[str, ...]
+    dst_host: str
+
+    def waypoints(self) -> List[str]:
+        """The full host sequence the chain visits."""
+        return [self.src_host, *self.vnf_hosts, self.dst_host]
+
+    def segments(self) -> List[Tuple[str, str]]:
+        """Consecutive (from_host, to_host) segment endpoints."""
+        points = self.waypoints()
+        return list(zip(points, points[1:]))
+
+
+class VnfFunction:
+    """A virtualized function running on a host.
+
+    Receives every packet of its chain, applies a processing delay (and
+    an optional payload transformation), and forwards the packet toward
+    the next waypoint.  Registered on the host under the chain's flow
+    ID, like any transport endpoint.
+    """
+
+    def __init__(
+        self,
+        ks: KarSimulation,
+        host_name: str,
+        next_host: str,
+        processing_delay_s: float = 0.0005,
+        transform=None,
+    ):
+        self.ks = ks
+        self.host = ks.host(host_name)
+        self.next_host = next_host
+        self.processing_delay_s = processing_delay_s
+        self.transform = transform
+        self.processed = 0
+
+    def on_packet(self, packet: Packet) -> None:
+        self.processed += 1
+        if self.transform is not None:
+            packet.payload = self.transform(packet.payload)
+        forwarded = Packet(
+            src_host=self.host.name,
+            dst_host=self.next_host,
+            size_bytes=packet.size_bytes,
+            payload=packet.payload,
+            created_at=packet.created_at,
+        )
+        self.ks.sim.schedule(
+            self.processing_delay_s, self.host.inject, forwarded
+        )
+
+
+@dataclass
+class ChainDeployment:
+    """A deployed chain: its per-segment routes and VNF endpoints."""
+
+    chain: ServiceChain
+    segment_routes: List[Tuple[EncodedRoute, EncodedRoute]]
+    functions: List[VnfFunction]
+
+    @property
+    def total_header_bits(self) -> int:
+        """Sum of forward route-ID sizes across segments.
+
+        The chaining pay-off: N short segment keys instead of one
+        impossibly constrained end-to-end key.
+        """
+        return sum(fwd.bit_length for fwd, _ in self.segment_routes)
+
+    def processed_counts(self) -> List[int]:
+        return [fn.processed for fn in self.functions]
+
+
+def deploy_chain(
+    ks: KarSimulation,
+    chain: ServiceChain,
+    processing_delay_s: float = 0.0005,
+    transforms: Optional[Sequence] = None,
+) -> ChainDeployment:
+    """Install a service chain on a wired simulation.
+
+    Installs forward/reverse routes for every segment (so TCP works
+    across the chain as well as datagrams) and registers a
+    :class:`VnfFunction` on each VNF host that relays traffic to the
+    next waypoint.
+
+    Args:
+        ks: the simulation (its scenario's graph must contain every
+            waypoint host).
+        chain: the chain specification.
+        processing_delay_s: per-VNF processing latency.
+        transforms: optional per-VNF payload transforms (aligned with
+            ``chain.vnf_hosts``).
+
+    Raises:
+        TopologyError: when a waypoint host does not exist.
+    """
+    graph = ks.scenario.graph
+    for host in chain.waypoints():
+        if host not in graph:
+            raise TopologyError(f"chain waypoint {host!r} not in topology")
+    if transforms is not None and len(transforms) != len(chain.vnf_hosts):
+        raise ValueError(
+            f"need one transform per VNF ({len(chain.vnf_hosts)}), "
+            f"got {len(transforms)}"
+        )
+
+    segment_routes = [
+        ks.install_flow(a, b) for a, b in chain.segments()
+    ]
+    functions: List[VnfFunction] = []
+    waypoints = chain.waypoints()
+    for i, vnf_host in enumerate(chain.vnf_hosts):
+        fn = VnfFunction(
+            ks,
+            vnf_host,
+            next_host=waypoints[i + 2],  # vnf i sits at waypoint i + 1
+            processing_delay_s=processing_delay_s,
+            transform=transforms[i] if transforms else None,
+        )
+        ks.host(vnf_host).register(chain.name, fn)
+        functions.append(fn)
+    return ChainDeployment(
+        chain=chain, segment_routes=segment_routes, functions=functions
+    )
+
+
+def add_chain_probe(
+    ks: KarSimulation,
+    deployment: ChainDeployment,
+    rate_pps: float,
+    duration_s: float,
+    payload_bytes: int = 1200,
+):
+    """A constant-rate probe traversing the whole chain.
+
+    Returns ``(source, sink)``: the source addresses the first VNF and
+    the sink listens at the chain's destination — delivery proves the
+    full relay worked.
+    """
+    from repro.transport.udp import UdpSink, UdpSource
+
+    chain = deployment.chain
+    first_target = chain.waypoints()[1]
+    source = UdpSource(
+        ks.sim, ks.host(chain.src_host), first_target, chain.name,
+        rate_pps=rate_pps, payload_bytes=payload_bytes,
+        duration_s=duration_s,
+    )
+    sink = UdpSink(ks.sim, ks.host(chain.dst_host), chain.name)
+    return source, sink

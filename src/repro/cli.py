@@ -1,0 +1,219 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands map one-to-one onto the paper's artifacts plus a free-form
+runner:
+
+* ``table1`` / ``table2`` — print the tables.
+* ``fig4`` / ``fig5`` / ``fig7`` / ``fig8`` — run and print a figure.
+* ``report [PATH]`` — regenerate EXPERIMENTS.md.
+* ``topo SCENARIO [--dot]`` — describe (or DOT-dump) a topology.
+* ``run`` — one custom iperf-under-failure run with full knobs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.switches.deflection import STRATEGY_NAMES
+
+__all__ = ["main", "build_parser"]
+
+_SCENARIOS = ("six_node", "fifteen_node", "rnp28", "redundant_path")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="KAR (Key-for-Any-Route) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="route-ID bit lengths (Table 1)")
+    sub.add_parser("table2", help="related-work feature matrix (Table 2)")
+    fig4 = sub.add_parser("fig4", help="throughput time series by technique")
+    fig4.add_argument("--seed", type=int, default=1)
+    fig4.add_argument("--export", metavar="PATH.csv|PATH.json",
+                      help="also write the raw series")
+    fig5 = sub.add_parser("fig5", help="protection/technique/location grid")
+    fig5.add_argument("--export", metavar="PATH.csv|PATH.json")
+    fig7 = sub.add_parser("fig7", help="RNP backbone failures")
+    fig7.add_argument("--export", metavar="PATH.csv|PATH.json")
+    sub.add_parser("fig8", help="redundant-path worst case")
+
+    report = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
+    report.add_argument("path", nargs="?", default="EXPERIMENTS.md")
+
+    topo = sub.add_parser("topo", help="describe a scenario topology")
+    topo.add_argument("scenario", choices=_SCENARIOS)
+    topo.add_argument("--dot", action="store_true",
+                      help="emit Graphviz DOT instead of a summary")
+
+    run = sub.add_parser("run", help="one custom iperf-under-failure run")
+    run.add_argument("--scenario", choices=_SCENARIOS[1:],
+                     default="fifteen_node")
+    run.add_argument("--deflection", choices=STRATEGY_NAMES, default="nip")
+    run.add_argument("--protection", default="partial")
+    run.add_argument("--failure", metavar="A-B", default=None,
+                     help="link to fail, e.g. SW7-SW13 (default: the "
+                          "scenario's first failure case)")
+    run.add_argument("--seed", type=int, default=1)
+    run.add_argument("--duration", type=float, default=12.0,
+                     help="total simulated seconds")
+    return parser
+
+
+def _cmd_table1() -> int:
+    from repro.experiments.table1 import render_table1
+
+    print(render_table1())
+    return 0
+
+
+def _cmd_table2() -> int:
+    from repro.experiments.table2 import render_table2
+
+    print(render_table2())
+    return 0
+
+
+def _cmd_fig4(seed: int, export: Optional[str]) -> int:
+    from repro.experiments.export import figure4_rows, write_rows
+    from repro.experiments.figure4 import render_figure4, run_figure4
+
+    series = run_figure4(seed=seed)
+    print(render_figure4(series))
+    if export:
+        write_rows(figure4_rows(series), export)
+        print(f"wrote {export}")
+    return 0
+
+
+def _cmd_fig5(export: Optional[str]) -> int:
+    from repro.experiments.export import figure5_rows, write_rows
+    from repro.experiments.figure5 import render_figure5, run_figure5
+
+    cells = run_figure5()
+    print(render_figure5(cells))
+    if export:
+        write_rows(figure5_rows(cells), export)
+        print(f"wrote {export}")
+    return 0
+
+
+def _cmd_fig7(export: Optional[str]) -> int:
+    from repro.experiments.export import figure7_rows, write_rows
+    from repro.experiments.figure7 import render_figure7, run_figure7
+
+    points = run_figure7()
+    print(render_figure7(points))
+    if export:
+        write_rows(figure7_rows(points), export)
+        print(f"wrote {export}")
+    return 0
+
+
+def _cmd_fig8() -> int:
+    from repro.experiments.figure8 import render_figure8, run_figure8
+
+    print(render_figure8(run_figure8()))
+    return 0
+
+
+def _cmd_report(path: str) -> int:
+    from repro.experiments.report import build_report
+
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(build_report())
+    print(f"wrote {path}")
+    return 0
+
+
+def _cmd_topo(name: str, dot: bool) -> int:
+    from repro.experiments.common import scenario_factory
+    from repro.topology.topologies import six_node
+
+    scenario = six_node() if name == "six_node" else scenario_factory(name)()
+    if dot:
+        print(scenario.graph.to_dot())
+        return 0
+    g = scenario.graph
+    cores = g.nodes("core")
+    print(f"scenario {scenario.name}: {len(cores)} core switches, "
+          f"{len(g.links())} links")
+    print(f"primary route: {' -> '.join(scenario.primary_route)}")
+    for level in scenario.protection_levels():
+        segs = scenario.segments(level)
+        rendered = ", ".join(f"{s.at}->{s.to}" for s in segs) or "(none)"
+        print(f"protection[{level}]: {rendered}")
+    print(f"failure cases: " + ", ".join(
+        f"{a}-{b}" for a, b in scenario.failure_links))
+    if scenario.notes:
+        print(f"notes: {scenario.notes}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.experiments.common import (
+        Timeline,
+        run_failure_experiment,
+        scenario_factory,
+    )
+
+    scenario = scenario_factory(args.scenario)()
+    if args.failure:
+        a, _, b = args.failure.partition("-")
+        failure: Optional[tuple] = (a, b)
+    else:
+        failure = scenario.failure_links[0] if scenario.failure_links else None
+    end = args.duration
+    timeline = Timeline(
+        flow_start=0.2,
+        fail_at=end / 3,
+        repair_at=2 * end / 3,
+        end=end,
+        baseline_window=(end / 6, end / 3),
+        failure_window=(end / 3 + 0.5, 2 * end / 3),
+        sample_interval_s=max(end / 24, 0.25),
+    )
+    outcome = run_failure_experiment(
+        scenario, args.deflection, args.protection, failure,
+        args.seed, timeline,
+    )
+    fail_label = f"{failure[0]}-{failure[1]}" if failure else "none"
+    print(f"scenario={args.scenario} deflection={args.deflection} "
+          f"protection={args.protection} failure={fail_label} "
+          f"seed={args.seed}")
+    print(outcome.iperf.describe())
+    print(f"baseline {outcome.baseline_mbps:.2f} Mbit/s, during failure "
+          f"{outcome.failure_mbps:.2f} Mbit/s "
+          f"({100 * outcome.ratio:.1f}% of baseline)")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "table1":
+        return _cmd_table1()
+    if args.command == "table2":
+        return _cmd_table2()
+    if args.command == "fig4":
+        return _cmd_fig4(args.seed, args.export)
+    if args.command == "fig5":
+        return _cmd_fig5(args.export)
+    if args.command == "fig7":
+        return _cmd_fig7(args.export)
+    if args.command == "fig8":
+        return _cmd_fig8()
+    if args.command == "report":
+        return _cmd_report(args.path)
+    if args.command == "topo":
+        return _cmd_topo(args.scenario, args.dot)
+    if args.command == "run":
+        return _cmd_run(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

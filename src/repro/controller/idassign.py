@@ -1,0 +1,89 @@
+"""Switch-ID assignment strategies.
+
+The controller (or local setup) must give every core switch a unique ID
+such that the ID set is pairwise coprime and each ID exceeds its
+switch's port count.  Two strategies are provided and compared in the
+``ablation_idassign`` benchmark:
+
+* ``prime`` — consecutive primes.
+* ``greedy`` — smallest pairwise-coprime integers (admits 4, 9, 25...),
+  minimising route-ID bit growth (Eq. 9).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.rns.coprime import greedy_coprime_pool, min_id_for_ports, prime_pool
+
+__all__ = ["assign_switch_ids", "AssignmentError"]
+
+
+class AssignmentError(ValueError):
+    """Raised when no valid assignment exists for the inputs."""
+
+
+def _pool(strategy: str, size: int) -> List[int]:
+    if strategy == "prime":
+        return prime_pool(size, min_value=2)
+    if strategy == "greedy":
+        return greedy_coprime_pool(size, min_value=2)
+    raise AssignmentError(
+        f"unknown strategy {strategy!r}; use 'greedy' or 'prime'"
+    )
+
+
+def assign_switch_ids(
+    degrees: Dict[str, int],
+    strategy: str = "greedy",
+) -> Dict[str, int]:
+    """Assign pairwise-coprime IDs to switches given their port counts.
+
+    Switches are processed in ascending degree order and each takes the
+    smallest unused pool value that can address its ports, keeping the
+    product of IDs — and therefore route-ID bit length (Eq. 9) — small.
+
+    Args:
+        degrees: switch name -> number of ports.
+        strategy: ``"greedy"`` or ``"prime"``.
+
+    Returns:
+        switch name -> assigned ID; every ID > the switch's max port
+        index and the set pairwise coprime.
+
+    Raises:
+        AssignmentError: on empty input, negative degrees, or an unknown
+            strategy.
+    """
+    if not degrees:
+        raise AssignmentError("no switches to assign IDs to")
+    for name, deg in degrees.items():
+        if deg < 0:
+            raise AssignmentError(f"negative degree for {name!r}: {deg}")
+
+    count = len(degrees)
+    # Generate generously: some pool values may be skipped because they
+    # are too small for high-degree switches.
+    pool_size = count
+    values = _pool(strategy, pool_size)
+    by_degree = sorted(degrees, key=lambda n: (degrees[n], n))
+    for _attempt in range(64):
+        assignment: Dict[str, int] = {}
+        available = sorted(values)
+        feasible = True
+        for name in by_degree:
+            need = min_id_for_ports(degrees[name])
+            pick = next((v for v in available if v >= need), None)
+            if pick is None:
+                feasible = False
+                break
+            available.remove(pick)
+            assignment[name] = pick
+        if feasible:
+            return assignment
+        pool_size += max(4, count // 2)
+        values = _pool(strategy, pool_size)
+    raise AssignmentError(
+        "could not find a feasible coprime ID assignment "
+        f"(max degree {max(degrees.values())})"
+    )

@@ -1,0 +1,193 @@
+"""Failure notifications from the dataplane to the controller.
+
+The paper's switches *do* send failure notifications — the experimental
+method just has the controller ignore them ("the controller ignores all
+failure notifications and, then, keeps the same route with or without
+link failures").  This module makes that channel explicit:
+
+* every notification is logged with its arrival time (so experiments
+  can report what the controller knew and when),
+* an optional **reactive** mode implements the traditional
+  notify-and-reroute behaviour KAR is compared against: on a link-down
+  notification the controller recomputes every installed flow that
+  crossed the link, avoiding all currently-down links; on link-up it
+  restores the original routes.
+
+The wiring is one callback per switch plus a configurable notification
+latency (detection + channel delay).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.controller.routing import core_path_between_edges, encode_node_path
+from repro.sim.network import Network
+from repro.switches.core import KarSwitch
+from repro.switches.edge import EdgeNode, IngressEntry
+from repro.topology.graph import PortGraph
+from repro.topology.paths import NoPathError
+
+__all__ = ["LinkNotification", "NotificationService"]
+
+LinkKey = Tuple[str, str]
+
+
+@dataclass(frozen=True)
+class LinkNotification:
+    """One link-state report as received by the controller."""
+
+    received_at: float
+    switch: str
+    port: int
+    peer: str
+    up: bool
+
+    @property
+    def link(self) -> LinkKey:
+        a, b = self.switch, self.peer
+        return (a, b) if a <= b else (b, a)
+
+
+@dataclass(frozen=True)
+class _FlowRecord:
+    src_host: str
+    dst_host: str
+    src_edge: str
+    dst_edge: str
+
+
+class NotificationService:
+    """Receives link-state notifications; optionally reroutes flows.
+
+    Args:
+        network: the live network (for reinstalling ingress entries).
+        graph: the topology.
+        notification_delay_s: detection + control-channel latency per
+            notification.
+        reactive: when False (the paper's experimental setting), only
+            log; when True, behave like the traditional reroute-on-
+            notification controller.
+        default_ttl: TTL for recomputed routes.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        graph: PortGraph,
+        notification_delay_s: float = 0.01,
+        reactive: bool = False,
+        default_ttl: int = 64,
+    ):
+        if notification_delay_s < 0:
+            raise ValueError("notification delay must be non-negative")
+        self.network = network
+        self.graph = graph
+        self.notification_delay_s = notification_delay_s
+        self.reactive = reactive
+        self.default_ttl = default_ttl
+        self.log: List[LinkNotification] = []
+        self.down_links: Set[LinkKey] = set()
+        self.reroutes = 0
+        self.restores = 0
+        self._flows: List[_FlowRecord] = []
+        self._wired = False
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def wire(self) -> None:
+        """Attach to every core switch's link-state hook."""
+        if self._wired:
+            raise RuntimeError("notification service already wired")
+        self._wired = True
+        for name, node in self.network.nodes.items():
+            if isinstance(node, KarSwitch):
+                self._wire_switch(node)
+
+    def _wire_switch(self, switch: KarSwitch) -> None:
+        def on_link_state(port: int, up: bool,
+                          _switch: KarSwitch = switch) -> None:
+            peer = _switch.peer_name(port) or "?"
+            self.network.sim.schedule(
+                self.notification_delay_s,
+                self._receive,
+                LinkNotification(
+                    received_at=(
+                        self.network.sim.now + self.notification_delay_s
+                    ),
+                    switch=_switch.name,
+                    port=port,
+                    peer=peer,
+                    up=up,
+                ),
+            )
+
+        switch.on_link_state = on_link_state
+
+    def track_flow(self, src_host: str, dst_host: str) -> None:
+        """Register a flow for reactive rerouting."""
+        self._flows.append(
+            _FlowRecord(
+                src_host=src_host,
+                dst_host=dst_host,
+                src_edge=self.graph.edge_of_host(src_host),
+                dst_edge=self.graph.edge_of_host(dst_host),
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # notification handling
+    # ------------------------------------------------------------------
+    def _receive(self, notification: LinkNotification) -> None:
+        self.log.append(notification)
+        key = notification.link
+        if notification.up:
+            self.down_links.discard(key)
+        else:
+            self.down_links.add(key)
+        if self.reactive:
+            self._reroute_all()
+
+    def _reroute_all(self) -> None:
+        """Reinstall every tracked flow avoiding all known-down links."""
+        for flow in self._flows:
+            try:
+                node_path = core_path_between_edges(
+                    self.graph, flow.src_edge, flow.dst_edge,
+                    forbidden_links=self.down_links,
+                )
+            except NoPathError:
+                continue  # nothing the controller can do for this flow
+            route = encode_node_path(self.graph, node_path)
+            ingress = self.network.node(flow.src_edge)
+            assert isinstance(ingress, EdgeNode)
+            ingress.install_ingress(
+                flow.dst_host,
+                IngressEntry(
+                    route_id=route.route_id,
+                    modulus=route.modulus,
+                    out_port=self.graph.port_of(flow.src_edge, node_path[1]),
+                    ttl=self.default_ttl,
+                ),
+            )
+            if self.down_links:
+                self.reroutes += 1
+            else:
+                self.restores += 1
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def notifications_for(self, a: str, b: str) -> List[LinkNotification]:
+        key = (a, b) if a <= b else (b, a)
+        return [n for n in self.log if n.link == key]
+
+    def describe(self) -> str:
+        mode = "reactive" if self.reactive else "ignoring (paper mode)"
+        return (
+            f"controller {mode}: {len(self.log)} notifications, "
+            f"{self.reroutes} reroutes, {self.restores} restores, "
+            f"down now: {sorted(self.down_links) or 'none'}"
+        )

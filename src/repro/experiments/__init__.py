@@ -1,0 +1,28 @@
+"""Experiment reproductions: one module per table/figure of the paper.
+
+* :mod:`~repro.experiments.table1` — route-ID bit lengths.
+* :mod:`~repro.experiments.figure4` — throughput time series by technique.
+* :mod:`~repro.experiments.figure5` — protection/technique/location grid.
+* :mod:`~repro.experiments.figure7` — RNP backbone failures.
+* :mod:`~repro.experiments.figure8` — redundant-path worst case.
+* :mod:`~repro.experiments.table2` — related-work feature matrix.
+* :mod:`~repro.experiments.report` — regenerates EXPERIMENTS.md.
+"""
+
+from repro.experiments.common import (
+    DEFAULT_TIMELINE,
+    RunOutcome,
+    Timeline,
+    run_failure_experiment,
+    scenario_factory,
+    seeds_from_env,
+)
+
+__all__ = [
+    "Timeline",
+    "DEFAULT_TIMELINE",
+    "RunOutcome",
+    "run_failure_experiment",
+    "scenario_factory",
+    "seeds_from_env",
+]

@@ -1,0 +1,144 @@
+"""Export experiment results as CSV/JSON, plus text sparklines.
+
+The figure modules return structured results; these helpers turn them
+into files a plotting pipeline (or spreadsheet) can consume — the
+repository equivalent of the authors' gnuplot data files — and render
+quick terminal sparklines so a figure's shape is visible without
+leaving the shell.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import asdict, is_dataclass
+from typing import Any, Dict, Iterable, List, Sequence
+
+__all__ = [
+    "figure4_rows",
+    "figure5_rows",
+    "figure7_rows",
+    "rows_to_csv",
+    "rows_to_json",
+    "write_rows",
+    "sparkline",
+]
+
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: int = 0) -> str:
+    """Render a numeric series as a unicode sparkline.
+
+    >>> sparkline([0, 1, 2, 3])
+    '▁▃▅█'
+    """
+    vals = list(values)
+    if not vals:
+        return ""
+    if width and len(vals) > width:
+        # Downsample by bucketing (mean per bucket).
+        bucket = len(vals) / width
+        vals = [
+            sum(vals[int(i * bucket):max(int((i + 1) * bucket),
+                                         int(i * bucket) + 1)])
+            / max(int((i + 1) * bucket) - int(i * bucket), 1)
+            for i in range(width)
+        ]
+    lo, hi = min(vals), max(vals)
+    if hi - lo < 1e-12:
+        return _SPARK_CHARS[0] * len(vals)
+    out = []
+    for v in vals:
+        idx = int((v - lo) / (hi - lo) * (len(_SPARK_CHARS) - 1))
+        out.append(_SPARK_CHARS[idx])
+    return "".join(out)
+
+
+# ---------------------------------------------------------------------------
+# row extractors (figure result objects -> flat dict rows)
+# ---------------------------------------------------------------------------
+
+def figure4_rows(series: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """Fig. 4 time series -> one row per (technique, time)."""
+    rows: List[Dict[str, Any]] = []
+    for technique, s in series.items():
+        for t, mbps in s.intervals:
+            rows.append(
+                {"technique": technique, "time_s": t, "mbps": mbps}
+            )
+    return rows
+
+
+def figure5_rows(cells: Iterable[Any]) -> List[Dict[str, Any]]:
+    """Fig. 5 grid cells -> one row per cell with CI columns."""
+    rows = []
+    for cell in cells:
+        rows.append(
+            {
+                "technique": cell.technique,
+                "protection": cell.protection,
+                "failure": f"{cell.failure[0]}-{cell.failure[1]}",
+                "mbps_mean": cell.throughput_mbps.mean,
+                "mbps_ci95": cell.throughput_mbps.half_width,
+                "ratio_mean": cell.ratio.mean,
+                "ratio_ci95": cell.ratio.half_width,
+                "n": cell.ratio.n,
+            }
+        )
+    return rows
+
+
+def figure7_rows(points: Iterable[Any]) -> List[Dict[str, Any]]:
+    """Fig. 7 points -> one row per failure case."""
+    rows = []
+    for p in points:
+        rows.append(
+            {
+                "failure": p.label,
+                "mbps_mean": p.throughput_mbps.mean,
+                "mbps_ci95": p.throughput_mbps.half_width,
+                "ratio_mean": p.ratio.mean,
+                "ratio_ci95": p.ratio.half_width,
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# serializers
+# ---------------------------------------------------------------------------
+
+def rows_to_csv(rows: Sequence[Dict[str, Any]]) -> str:
+    """Rows -> CSV text (header from the first row's keys)."""
+    if not rows:
+        return ""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(rows[0].keys()))
+    writer.writeheader()
+    writer.writerows(rows)
+    return buffer.getvalue()
+
+
+def rows_to_json(rows: Sequence[Dict[str, Any]]) -> str:
+    """Rows -> pretty JSON array."""
+
+    def default(obj: Any) -> Any:
+        if is_dataclass(obj) and not isinstance(obj, type):
+            return asdict(obj)
+        raise TypeError(f"not JSON-serializable: {type(obj).__name__}")
+
+    return json.dumps(list(rows), indent=2, default=default)
+
+
+def write_rows(rows: Sequence[Dict[str, Any]], path: str) -> None:
+    """Write rows as CSV or JSON depending on the file extension."""
+    if path.endswith(".json"):
+        text = rows_to_json(rows)
+    elif path.endswith(".csv"):
+        text = rows_to_csv(rows)
+    else:
+        raise ValueError(f"unsupported export extension: {path!r}")
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(text)

@@ -1,0 +1,112 @@
+"""Figure 5 — throughput vs (failure location × protection × technique).
+
+The paper's trade-off study on the 15-node network: for failures at
+SW10–SW7, SW7–SW13 and SW13–SW29, measure mean TCP throughput with 95 %
+confidence intervals for AVP and NIP under unprotected, partial and
+full protection.  Headlines:
+
+* full protection achieves the highest throughput regardless of
+  technique or failure location;
+* partial ≈ full for SW7–SW13 and SW13–SW29 (the partial tree already
+  encloses the alternatives);
+* partial is far below full for SW10–SW7: only 1 of 3 deflection
+  candidates is covered — "there is still 2/3 of packets that will be
+  sent to switches SW17 or SW37".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.stats import MeanCI, mean_ci
+from repro.experiments.common import (
+    DEFAULT_TIMELINE,
+    Timeline,
+    run_failure_experiment,
+    scenario_factory,
+    seeds_from_env,
+)
+from repro.topology.topologies import FULL, PARTIAL, UNPROTECTED
+
+__all__ = ["Figure5Cell", "run_figure5", "render_figure5",
+           "FAILURES", "PROTECTIONS", "TECHNIQUES"]
+
+FAILURES: Tuple[Tuple[str, str], ...] = (
+    ("SW10", "SW7"), ("SW7", "SW13"), ("SW13", "SW29"),
+)
+PROTECTIONS = (UNPROTECTED, PARTIAL, FULL)
+TECHNIQUES = ("avp", "nip")
+
+
+@dataclass(frozen=True)
+class Figure5Cell:
+    """One bar of Fig. 5: mean throughput ratio with a 95 % CI."""
+
+    technique: str
+    protection: str
+    failure: Tuple[str, str]
+    throughput_mbps: MeanCI
+    ratio: MeanCI  # failure-window / baseline
+
+
+def run_figure5(
+    seeds: Sequence[int] | None = None,
+    timeline: Timeline = DEFAULT_TIMELINE,
+) -> List[Figure5Cell]:
+    """Run the full grid; one cell per (technique, protection, failure)."""
+    seeds = list(seeds) if seeds is not None else seeds_from_env()
+    build = scenario_factory("fifteen_node")
+    cells: List[Figure5Cell] = []
+    for technique in TECHNIQUES:
+        for protection in PROTECTIONS:
+            for failure in FAILURES:
+                outcomes = [
+                    run_failure_experiment(
+                        build(), technique, protection, failure, seed, timeline
+                    )
+                    for seed in seeds
+                ]
+                cells.append(
+                    Figure5Cell(
+                        technique=technique,
+                        protection=protection,
+                        failure=failure,
+                        throughput_mbps=mean_ci(
+                            [o.failure_mbps for o in outcomes]
+                        ),
+                        ratio=mean_ci([o.ratio for o in outcomes]),
+                    )
+                )
+    return cells
+
+
+def render_figure5(cells: List[Figure5Cell]) -> str:
+    lines = [
+        "Fig. 5 — mean TCP throughput during failure (ratio of no-failure "
+        "baseline, 95% CI)",
+        f"{'technique':9s} {'protection':12s} "
+        + "".join(f"{a}-{b}".rjust(18) for a, b in FAILURES),
+    ]
+    index: Dict[Tuple[str, str], Dict[Tuple[str, str], Figure5Cell]] = {}
+    for c in cells:
+        index.setdefault((c.technique, c.protection), {})[c.failure] = c
+    for technique in TECHNIQUES:
+        for protection in PROTECTIONS:
+            row = index.get((technique, protection), {})
+            cols = []
+            for failure in FAILURES:
+                cell = row.get(failure)
+                if cell is None:
+                    cols.append(" " * 18)
+                else:
+                    cols.append(
+                        f"{100 * cell.ratio.mean:6.1f}%"
+                        f" ±{100 * cell.ratio.half_width:5.1f}".rjust(18)
+                    )
+            lines.append(f"{technique:9s} {protection:12s} " + "".join(cols))
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    print(render_figure5(run_figure5()))

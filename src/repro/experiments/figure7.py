@@ -1,0 +1,91 @@
+"""Figure 7 — RNP backbone: throughput by failure location.
+
+Boa Vista (SW7) → São Paulo (SW73) over the 28-PoP RNP reconstruction,
+NIP deflection, partial protection {SW17→SW71, SW61→SW67, SW67→SW71,
+SW71→SW73}.  Paper headlines:
+
+* no failure: nominal throughput;
+* SW7–SW13 failure: <5 % reduction (single deterministic alternative
+  SW11→SW17, already covered — one extra hop, no disordering);
+* SW13–SW41 failure: largest reduction (≈40 %) and largest variance
+  (5-way deflection split, 3 of 5 candidates wander);
+* SW41–SW73 failure: ≈30 % reduction (2-way split, both covered, but
+  asymmetric branch lengths disorder packets).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.analysis.stats import MeanCI, mean_ci
+from repro.experiments.common import (
+    DEFAULT_TIMELINE,
+    Timeline,
+    run_failure_experiment,
+    scenario_factory,
+    seeds_from_env,
+)
+from repro.topology.topologies import PARTIAL
+
+__all__ = ["Figure7Point", "run_figure7", "render_figure7", "CASES"]
+
+#: Failure cases in paper order (None = the no-failure reference bar).
+CASES: Tuple[Optional[Tuple[str, str]], ...] = (
+    None, ("SW7", "SW13"), ("SW13", "SW41"), ("SW41", "SW73"),
+)
+
+
+@dataclass(frozen=True)
+class Figure7Point:
+    failure: Optional[Tuple[str, str]]
+    throughput_mbps: MeanCI
+    ratio: MeanCI
+
+    @property
+    def label(self) -> str:
+        if self.failure is None:
+            return "no failure"
+        return f"{self.failure[0]}-{self.failure[1]}"
+
+
+def run_figure7(
+    seeds: Sequence[int] | None = None,
+    timeline: Timeline = DEFAULT_TIMELINE,
+) -> List[Figure7Point]:
+    seeds = list(seeds) if seeds is not None else seeds_from_env()
+    build = scenario_factory("rnp28")
+    points: List[Figure7Point] = []
+    for failure in CASES:
+        outcomes = [
+            run_failure_experiment(
+                build(), "nip", PARTIAL, failure, seed, timeline
+            )
+            for seed in seeds
+        ]
+        points.append(
+            Figure7Point(
+                failure=failure,
+                throughput_mbps=mean_ci([o.failure_mbps for o in outcomes]),
+                ratio=mean_ci([o.ratio for o in outcomes]),
+            )
+        )
+    return points
+
+
+def render_figure7(points: List[Figure7Point]) -> str:
+    lines = [
+        "Fig. 7 — RNP (Boa Vista -> São Paulo), NIP, partial protection",
+        f"{'failure':12s} {'Mbit/s':>18s} {'% of baseline':>20s}",
+    ]
+    for p in points:
+        lines.append(
+            f"{p.label:12s} {p.throughput_mbps.mean:9.2f} "
+            f"±{p.throughput_mbps.half_width:5.2f} "
+            f"{100 * p.ratio.mean:12.1f}% ±{100 * p.ratio.half_width:5.1f}"
+        )
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    print(render_figure7(run_figure7()))

@@ -1,0 +1,144 @@
+"""Header-overhead study (Section 2.3, extended).
+
+The paper notes that the route-ID bit length "should be considered for
+implementation purposes" and offers Table 1 as its only datapoint.
+This module maps the whole trade-off:
+
+* for each scenario topology, the wire bytes of unprotected vs
+  protected route IDs and their share of a 1500-byte MTU;
+* capacity planning: with a fixed header budget (32/64/128-bit route-ID
+  fields), the longest route each ID-assignment strategy supports.
+
+Run as ``python -m repro.experiments.header_overhead``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.rns.bitlength import route_id_bit_length
+from repro.rns.coprime import greedy_coprime_pool, prime_pool
+from repro.rns.wire import header_wire_size
+from repro.topology.topologies import (
+    Scenario,
+    fifteen_node,
+    redundant_path,
+    rnp28,
+    six_node,
+)
+
+__all__ = [
+    "OverheadRow",
+    "scenario_overhead",
+    "capacity_table",
+    "render_overhead_report",
+]
+
+MTU_BYTES = 1500
+
+
+@dataclass(frozen=True)
+class OverheadRow:
+    """Wire cost of one scenario's route ID at one protection level."""
+
+    scenario: str
+    level: str
+    switches: int
+    bits: int
+    wire_bytes: int
+
+    @property
+    def mtu_fraction(self) -> float:
+        return self.wire_bytes / MTU_BYTES
+
+
+def scenario_overhead(scenario: Scenario) -> List[OverheadRow]:
+    """Overhead rows for every protection level of a scenario."""
+    rows: List[OverheadRow] = []
+    for level in scenario.protection_levels():
+        ids = scenario.route_switch_ids() + [
+            scenario.graph.switch_id(s.at) for s in scenario.segments(level)
+        ]
+        modulus = math.prod(ids)
+        rows.append(
+            OverheadRow(
+                scenario=scenario.name,
+                level=level,
+                switches=len(ids),
+                bits=route_id_bit_length(modulus),
+                wire_bytes=header_wire_size(modulus),
+            )
+        )
+    return rows
+
+
+def capacity_table(
+    budgets_bits: Sequence[int] = (32, 64, 128),
+    strategies: Sequence[str] = ("greedy", "prime"),
+    min_value: int = 4,
+    pool_size: int = 64,
+    worst_case: bool = True,
+) -> Dict[str, List[Tuple[int, int]]]:
+    """Max hops per route-ID budget, per ID strategy.
+
+    With ``worst_case=True`` routes run through the *largest* IDs of a
+    *pool_size* network — the provisioning floor an operator must
+    guarantee.  With ``worst_case=False`` they run through the smallest
+    IDs — the best case, where the greedy pool's composite IDs (4, 9,
+    25, ...) buy extra hops over a prime pool.
+    """
+    out: Dict[str, List[Tuple[int, int]]] = {}
+    for strategy in strategies:
+        if strategy == "greedy":
+            pool = greedy_coprime_pool(pool_size, min_value=min_value)
+        elif strategy == "prime":
+            pool = prime_pool(pool_size, min_value=min_value)
+        else:
+            raise ValueError(f"unknown strategy {strategy!r}")
+        ordered = sorted(pool, reverse=worst_case)
+        rows: List[Tuple[int, int]] = []
+        for budget in budgets_bits:
+            product, hops = 1, 0
+            for sid in ordered:
+                if route_id_bit_length(product * sid) > budget:
+                    break
+                product *= sid
+                hops += 1
+            rows.append((budget, hops))
+        out[strategy] = rows
+    return out
+
+
+def render_overhead_report() -> str:
+    lines = [
+        "Route-ID header overhead by scenario and protection level",
+        f"{'scenario':16s} {'level':12s} {'switches':>8s} {'bits':>5s} "
+        f"{'wire bytes':>10s} {'% of MTU':>9s}",
+    ]
+    for build in (six_node, fifteen_node, rnp28, redundant_path):
+        for row in scenario_overhead(build()):
+            lines.append(
+                f"{row.scenario:16s} {row.level:12s} {row.switches:8d} "
+                f"{row.bits:5d} {row.wire_bytes:10d} "
+                f"{100 * row.mtu_fraction:8.2f}%"
+            )
+    for worst, label in ((True, "worst-case (largest IDs)"),
+                         (False, "best-case (smallest IDs)")):
+        lines.append("")
+        lines.append("Capacity: max hops by route-ID field width "
+                     f"(64-switch pool, {label})")
+        table = capacity_table(worst_case=worst)
+        budgets = [b for b, _ in table["greedy"]]
+        lines.append("strategy  " + "".join(f"{b:>8d}b" for b in budgets))
+        for strategy, rows in table.items():
+            lines.append(
+                f"{strategy:9s} "
+                + "".join(f"{hops:>8d} " for _, hops in rows)
+            )
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    print(render_overhead_report())

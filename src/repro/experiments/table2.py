@@ -1,0 +1,11 @@
+"""Table 2 — the related-work feature matrix (see repro.baselines)."""
+
+from __future__ import annotations
+
+from repro.baselines.feature_matrix import TABLE2_ROWS, render_table2
+
+__all__ = ["TABLE2_ROWS", "render_table2"]
+
+
+if __name__ == "__main__":
+    print(render_table2())

@@ -1,0 +1,20 @@
+"""Multipath route IDs (the paper's §5 future work on multiple paths)."""
+
+from repro.multipath.edge import (
+    FAILOVER,
+    FLOW_HASH,
+    POLICIES,
+    ROUND_ROBIN,
+    MultipathEdgeNode,
+)
+from repro.multipath.planner import install_multipath_flow, link_disjoint_paths
+
+__all__ = [
+    "MultipathEdgeNode",
+    "FAILOVER",
+    "ROUND_ROBIN",
+    "FLOW_HASH",
+    "POLICIES",
+    "link_disjoint_paths",
+    "install_multipath_flow",
+]

@@ -1,0 +1,141 @@
+"""Multipath ingress: several route IDs per destination.
+
+The paper's §5 future work: *"we plan to explore the use of multiple
+paths and improve performance indicators in the case of redundant
+links."*  KAR makes multipath natural — a path is just an integer, so
+the edge can hold several per destination and pick one per packet.
+The core stays untouched and stateless.
+
+Three selection policies:
+
+* ``FAILOVER`` — primary route while its first-hop link is up, else
+  the first alternative whose first hop is up.  Edge-local 1+1
+  protection: reacts in zero time, never reorders, and (unlike core
+  deflection) sidesteps the Fig. 8 one-residue constraint entirely —
+  the redundant SW109 branch simply becomes the standby key.
+* ``ROUND_ROBIN`` — per-packet alternation (load balancing; reordering
+  cost measured by the multipath ablation benchmark).
+* ``FLOW_HASH`` — stable choice per transport flow (load balancing
+  without reordering).
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict, List, Optional
+
+from repro.sim.engine import Simulator
+from repro.sim.packet import KarHeader, Packet
+from repro.sim.trace import PacketTracer
+from repro.switches.edge import EdgeNode, IngressEntry
+
+__all__ = ["MultipathEdgeNode", "FAILOVER", "ROUND_ROBIN", "FLOW_HASH",
+           "POLICIES"]
+
+FAILOVER = "failover"
+ROUND_ROBIN = "roundrobin"
+FLOW_HASH = "flowhash"
+POLICIES = (FAILOVER, ROUND_ROBIN, FLOW_HASH)
+
+
+class MultipathEdgeNode(EdgeNode):
+    """Edge node holding multiple ingress entries per destination.
+
+    Single-entry destinations (installed via the plain
+    :meth:`~repro.switches.edge.EdgeNode.install_ingress`) behave
+    exactly like the base edge, so this class is a drop-in replacement.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        sim: Simulator,
+        num_ports: int,
+        tracer: Optional[PacketTracer] = None,
+        **edge_kwargs,
+    ):
+        super().__init__(name, sim, num_ports, tracer=tracer, **edge_kwargs)
+        self._multi: Dict[str, List[IngressEntry]] = {}
+        self._policy: Dict[str, str] = {}
+        self._rr_index: Dict[str, int] = {}
+        self.failovers = 0
+
+    # -- provisioning -----------------------------------------------------
+    def install_multipath(
+        self,
+        dst_host: str,
+        entries: List[IngressEntry],
+        policy: str = FAILOVER,
+    ) -> None:
+        """Install several route IDs for *dst_host* under a policy."""
+        if not entries:
+            raise ValueError("need at least one ingress entry")
+        if policy not in POLICIES:
+            raise ValueError(
+                f"unknown multipath policy {policy!r}; choose from {POLICIES}"
+            )
+        self._multi[dst_host] = list(entries)
+        self._policy[dst_host] = policy
+        self._rr_index[dst_host] = 0
+        # Keep the base table pointing at the primary so existing code
+        # paths (and introspection) see a sensible default.
+        self.install_ingress(dst_host, entries[0])
+
+    def multipath_entries(self, dst_host: str) -> List[IngressEntry]:
+        return list(self._multi.get(dst_host, ()))
+
+    def set_preferred(self, dst_host: str, index: int) -> None:
+        """Promote entry *index* to primary (controller/operator action).
+
+        Edge-local FAILOVER only sees the edge's own uplink state; for a
+        failure deeper in the core, the controller (after a
+        notification) flips the preferred key with this call — one
+        control message, no route recomputation, because the alternates
+        were encoded in advance.
+        """
+        entries = self._multi.get(dst_host)
+        if not entries:
+            raise KeyError(f"no multipath entries for {dst_host!r}")
+        if not 0 <= index < len(entries):
+            raise IndexError(
+                f"entry index {index} out of range (have {len(entries)})"
+            )
+        entries.insert(0, entries.pop(index))
+        self.install_ingress(dst_host, entries[0])
+
+    # -- datapath ----------------------------------------------------------
+    def _ingress_packet(self, packet: Packet) -> None:
+        entries = self._multi.get(packet.dst_host)
+        if not entries:
+            super()._ingress_packet(packet)
+            return
+        entry = self._select(packet, entries)
+        if entry is None:
+            self._drop(packet, "multipath-all-paths-down")
+            return
+        packet.kar = KarHeader(
+            route_id=entry.route_id, modulus=entry.modulus, ttl=entry.ttl
+        )
+        self.encapsulated += 1
+        self.send(entry.out_port, packet)
+
+    def _select(
+        self, packet: Packet, entries: List[IngressEntry]
+    ) -> Optional[IngressEntry]:
+        policy = self._policy[packet.dst_host]
+        if policy == FAILOVER:
+            for i, entry in enumerate(entries):
+                if self.port_up(entry.out_port):
+                    if i > 0:
+                        self.failovers += 1
+                    return entry
+            return None
+        if policy == ROUND_ROBIN:
+            idx = self._rr_index[packet.dst_host]
+            self._rr_index[packet.dst_host] = (idx + 1) % len(entries)
+            return entries[idx]
+        # FLOW_HASH: stable per transport flow (crc32: deterministic
+        # across runs, unlike Python's salted str hash).
+        flow_id = getattr(packet.payload, "flow_id", packet.dst_host)
+        digest = zlib.crc32(str(flow_id).encode("utf-8"))
+        return entries[digest % len(entries)]

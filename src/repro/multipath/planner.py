@@ -1,0 +1,115 @@
+"""Disjoint-path planning and multipath flow installation."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.controller.routing import encode_node_path
+from repro.multipath.edge import FAILOVER, MultipathEdgeNode
+from repro.rns.encoder import EncodedRoute
+from repro.runner import KarSimulation
+from repro.switches.edge import IngressEntry
+from repro.topology.graph import PortGraph, TopologyError
+from repro.topology.paths import NoPathError, path_links, shortest_path
+
+__all__ = ["link_disjoint_paths", "install_multipath_flow"]
+
+
+def link_disjoint_paths(
+    graph: PortGraph,
+    src_edge: str,
+    dst_edge: str,
+    max_paths: int = 2,
+) -> List[List[str]]:
+    """Greedy link-disjoint edge-to-edge paths, shortest first.
+
+    Finds up to *max_paths* paths whose core links are pairwise
+    disjoint (the shared edge-attachment links are unavoidable and
+    exempt).  Returns at least one path or raises
+    :class:`~repro.topology.paths.NoPathError`.
+    """
+    if max_paths < 1:
+        raise ValueError(f"max_paths must be >= 1, got {max_paths}")
+    non_core = [
+        n.name for n in graph.nodes()
+        if n.kind != "core" and n.name not in (src_edge, dst_edge)
+    ]
+    paths: List[List[str]] = []
+    used_links = set()
+    for _ in range(max_paths):
+        try:
+            path = shortest_path(
+                graph, src_edge, dst_edge,
+                forbidden_links=used_links,
+                forbidden_nodes=non_core,
+            )
+        except NoPathError:
+            break
+        paths.append(path)
+        for key in path_links(path):
+            # Edge attachments stay usable for every path.
+            if graph.node(key[0]).kind == "core" and \
+                    graph.node(key[1]).kind == "core":
+                used_links.add(key)
+    if not paths:
+        raise NoPathError(src_edge, dst_edge, "no disjoint paths")
+    return paths
+
+
+def install_multipath_flow(
+    ks: KarSimulation,
+    src_host: str,
+    dst_host: str,
+    policy: str = FAILOVER,
+    max_paths: int = 2,
+    reverse_policy: Optional[str] = None,
+) -> Tuple[List[EncodedRoute], List[EncodedRoute]]:
+    """Install link-disjoint multipath routes between two hosts.
+
+    Requires the simulation to have been built with
+    ``edge_node_cls=MultipathEdgeNode``.
+
+    Returns:
+        (forward_routes, reverse_routes), primaries first.
+    """
+    graph = ks.scenario.graph
+    src_edge = graph.edge_of_host(src_host)
+    dst_edge = graph.edge_of_host(dst_host)
+    ingress = ks.network.node(src_edge)
+    egress = ks.network.node(dst_edge)
+    if not isinstance(ingress, MultipathEdgeNode) or not isinstance(
+        egress, MultipathEdgeNode
+    ):
+        raise TypeError(
+            "multipath needs MultipathEdgeNode edges; build the "
+            "simulation with edge_node_cls=MultipathEdgeNode"
+        )
+
+    paths = link_disjoint_paths(graph, src_edge, dst_edge, max_paths)
+    forward: List[EncodedRoute] = []
+    reverse: List[EncodedRoute] = []
+    fwd_entries: List[IngressEntry] = []
+    rev_entries: List[IngressEntry] = []
+    ttl = ks.controller.default_ttl
+    for path in paths:
+        fwd = encode_node_path(graph, path)
+        rev = encode_node_path(graph, list(reversed(path)))
+        forward.append(fwd)
+        reverse.append(rev)
+        fwd_entries.append(
+            IngressEntry(
+                route_id=fwd.route_id, modulus=fwd.modulus,
+                out_port=graph.port_of(src_edge, path[1]), ttl=ttl,
+            )
+        )
+        rev_entries.append(
+            IngressEntry(
+                route_id=rev.route_id, modulus=rev.modulus,
+                out_port=graph.port_of(dst_edge, path[-2]), ttl=ttl,
+            )
+        )
+    ingress.install_multipath(dst_host, fwd_entries, policy=policy)
+    egress.install_multipath(
+        src_host, rev_entries, policy=reverse_policy or policy
+    )
+    return forward, reverse

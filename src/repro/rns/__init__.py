@@ -1,0 +1,59 @@
+"""Residue Number System route encoding — the core KAR contribution.
+
+Public surface:
+
+* :func:`repro.rns.crt.crt` and friends — CRT arithmetic.
+* :class:`repro.rns.encoder.RouteEncoder` / :class:`~repro.rns.encoder.EncodedRoute`
+  — (switch, port) hops ⇄ integer route IDs, with incremental updates.
+* :mod:`repro.rns.coprime` — switch-ID pool generation/validation.
+* :mod:`repro.rns.bitlength` — header-size analysis (Eq. 9, Table 1).
+"""
+
+from repro.rns.bitlength import (
+    BitLengthReport,
+    bit_length_for_switches,
+    bit_length_growth,
+    max_hops_within_budget,
+    route_id_bit_length,
+)
+from repro.rns.coprime import (
+    greedy_coprime_pool,
+    is_prime,
+    min_id_for_ports,
+    prime_pool,
+    validate_pool,
+)
+from repro.rns.crt import (
+    CrtError,
+    NotCoprimeError,
+    crt,
+    egcd,
+    first_noncoprime_pair,
+    modular_inverse,
+    pairwise_coprime,
+)
+from repro.rns.encoder import DuplicateSwitchError, EncodedRoute, Hop, RouteEncoder
+
+__all__ = [
+    "crt",
+    "egcd",
+    "modular_inverse",
+    "pairwise_coprime",
+    "first_noncoprime_pair",
+    "CrtError",
+    "NotCoprimeError",
+    "Hop",
+    "EncodedRoute",
+    "RouteEncoder",
+    "DuplicateSwitchError",
+    "route_id_bit_length",
+    "bit_length_for_switches",
+    "bit_length_growth",
+    "max_hops_within_budget",
+    "BitLengthReport",
+    "prime_pool",
+    "greedy_coprime_pool",
+    "validate_pool",
+    "is_prime",
+    "min_id_for_ports",
+]

@@ -1,0 +1,188 @@
+"""Number-theoretic primitives behind the KAR route encoding.
+
+KAR (Key-for-Any-Route) represents a forwarding path as a single integer,
+the *route ID*.  Each core switch ``s_i`` on the path must emit the packet
+on output port ``p_i``, and the route ID ``R`` is chosen such that::
+
+    R mod s_i == p_i        for every switch i on the path
+
+This is exactly a system of simultaneous congruences, solvable by the
+Chinese Remainder Theorem (CRT) whenever the moduli (the switch IDs) are
+pairwise coprime.  This module provides the arithmetic core:
+
+* :func:`egcd` — extended Euclidean algorithm,
+* :func:`modular_inverse` — modular multiplicative inverse,
+* :func:`crt` — CRT solver (Eq. 4 of the paper),
+* :func:`pairwise_coprime` — the KAR switch-ID precondition.
+
+All functions operate on plain Python integers, so route IDs of arbitrary
+bit length (Section 2.3 of the paper) are supported without overflow.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence, Tuple
+
+__all__ = [
+    "egcd",
+    "modular_inverse",
+    "crt",
+    "pairwise_coprime",
+    "first_noncoprime_pair",
+    "CrtError",
+    "NotCoprimeError",
+]
+
+
+class CrtError(ValueError):
+    """Raised when a CRT system is malformed (bad residues or moduli)."""
+
+
+class NotCoprimeError(CrtError):
+    """Raised when moduli that must be pairwise coprime are not.
+
+    Attributes:
+        pair: the offending ``(a, b)`` moduli pair.
+        gcd: their greatest common divisor (> 1).
+    """
+
+    def __init__(self, pair: Tuple[int, int], gcd: int):
+        self.pair = pair
+        self.gcd = gcd
+        super().__init__(
+            f"moduli {pair[0]} and {pair[1]} are not coprime (gcd={gcd}); "
+            f"KAR switch IDs must be pairwise coprime"
+        )
+
+
+def egcd(a: int, b: int) -> Tuple[int, int, int]:
+    """Extended Euclidean algorithm.
+
+    Returns ``(g, x, y)`` such that ``a*x + b*y == g == gcd(a, b)``.
+
+    The implementation is iterative, so it is safe for very large route IDs
+    (no recursion-depth limits).
+
+    >>> egcd(44, 7)
+    (1, -1, 7)
+    >>> 44 * -1 + 7 * 7
+    5
+    """
+    old_r, r = a, b
+    old_x, x = 1, 0
+    old_y, y = 0, 1
+    while r != 0:
+        q = old_r // r
+        old_r, r = r, old_r - q * r
+        old_x, x = x, old_x - q * x
+        old_y, y = y, old_y - q * y
+    return old_r, old_x, old_y
+
+
+def modular_inverse(a: int, modulus: int) -> int:
+    """Return ``L`` such that ``(L * a) % modulus == 1`` (Eq. 7/8).
+
+    This is the ``L_i = <M_i^{-1}>_{s_i}`` term of the paper's CRT
+    reconstruction.  Raises :class:`NotCoprimeError` when the inverse does
+    not exist (``gcd(a, modulus) != 1``).
+
+    >>> modular_inverse(77, 4)
+    1
+    >>> modular_inverse(44, 7)
+    4
+    >>> modular_inverse(28, 11)
+    2
+    """
+    if modulus <= 0:
+        raise CrtError(f"modulus must be positive, got {modulus}")
+    g, x, _ = egcd(a % modulus, modulus)
+    if g != 1:
+        raise NotCoprimeError((a, modulus), g)
+    return x % modulus
+
+
+def pairwise_coprime(values: Iterable[int]) -> bool:
+    """Return True iff every pair of *values* has gcd 1.
+
+    KAR requires the set of switch IDs in a network to be pairwise
+    coprime; IDs need not be prime themselves (the paper uses 4, 9, 10...).
+
+    >>> pairwise_coprime([4, 5, 7, 11])
+    True
+    >>> pairwise_coprime([4, 6, 7])
+    False
+    """
+    return first_noncoprime_pair(values) is None
+
+
+def first_noncoprime_pair(values: Iterable[int]) -> Tuple[int, int] | None:
+    """Return the first pair with gcd > 1, or None if pairwise coprime.
+
+    Useful for error messages: the caller learns *which* switch IDs clash.
+    Runs in O(n²) gcd computations, which is fine for network-sized sets
+    (tens to low hundreds of switches).
+    """
+    vals = list(values)
+    for i, a in enumerate(vals):
+        for b in vals[i + 1:]:
+            if math.gcd(a, b) != 1:
+                return (a, b)
+    return None
+
+
+def crt(residues: Sequence[int], moduli: Sequence[int]) -> Tuple[int, int]:
+    """Solve the CRT system ``x ≡ residues[i] (mod moduli[i])``.
+
+    Implements Eq. 4 of the paper::
+
+        R = < sum_i  p_i * M_i * L_i >_M
+
+    with ``M = prod(moduli)``, ``M_i = M / s_i`` and ``L_i`` the modular
+    inverse of ``M_i`` modulo ``s_i``.
+
+    Args:
+        residues: the desired remainders (output-port indexes in KAR).
+        moduli: pairwise-coprime moduli (switch IDs in KAR).
+
+    Returns:
+        ``(R, M)`` where ``R`` is the unique solution in ``[0, M)`` and
+        ``M`` is the product of the moduli.
+
+    Raises:
+        CrtError: on length mismatch, empty system, or residues out of
+            range ``[0, modulus)``.
+        NotCoprimeError: when the moduli are not pairwise coprime.
+
+    >>> crt([0, 2, 0], [4, 7, 11])
+    (44, 308)
+    >>> crt([0, 2, 0, 0], [4, 7, 11, 5])
+    (660, 1540)
+    """
+    if len(residues) != len(moduli):
+        raise CrtError(
+            f"residue/modulus length mismatch: {len(residues)} vs {len(moduli)}"
+        )
+    if not moduli:
+        raise CrtError("cannot solve an empty CRT system")
+    for p, s in zip(residues, moduli):
+        if s <= 1:
+            raise CrtError(f"modulus must be > 1, got {s}")
+        if not 0 <= p < s:
+            raise CrtError(
+                f"residue {p} out of range for modulus {s}: "
+                f"a switch with ID {s} only has ports 0..{s - 1} addressable"
+            )
+    bad = first_noncoprime_pair(moduli)
+    if bad is not None:
+        raise NotCoprimeError(bad, math.gcd(*bad))
+
+    M = 1
+    for s in moduli:
+        M *= s
+    total = 0
+    for p, s in zip(residues, moduli):
+        M_i = M // s
+        L_i = modular_inverse(M_i, s)
+        total += p * M_i * L_i
+    return total % M, M

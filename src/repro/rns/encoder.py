@@ -1,0 +1,206 @@
+"""Route-ID encoding and decoding (the KAR "Key-for-Any-Route").
+
+The controller-side encoder turns a list of ``(switch ID, output port)``
+hops — the primary path plus any *driven deflection forwarding path*
+hops — into a single integer route ID via the CRT (Section 2.2 of the
+paper).  The switch-side decode is a single modulo operation
+(:meth:`EncodedRoute.port_at`).
+
+Because CRT addends are independent and the summation is commutative
+(the paper's key observation in Section 2.2), hop order is irrelevant
+and hops may be added or removed *incrementally* without re-encoding the
+whole route (:meth:`RouteEncoder.with_hop`,
+:meth:`RouteEncoder.without_switch`).  Incremental updates are what make
+partial protection cheap: the controller can fold one extra protection
+switch into an existing route ID in O(1) CRT steps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.rns.crt import CrtError, crt, modular_inverse
+
+__all__ = ["Hop", "EncodedRoute", "RouteEncoder", "DuplicateSwitchError"]
+
+
+class DuplicateSwitchError(CrtError):
+    """A switch ID appears twice in one route.
+
+    KAR's intrinsic constraint (Section 3.2 of the paper): a route ID
+    stores exactly one residue per switch ID, so a switch can have only
+    one output port per route — a path may not visit a switch twice with
+    different exits, and a protection hop cannot override a primary hop.
+    """
+
+    def __init__(self, switch_id: int):
+        self.switch_id = switch_id
+        super().__init__(
+            f"switch ID {switch_id} appears more than once; a KAR route ID "
+            f"can encode only one output port per switch"
+        )
+
+
+@dataclass(frozen=True)
+class Hop:
+    """One forwarding decision: at switch *switch_id*, exit via *port*."""
+
+    switch_id: int
+    port: int
+
+    def __post_init__(self) -> None:
+        if self.switch_id <= 1:
+            raise CrtError(f"switch ID must be > 1, got {self.switch_id}")
+        if not 0 <= self.port < self.switch_id:
+            raise CrtError(
+                f"port {self.port} not addressable by switch ID "
+                f"{self.switch_id} (valid ports: 0..{self.switch_id - 1})"
+            )
+
+
+@dataclass(frozen=True)
+class EncodedRoute:
+    """An encoded route: the integer key plus the hops it encodes.
+
+    Attributes:
+        route_id: the integer placed in the packet header (``R``).
+        modulus: the product of all encoded switch IDs (``M``); the route
+            ID is unique in ``[0, modulus)``.
+        hops: the encoded ``(switch, port)`` pairs, in encoding order
+            (order is cosmetic — the route ID is order-independent).
+    """
+
+    route_id: int
+    modulus: int
+    hops: Tuple[Hop, ...]
+
+    def port_at(self, switch_id: int) -> int:
+        """The forwarding decision a switch makes: ``route_id mod switch_id``.
+
+        This works for *any* switch ID, including switches not encoded in
+        the route — for those the result is effectively pseudo-random,
+        which is exactly what a deflected packet experiences in the wild.
+        """
+        return self.route_id % switch_id
+
+    @property
+    def switch_ids(self) -> Tuple[int, ...]:
+        return tuple(h.switch_id for h in self.hops)
+
+    @property
+    def bit_length(self) -> int:
+        """Header bits required for this route (Eq. 9): ``ceil(log2(M-1))``."""
+        from repro.rns.bitlength import route_id_bit_length
+
+        return route_id_bit_length(self.modulus)
+
+    def encodes(self, switch_id: int) -> bool:
+        """True if *switch_id* has an intentional residue in this route."""
+        return any(h.switch_id == switch_id for h in self.hops)
+
+    def residue_map(self) -> Dict[int, int]:
+        """Mapping ``switch_id -> encoded output port``."""
+        return {h.switch_id: h.port for h in self.hops}
+
+    def __contains__(self, switch_id: int) -> bool:
+        return self.encodes(switch_id)
+
+
+class RouteEncoder:
+    """Controller-side encoder for KAR route IDs.
+
+    Stateless; all methods are pure functions of their inputs.  Kept as a
+    class so controllers can subclass it (e.g. to add header-budget
+    enforcement or alternative encodings).
+    """
+
+    def encode(self, hops: Iterable[Hop]) -> EncodedRoute:
+        """Encode hops into a route ID (Eq. 4).
+
+        Raises:
+            DuplicateSwitchError: if a switch ID repeats.
+            NotCoprimeError: if the switch IDs are not pairwise coprime.
+            CrtError: if a port is out of range for its switch ID.
+        """
+        hop_list = list(hops)
+        seen = set()
+        for h in hop_list:
+            if h.switch_id in seen:
+                raise DuplicateSwitchError(h.switch_id)
+            seen.add(h.switch_id)
+        route_id, modulus = crt(
+            [h.port for h in hop_list], [h.switch_id for h in hop_list]
+        )
+        return EncodedRoute(route_id=route_id, modulus=modulus, hops=tuple(hop_list))
+
+    def encode_path(
+        self, switch_ids: Sequence[int], ports: Sequence[int]
+    ) -> EncodedRoute:
+        """Convenience wrapper: parallel switch-ID / port sequences.
+
+        >>> RouteEncoder().encode_path([4, 7, 11], [0, 2, 0]).route_id
+        44
+        >>> RouteEncoder().encode_path([4, 7, 11, 5], [0, 2, 0, 0]).route_id
+        660
+        """
+        if len(switch_ids) != len(ports):
+            raise CrtError(
+                f"switch/port length mismatch: {len(switch_ids)} vs {len(ports)}"
+            )
+        return self.encode(Hop(s, p) for s, p in zip(switch_ids, ports))
+
+    def decode(self, route_id: int, switch_ids: Sequence[int]) -> List[int]:
+        """Recover the output ports a route ID dictates at each switch.
+
+        This is what the data plane computes, exposed for analysis and
+        testing (Eq. 3: ``p_i = R mod s_i``).
+        """
+        if route_id < 0:
+            raise CrtError(f"route ID must be non-negative, got {route_id}")
+        return [route_id % s for s in switch_ids]
+
+    def with_hop(self, route: EncodedRoute, hop: Hop) -> EncodedRoute:
+        """Fold one extra hop into an existing route ID, incrementally.
+
+        Solves the two-congruence system ``x ≡ R (mod M)``,
+        ``x ≡ port (mod switch_id)`` directly instead of re-running the
+        full CRT — O(1) modular inversions.  This is the primitive behind
+        incremental (partial) protection: the controller can extend a
+        live route with one more driven-deflection hop.
+
+        Raises:
+            DuplicateSwitchError: if the switch is already encoded.
+            NotCoprimeError: if the new ID shares a factor with M.
+        """
+        if route.encodes(hop.switch_id):
+            raise DuplicateSwitchError(hop.switch_id)
+        M, s = route.modulus, hop.switch_id
+        # x = R + M * t  with  (R + M*t) ≡ port (mod s)  =>
+        # t ≡ (port - R) * M^{-1} (mod s)
+        inv = modular_inverse(M, s)  # raises NotCoprimeError when gcd != 1
+        t = ((hop.port - route.route_id) * inv) % s
+        new_id = route.route_id + M * t
+        return EncodedRoute(
+            route_id=new_id, modulus=M * s, hops=route.hops + (hop,)
+        )
+
+    def without_switch(self, route: EncodedRoute, switch_id: int) -> EncodedRoute:
+        """Remove a switch's residue from a route ID.
+
+        The reduced route ID is simply ``R mod (M / s)`` — the CRT
+        projection onto the remaining moduli.  Used when protection hops
+        must be dropped to fit a header-bit budget (loose protection,
+        Section 2.3).
+        """
+        if not route.encodes(switch_id):
+            raise CrtError(f"switch ID {switch_id} is not encoded in this route")
+        new_modulus = route.modulus // switch_id
+        new_hops = tuple(h for h in route.hops if h.switch_id != switch_id)
+        if not new_hops:
+            raise CrtError("cannot remove the last hop of a route")
+        return EncodedRoute(
+            route_id=route.route_id % new_modulus,
+            modulus=new_modulus,
+            hops=new_hops,
+        )

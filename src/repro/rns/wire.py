@@ -1,0 +1,129 @@
+"""Wire format for the KAR shim header.
+
+Section 2.3 of the paper discusses the route-ID field's bit length but
+the prototype patches it into an OpenFlow metadata field; a deployable
+KAR needs an actual header.  This module defines a compact, versioned
+shim (think MPLS-label-like, between L2 and L3) and a byte-exact
+codec:
+
+::
+
+    0               1               2               3
+    +-------+-------+---------------+-------------------------------+
+    | ver=1 | flags |  ttl (8 bit)  |   route-ID length (16 bit, L) |
+    +-------+-------+---------------+-------------------------------+
+    |                  route ID  (L bytes, big endian)              |
+    +---------------------------------------------------------------+
+
+Flags: bit 0 = deflected.  The route-ID field is sized per packet to
+``ceil(bits/8)`` of the route's modulus, so short routes pay only a few
+bytes — the property the paper's partial protection exists to preserve.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.rns.bitlength import route_id_bit_length
+from repro.sim.packet import KarHeader
+
+__all__ = [
+    "WIRE_VERSION",
+    "FIXED_HEADER_BYTES",
+    "WireError",
+    "encode_header",
+    "decode_header",
+    "header_wire_size",
+]
+
+WIRE_VERSION = 1
+
+#: Version/flags byte + TTL byte + 2-byte route-ID length.
+FIXED_HEADER_BYTES = 4
+
+_FLAG_DEFLECTED = 0x01
+
+_FIXED = struct.Struct("!BBH")
+
+
+class WireError(ValueError):
+    """Raised on malformed header bytes or unencodable values."""
+
+
+def header_wire_size(modulus: int) -> int:
+    """Total shim bytes for a route with the given modulus.
+
+    >>> header_wire_size(308)     # 9-bit route ID -> 2 bytes payload
+    6
+    >>> header_wire_size(1540)    # 11 bits -> 2 bytes
+    6
+    """
+    if modulus < 2:
+        raise WireError(f"modulus must be >= 2, got {modulus}")
+    bits = route_id_bit_length(modulus)
+    return FIXED_HEADER_BYTES + (bits + 7) // 8
+
+
+def encode_header(header: KarHeader) -> bytes:
+    """Serialize a :class:`~repro.sim.packet.KarHeader` to bytes.
+
+    The route-ID field length comes from the header's modulus when
+    known (controller-stamped headers), else from the route ID's own
+    magnitude.
+    """
+    if header.route_id < 0:
+        raise WireError(f"route ID must be non-negative: {header.route_id}")
+    if not 0 <= header.ttl <= 255:
+        raise WireError(f"ttl must fit one byte, got {header.ttl}")
+    if header.modulus >= 2:
+        bits = route_id_bit_length(header.modulus)
+        if header.route_id >= header.modulus:
+            raise WireError(
+                f"route ID {header.route_id} out of range for modulus "
+                f"{header.modulus}"
+            )
+    else:
+        bits = max(1, header.route_id.bit_length())
+    length = (bits + 7) // 8
+    flags = _FLAG_DEFLECTED if header.deflected else 0
+    first = (WIRE_VERSION << 4) | flags
+    return _FIXED.pack(first, header.ttl, length) + header.route_id.to_bytes(
+        length, "big"
+    )
+
+
+def decode_header(data: bytes) -> Tuple[KarHeader, int]:
+    """Parse a shim header from the front of *data*.
+
+    Returns:
+        ``(header, consumed_bytes)``.  The decoded header's ``modulus``
+        is 0 (the wire does not carry it; switches never need it).
+
+    Raises:
+        WireError: on truncation, bad version, or zero-length route ID.
+    """
+    if len(data) < FIXED_HEADER_BYTES:
+        raise WireError(
+            f"truncated header: {len(data)} < {FIXED_HEADER_BYTES} bytes"
+        )
+    first, ttl, length = _FIXED.unpack_from(data)
+    version = first >> 4
+    if version != WIRE_VERSION:
+        raise WireError(f"unsupported KAR header version {version}")
+    if length == 0:
+        raise WireError("zero-length route-ID field")
+    end = FIXED_HEADER_BYTES + length
+    if len(data) < end:
+        raise WireError(
+            f"truncated route ID: need {end} bytes, have {len(data)}"
+        )
+    route_id = int.from_bytes(data[FIXED_HEADER_BYTES:end], "big")
+    header = KarHeader(
+        route_id=route_id,
+        modulus=0,
+        deflected=bool(first & _FLAG_DEFLECTED),
+        ttl=ttl,
+    )
+    return header, end

@@ -1,0 +1,40 @@
+"""Packet-level discrete-event network simulator.
+
+This package is the substrate that replaces the paper's Mininet/OVS
+emulation environment: an event engine (:mod:`~repro.sim.engine`),
+links with serialization/queueing/propagation/failure
+(:mod:`~repro.sim.link`), port-based nodes (:mod:`~repro.sim.node`),
+network assembly (:mod:`~repro.sim.network`), failure injection
+(:mod:`~repro.sim.failures`), seeded randomness (:mod:`~repro.sim.rng`)
+and packet tracing (:mod:`~repro.sim.trace`).
+"""
+
+from repro.sim.engine import EventHandle, SimError, Simulator
+from repro.sim.failures import FailureEvent, FailureSchedule
+from repro.sim.link import Channel, ChannelStats, Link
+from repro.sim.network import Network
+from repro.sim.node import Node, NodeError
+from repro.sim.packet import DEFAULT_TTL, KarHeader, Packet
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import DropRecord, HopRecord, PacketTracer
+
+__all__ = [
+    "Simulator",
+    "SimError",
+    "EventHandle",
+    "Link",
+    "Channel",
+    "ChannelStats",
+    "Node",
+    "NodeError",
+    "Network",
+    "Packet",
+    "KarHeader",
+    "DEFAULT_TTL",
+    "RngRegistry",
+    "PacketTracer",
+    "HopRecord",
+    "DropRecord",
+    "FailureSchedule",
+    "FailureEvent",
+]

@@ -1,0 +1,66 @@
+"""Failure injection.
+
+Experiments schedule link failures/repairs on the virtual clock, exactly
+like the paper's scripted Mininet runs (fail at t=30 s, repair at
+t=60 s).  The schedule is declarative so experiment configs can print
+and compare it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.network import Network
+
+__all__ = ["FailureEvent", "FailureSchedule"]
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """One link state flip at an absolute simulation time."""
+
+    time: float
+    a: str
+    b: str
+    up: bool
+
+    def describe(self) -> str:
+        state = "repair" if self.up else "fail"
+        return f"t={self.time:g}s {state} {self.a}-{self.b}"
+
+
+class FailureSchedule:
+    """An ordered list of link failures/repairs to apply to a network."""
+
+    def __init__(self) -> None:
+        self._events: List[FailureEvent] = []
+
+    def fail(self, time: float, a: str, b: str) -> "FailureSchedule":
+        self._events.append(FailureEvent(time, a, b, up=False))
+        return self
+
+    def repair(self, time: float, a: str, b: str) -> "FailureSchedule":
+        self._events.append(FailureEvent(time, a, b, up=True))
+        return self
+
+    def fail_between(self, a: str, b: str, start: float,
+                     end: float) -> "FailureSchedule":
+        """Fail link a-b during [start, end) — the paper's pattern."""
+        if end <= start:
+            raise ValueError(f"repair time {end} must follow failure {start}")
+        return self.fail(start, a, b).repair(end, a, b)
+
+    @property
+    def events(self) -> Tuple[FailureEvent, ...]:
+        return tuple(sorted(self._events, key=lambda e: e.time))
+
+    def install(self, network: "Network") -> None:
+        """Schedule every event on the network's simulator."""
+        for ev in self.events:
+            link = network.link_between(ev.a, ev.b)
+            network.sim.schedule_at(ev.time, link.set_up, ev.up)
+
+    def describe(self) -> str:
+        return "; ".join(ev.describe() for ev in self.events) or "no failures"

@@ -1,0 +1,209 @@
+"""Full-duplex links with serialization, propagation, queueing, failure.
+
+A :class:`Link` joins two node ports and owns two independent
+:class:`Channel` objects (one per direction).  Each channel models:
+
+* **serialization** — packets occupy the transmitter for
+  ``size * 8 / rate`` seconds,
+* **drop-tail queueing** — up to ``queue_packets`` packets wait for the
+  transmitter; overflow is dropped (and reported),
+* **propagation** — delivered to the peer ``delay_s`` after the last
+  bit is serialized,
+* **failure** — a downed link drops queued and in-flight packets and
+  refuses new ones; both directions share the up/down state (a cut
+  fiber kills both), matching how the paper's switches observe "output
+  port is under failure".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, List, Optional
+
+from repro.sim.engine import EventHandle, Simulator
+from repro.sim.packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.node import Node
+
+__all__ = ["Link", "Channel", "ChannelStats"]
+
+
+@dataclass
+class ChannelStats:
+    """Per-direction counters."""
+
+    tx_packets: int = 0
+    tx_bytes: int = 0
+    delivered_packets: int = 0
+    queue_drops: int = 0
+    failure_drops: int = 0
+
+
+class Channel:
+    """One direction of a link: serializer + drop-tail queue + pipe."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rate_mbps: float,
+        delay_s: float,
+        queue_packets: int,
+        deliver: Callable[[Packet], None],
+        drop_hook: Optional[Callable[[Packet, str], None]] = None,
+    ):
+        self._sim = sim
+        self._rate_bps = rate_mbps * 1e6
+        self._delay_s = delay_s
+        self._capacity = queue_packets
+        self._deliver = deliver
+        self._drop_hook = drop_hook
+        self._queue: List[Packet] = []
+        self._busy = False
+        self._up = True
+        self._in_flight: List[EventHandle] = []
+        self.stats = ChannelStats()
+
+    # -- state ---------------------------------------------------------
+    @property
+    def up(self) -> bool:
+        return self._up
+
+    def set_up(self, up: bool) -> None:
+        if up == self._up:
+            return
+        self._up = up
+        if not up:
+            # A cut loses everything queued and on the wire.
+            for pkt in self._queue:
+                self._drop(pkt, "link-down")
+            self._queue.clear()
+            for handle in self._in_flight:
+                handle.cancel()
+                self.stats.failure_drops += 1
+            self._in_flight.clear()
+            self._busy = False
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    # -- datapath ------------------------------------------------------
+    def send(self, packet: Packet) -> bool:
+        """Enqueue *packet* for transmission.
+
+        Returns False (and drops) when the channel is down or the queue
+        is full — the caller has already committed the packet to this
+        port, as a real switch ASIC would have.
+        """
+        if not self._up:
+            self._drop(packet, "link-down")
+            self.stats.failure_drops += 1
+            return False
+        if self._busy:
+            if len(self._queue) >= self._capacity:
+                self._drop(packet, "queue-overflow")
+                self.stats.queue_drops += 1
+                return False
+            self._queue.append(packet)
+            return True
+        self._transmit(packet)
+        return True
+
+    def _transmit(self, packet: Packet) -> None:
+        self._busy = True
+        tx_time = packet.size_bytes * 8 / self._rate_bps
+        self.stats.tx_packets += 1
+        self.stats.tx_bytes += packet.size_bytes
+        self._sim.schedule(tx_time, self._tx_done, packet)
+
+    def _tx_done(self, packet: Packet) -> None:
+        if not self._up:
+            return  # state flipped mid-serialization; packet already lost
+        handle = self._sim.schedule(self._delay_s, self._arrive, packet)
+        self._in_flight.append(handle)
+        if self._queue:
+            self._transmit(self._queue.pop(0))
+        else:
+            self._busy = False
+
+    def _arrive(self, packet: Packet) -> None:
+        # Drop completed handles lazily; the list stays short (one entry
+        # per packet in the propagation pipe).
+        self._in_flight = [h for h in self._in_flight if not h.cancelled
+                           and h.time > self._sim.now]
+        self.stats.delivered_packets += 1
+        self._deliver(packet)
+
+    def _drop(self, packet: Packet, reason: str) -> None:
+        if self._drop_hook is not None:
+            self._drop_hook(packet, reason)
+
+
+class Link:
+    """A full-duplex link between (node_a, port_a) and (node_b, port_b)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_a: "Node",
+        port_a: int,
+        node_b: "Node",
+        port_b: int,
+        rate_mbps: float = 100.0,
+        delay_s: float = 0.001,
+        queue_packets: int = 50,
+        drop_hook: Optional[Callable[[Packet, str], None]] = None,
+    ):
+        self.node_a, self.port_a = node_a, port_a
+        self.node_b, self.port_b = node_b, port_b
+        self.rate_mbps = rate_mbps
+        self._up = True
+        self._ab = Channel(
+            sim, rate_mbps, delay_s, queue_packets,
+            deliver=lambda p: node_b.receive(p, port_b),
+            drop_hook=drop_hook,
+        )
+        self._ba = Channel(
+            sim, rate_mbps, delay_s, queue_packets,
+            deliver=lambda p: node_a.receive(p, port_a),
+            drop_hook=drop_hook,
+        )
+        node_a.attach(port_a, self)
+        node_b.attach(port_b, self)
+
+    @property
+    def up(self) -> bool:
+        return self._up
+
+    def set_up(self, up: bool) -> None:
+        """Bring the link up/down; notifies both endpoint nodes."""
+        if up == self._up:
+            return
+        self._up = up
+        self._ab.set_up(up)
+        self._ba.set_up(up)
+        self.node_a.on_link_state(self.port_a, up)
+        self.node_b.on_link_state(self.port_b, up)
+
+    def channel_from(self, node: "Node") -> Channel:
+        if node is self.node_a:
+            return self._ab
+        if node is self.node_b:
+            return self._ba
+        raise ValueError(f"{node!r} is not an endpoint of this link")
+
+    def peer_of(self, node: "Node") -> "Node":
+        if node is self.node_a:
+            return self.node_b
+        if node is self.node_b:
+            return self.node_a
+        raise ValueError(f"{node!r} is not an endpoint of this link")
+
+    @property
+    def stats_ab(self) -> ChannelStats:
+        return self._ab.stats
+
+    @property
+    def stats_ba(self) -> ChannelStats:
+        return self._ba.stats

@@ -1,0 +1,99 @@
+"""Network assembly: topology description → live simulation objects.
+
+:class:`Network` instantiates one runtime :class:`~repro.sim.node.Node`
+per topology node (using caller-supplied factories, so this module stays
+independent of the KAR dataplane classes) and one
+:class:`~repro.sim.link.Link` per topology link, preserving port
+numbering exactly — the property KAR's modulo forwarding depends on.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.sim.engine import Simulator
+from repro.sim.link import Link
+from repro.sim.node import Node
+from repro.sim.packet import Packet
+from repro.sim.trace import PacketTracer
+from repro.topology.graph import NodeInfo, PortGraph
+
+__all__ = ["Network", "NodeFactory"]
+
+#: A factory builds the runtime node for one topology node.
+NodeFactory = Callable[[NodeInfo, Simulator], Node]
+
+
+class Network:
+    """Live simulation network built from a :class:`PortGraph`.
+
+    Args:
+        graph: the static topology.
+        sim: the event engine to schedule on.
+        factories: node-kind -> factory.  Every kind present in the graph
+            must have a factory.
+        tracer: optional packet tracer shared by all nodes that support
+            one (factories are responsible for passing it to their
+            nodes; the network keeps it here for convenient access).
+    """
+
+    def __init__(
+        self,
+        graph: PortGraph,
+        sim: Simulator,
+        factories: Dict[str, NodeFactory],
+        tracer: Optional[PacketTracer] = None,
+    ):
+        self.graph = graph
+        self.sim = sim
+        self.tracer = tracer
+        self.nodes: Dict[str, Node] = {}
+        self._links: Dict[tuple, Link] = {}
+
+        for info in graph.nodes():
+            factory = factories.get(info.kind)
+            if factory is None:
+                raise ValueError(
+                    f"no factory for node kind {info.kind!r} ({info.name!r})"
+                )
+            node = factory(info, sim)
+            if node.num_ports != info.degree:
+                raise ValueError(
+                    f"factory built {info.name!r} with {node.num_ports} "
+                    f"ports; topology needs {info.degree}"
+                )
+            self.nodes[info.name] = node
+
+        def drop_hook(packet: Packet, reason: str) -> None:
+            if self.tracer is not None:
+                self.tracer.on_drop(sim.now, "<link>", packet, reason)
+
+        for link_info in graph.links():
+            link = Link(
+                sim,
+                self.nodes[link_info.a],
+                link_info.a_port,
+                self.nodes[link_info.b],
+                link_info.b_port,
+                rate_mbps=link_info.rate_mbps,
+                delay_s=link_info.delay_s,
+                queue_packets=link_info.queue_packets,
+                drop_hook=drop_hook,
+            )
+            self._links[link_info.key] = link
+
+    def node(self, name: str) -> Node:
+        try:
+            return self.nodes[name]
+        except KeyError:
+            raise KeyError(f"no node {name!r} in network") from None
+
+    def link_between(self, a: str, b: str) -> Link:
+        key = (a, b) if a <= b else (b, a)
+        try:
+            return self._links[key]
+        except KeyError:
+            raise KeyError(f"no link {a}-{b} in network") from None
+
+    def links(self) -> Dict[tuple, Link]:
+        return dict(self._links)

@@ -1,0 +1,111 @@
+"""Packet tracing and drop accounting.
+
+The tracer is the simulator's ``tcpdump``: switches and edges report
+forwarding decisions, deflections, drops and deliveries to it.  It is
+optional (pass ``None`` for speed) and purely observational — attaching
+a tracer never changes behaviour.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.sim.packet import Packet
+
+__all__ = ["PacketTracer", "HopRecord", "DropRecord"]
+
+
+@dataclass(frozen=True)
+class HopRecord:
+    """One forwarding decision for one packet."""
+
+    time: float
+    node: str
+    in_port: int
+    out_port: int
+    deflected: bool
+
+
+@dataclass(frozen=True)
+class DropRecord:
+    time: float
+    node: str
+    reason: str
+    packet_uid: int
+
+
+@dataclass
+class PacketTracer:
+    """Collects per-packet hop lists, drops, and deliveries.
+
+    Attributes:
+        trace_paths: when False, only aggregate counters are kept (cheap
+            enough for full experiment runs); when True, full per-packet
+            hop lists are retained (for path-level assertions in tests).
+    """
+
+    trace_paths: bool = False
+    forward_count: int = 0
+    deflection_count: int = 0
+    delivered_count: int = 0
+    drop_reasons: Counter = field(default_factory=Counter)
+    hop_histogram: Counter = field(default_factory=Counter)
+    _paths: Dict[int, List[HopRecord]] = field(default_factory=dict)
+    drops: List[DropRecord] = field(default_factory=list)
+    deliveries: Dict[int, Tuple[float, str]] = field(default_factory=dict)
+
+    # -- hooks called by the dataplane ----------------------------------
+    def on_forward(
+        self,
+        time: float,
+        node: str,
+        packet: Packet,
+        in_port: int,
+        out_port: int,
+        deflected: bool,
+    ) -> None:
+        self.forward_count += 1
+        if deflected:
+            self.deflection_count += 1
+        if self.trace_paths:
+            self._paths.setdefault(packet.uid, []).append(
+                HopRecord(time, node, in_port, out_port, deflected)
+            )
+
+    def on_drop(self, time: float, node: str, packet: Packet, reason: str) -> None:
+        self.drop_reasons[reason] += 1
+        if self.trace_paths:
+            self.drops.append(DropRecord(time, node, reason, packet.uid))
+
+    def on_deliver(self, time: float, host: str, packet: Packet) -> None:
+        self.delivered_count += 1
+        self.hop_histogram[packet.hops] += 1
+        if self.trace_paths:
+            self.deliveries[packet.uid] = (time, host)
+
+    # -- queries ---------------------------------------------------------
+    def path_of(self, packet_uid: int) -> List[HopRecord]:
+        if not self.trace_paths:
+            raise RuntimeError("tracer was created with trace_paths=False")
+        return self._paths.get(packet_uid, [])
+
+    def switch_sequence(self, packet_uid: int) -> List[str]:
+        """Node names a packet visited, in order."""
+        return [h.node for h in self.path_of(packet_uid)]
+
+    @property
+    def total_drops(self) -> int:
+        return sum(self.drop_reasons.values())
+
+    def mean_hops(self) -> Optional[float]:
+        total = sum(self.hop_histogram.values())
+        if total == 0:
+            return None
+        return sum(h * c for h, c in self.hop_histogram.items()) / total
+
+    def max_hops(self) -> Optional[int]:
+        if not self.hop_histogram:
+            return None
+        return max(self.hop_histogram)

@@ -1,0 +1,176 @@
+"""The paper's three deflection techniques, plus the no-deflection baseline.
+
+A deflection strategy answers one question per packet: *given the
+modulo-computed output port, which port does the switch actually use?*
+(Section 2.1 of the paper).
+
+* :class:`NoDeflection` — drop when the computed port is unusable (what
+  a plain KeyFlow switch would do; the paper's "no deflection" curve).
+* :class:`HotPotato` (HP) — once a packet has been deflected anywhere,
+  it random-walks: every subsequent switch picks a uniformly random
+  healthy port.  The paper's lower-bound reference.
+* :class:`AnyValidPort` (AVP) — always trust the modulo result when it
+  is a valid, healthy port (even the input port); otherwise pick a
+  uniformly random healthy port, input port included.
+* :class:`NotInputPort` (NIP, Algorithm 1) — like AVP but the input
+  port is never used, neither as computed nor as random choice; this
+  kills two-node ping-pong loops.
+
+Strategies are stateless; randomness comes from the switch's named RNG
+stream so runs are reproducible and techniques are comparable on
+matched seeds.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Protocol, Sequence, Tuple
+
+from repro.sim.packet import Packet
+
+__all__ = [
+    "PortView",
+    "Decision",
+    "DeflectionStrategy",
+    "NoDeflection",
+    "HotPotato",
+    "AnyValidPort",
+    "NotInputPort",
+    "strategy_by_name",
+    "STRATEGY_NAMES",
+]
+
+
+class PortView(Protocol):
+    """The slice of a switch a strategy may look at."""
+
+    @property
+    def num_ports(self) -> int: ...
+
+    def port_up(self, port: int) -> bool: ...
+
+    def healthy_ports(self) -> List[int]: ...
+
+
+@dataclass(frozen=True)
+class Decision:
+    """A strategy's verdict for one packet.
+
+    Attributes:
+        port: the output port, or None to drop.
+        deflected: True when the choice departed from the computed port
+            (the switch then sets the packet's deflected flag).
+    """
+
+    port: Optional[int]
+    deflected: bool = False
+
+    @classmethod
+    def drop(cls) -> "Decision":
+        return cls(port=None)
+
+
+class DeflectionStrategy:
+    """Base class; subclasses implement :meth:`select_port`."""
+
+    #: short name used in configs, reports and benchmark tables.
+    name = "abstract"
+
+    def select_port(
+        self,
+        switch: PortView,
+        packet: Packet,
+        in_port: int,
+        computed_port: int,
+        rng: random.Random,
+    ) -> Decision:
+        raise NotImplementedError
+
+    @staticmethod
+    def _computed_usable(switch: PortView, computed_port: int) -> bool:
+        return computed_port < switch.num_ports and switch.port_up(computed_port)
+
+    @staticmethod
+    def _random_from(candidates: Sequence[int], rng: random.Random) -> Decision:
+        if not candidates:
+            return Decision.drop()
+        return Decision(port=rng.choice(list(candidates)), deflected=True)
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} ({self.name})>"
+
+
+class NoDeflection(DeflectionStrategy):
+    """Forward on the computed port or drop — no failure reaction."""
+
+    name = "none"
+
+    def select_port(self, switch, packet, in_port, computed_port, rng):
+        if self._computed_usable(switch, computed_port):
+            return Decision(port=computed_port)
+        return Decision.drop()
+
+
+class HotPotato(DeflectionStrategy):
+    """HP: after the first deflection the packet random-walks forever."""
+
+    name = "hp"
+
+    def select_port(self, switch, packet, in_port, computed_port, rng):
+        if packet.kar is not None and packet.kar.deflected:
+            # "it follows a complete random path in network"
+            return self._random_from(switch.healthy_ports(), rng)
+        if self._computed_usable(switch, computed_port):
+            return Decision(port=computed_port)
+        return self._random_from(switch.healthy_ports(), rng)
+
+
+class AnyValidPort(DeflectionStrategy):
+    """AVP: modulo result when usable, else a random healthy port."""
+
+    name = "avp"
+
+    def select_port(self, switch, packet, in_port, computed_port, rng):
+        if self._computed_usable(switch, computed_port):
+            return Decision(port=computed_port)
+        return self._random_from(switch.healthy_ports(), rng)
+
+
+class NotInputPort(DeflectionStrategy):
+    """NIP (Algorithm 1): AVP, but never send a packet back where it came.
+
+    The computed port is rejected when it equals the input port, and the
+    input port is excluded from the random fallback set.
+    """
+
+    name = "nip"
+
+    def select_port(self, switch, packet, in_port, computed_port, rng):
+        if (
+            self._computed_usable(switch, computed_port)
+            and computed_port != in_port
+        ):
+            return Decision(port=computed_port)
+        candidates = [p for p in switch.healthy_ports() if p != in_port]
+        return self._random_from(candidates, rng)
+
+
+_REGISTRY = {
+    cls.name: cls
+    for cls in (NoDeflection, HotPotato, AnyValidPort, NotInputPort)
+}
+
+#: Names accepted by :func:`strategy_by_name`, in paper order.
+STRATEGY_NAMES: Tuple[str, ...] = ("none", "hp", "avp", "nip")
+
+
+def strategy_by_name(name: str) -> DeflectionStrategy:
+    """Instantiate a strategy from its short name ('none'/'hp'/'avp'/'nip')."""
+    try:
+        return _REGISTRY[name.lower()]()
+    except KeyError:
+        raise ValueError(
+            f"unknown deflection strategy {name!r}; "
+            f"choose from {sorted(_REGISTRY)}"
+        ) from None

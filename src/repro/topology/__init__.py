@@ -1,0 +1,60 @@
+"""Port-indexed topology substrate and the paper's network scenarios."""
+
+from repro.topology.generators import attach_host_pair, random_connected, ring_lattice
+from repro.topology.serialize import load_scenario, save_scenario
+from repro.topology.zoo import ABILENE_LINKS, abilene, fat_tree
+from repro.topology.graph import LinkInfo, NodeInfo, NodeKind, PortGraph, TopologyError
+from repro.topology.paths import (
+    NoPathError,
+    all_shortest_paths,
+    articulation_links,
+    is_reachable_without,
+    k_shortest_paths,
+    path_links,
+    shortest_path,
+)
+from repro.topology.topologies import (
+    FULL,
+    PARTIAL,
+    RNP_CITY_LABELS,
+    UNPROTECTED,
+    ProtectionSegment,
+    Scenario,
+    fifteen_node,
+    redundant_path,
+    rnp28,
+    six_node,
+)
+
+__all__ = [
+    "PortGraph",
+    "NodeInfo",
+    "LinkInfo",
+    "NodeKind",
+    "TopologyError",
+    "shortest_path",
+    "all_shortest_paths",
+    "k_shortest_paths",
+    "path_links",
+    "is_reachable_without",
+    "articulation_links",
+    "NoPathError",
+    "Scenario",
+    "ProtectionSegment",
+    "six_node",
+    "fifteen_node",
+    "rnp28",
+    "redundant_path",
+    "UNPROTECTED",
+    "PARTIAL",
+    "FULL",
+    "RNP_CITY_LABELS",
+    "random_connected",
+    "ring_lattice",
+    "attach_host_pair",
+    "fat_tree",
+    "abilene",
+    "ABILENE_LINKS",
+    "save_scenario",
+    "load_scenario",
+]

@@ -1,0 +1,144 @@
+"""Deterministic random-topology generators.
+
+Used by property-based tests and ablation benchmarks to exercise KAR on
+networks beyond the paper's two figures.  All generators are seeded and
+pure — the same seed always yields the same topology.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from repro.rns.coprime import greedy_coprime_pool, prime_pool
+from repro.topology.graph import NodeKind, PortGraph
+
+__all__ = ["random_connected", "ring_lattice", "attach_host_pair"]
+
+
+def _switch_ids(count: int, strategy: str, min_value: int) -> List[int]:
+    if strategy == "prime":
+        return prime_pool(count, min_value=min_value)
+    if strategy == "greedy":
+        return greedy_coprime_pool(count, min_value=min_value)
+    raise ValueError(f"unknown ID strategy {strategy!r}; use 'prime' or 'greedy'")
+
+
+def random_connected(
+    num_switches: int,
+    extra_links: int = 0,
+    seed: int = 0,
+    id_strategy: str = "prime",
+    min_switch_id: int = 5,
+    rate_mbps: float = 100.0,
+    delay_s: float = 0.001,
+) -> PortGraph:
+    """A random connected core topology.
+
+    Builds a uniform random spanning tree (guaranteeing connectivity),
+    then adds *extra_links* random chords.  Switch IDs come from the
+    chosen coprime strategy; IDs are assigned large-to-small by node
+    degree after wiring, so the degree < ID invariant holds whenever the
+    pool values allow it.
+
+    Raises:
+        ValueError: if a node's degree ends up >= its assigned ID (choose
+            a larger *min_switch_id* or fewer *extra_links*).
+    """
+    if num_switches < 2:
+        raise ValueError(f"need at least 2 switches, got {num_switches}")
+    rng = random.Random(seed)
+    names = [f"SW{i}" for i in range(num_switches)]
+
+    # Random spanning tree: connect each new node to a random earlier one.
+    tree_links: List[Tuple[str, str]] = []
+    for i in range(1, num_switches):
+        j = rng.randrange(i)
+        tree_links.append((names[j], names[i]))
+
+    # Random chords.
+    existing = {tuple(sorted(l)) for l in tree_links}
+    chords: List[Tuple[str, str]] = []
+    attempts = 0
+    while len(chords) < extra_links and attempts < 50 * (extra_links + 1):
+        attempts += 1
+        a, b = rng.sample(names, 2)
+        key = tuple(sorted((a, b)))
+        if key not in existing:
+            existing.add(key)
+            chords.append((a, b))
+
+    # Degree-aware ID assignment: highest-degree node gets largest ID.
+    degree = {n: 0 for n in names}
+    for a, b in tree_links + chords:
+        degree[a] += 1
+        degree[b] += 1
+    ids = sorted(_switch_ids(num_switches, id_strategy, min_switch_id))
+    by_degree = sorted(names, key=lambda n: degree[n])
+    assignment = dict(zip(by_degree, ids))
+
+    g = PortGraph()
+    for n in names:
+        g.add_node(n, kind=NodeKind.CORE, switch_id=assignment[n])
+    for a, b in tree_links + chords:
+        g.add_link(a, b, rate_mbps=rate_mbps, delay_s=delay_s)
+    for n in names:
+        if g.degree(n) >= assignment[n]:
+            raise ValueError(
+                f"node {n} has degree {g.degree(n)} >= switch ID "
+                f"{assignment[n]}; raise min_switch_id"
+            )
+    return g
+
+
+def ring_lattice(
+    num_switches: int,
+    chord_step: int = 0,
+    id_strategy: str = "prime",
+    min_switch_id: int = 5,
+    rate_mbps: float = 100.0,
+    delay_s: float = 0.001,
+) -> PortGraph:
+    """A ring of switches, optionally with chords every *chord_step* nodes.
+
+    Rings are the classic worst case for hot-potato walks (long cycles),
+    used by the random-walk analysis benches.
+    """
+    if num_switches < 3:
+        raise ValueError(f"a ring needs at least 3 switches, got {num_switches}")
+    ids = _switch_ids(num_switches, id_strategy, min_switch_id)
+    g = PortGraph()
+    names = [f"SW{i}" for i in range(num_switches)]
+    for n, sid in zip(names, ids):
+        g.add_node(n, kind=NodeKind.CORE, switch_id=sid)
+    for i in range(num_switches):
+        g.add_link(names[i], names[(i + 1) % num_switches],
+                   rate_mbps=rate_mbps, delay_s=delay_s)
+    if chord_step > 1:
+        for i in range(0, num_switches, chord_step):
+            j = (i + num_switches // 2) % num_switches
+            if i != j and not g.has_link(names[i], names[j]):
+                g.add_link(names[i], names[j], rate_mbps=rate_mbps,
+                           delay_s=delay_s)
+    return g
+
+
+def attach_host_pair(
+    graph: PortGraph,
+    src_switch: str,
+    dst_switch: str,
+    rate_mbps: float = 100.0,
+    delay_s: float = 0.001,
+) -> Tuple[str, str]:
+    """Attach (host, edge) stacks at two switches; returns the host names.
+
+    Convenience for turning a generated core graph into a measurable
+    scenario: ``H-SRC — E-SRC — src_switch`` and the DST equivalents.
+    """
+    for label, sw in (("SRC", src_switch), ("DST", dst_switch)):
+        edge, host = f"E-{label}", f"H-{label}"
+        graph.add_node(edge, kind=NodeKind.EDGE)
+        graph.add_node(host, kind=NodeKind.HOST)
+        graph.add_link(sw, edge, rate_mbps=rate_mbps, delay_s=delay_s)
+        graph.add_link(edge, host, rate_mbps=rate_mbps, delay_s=delay_s)
+    return "H-SRC", "H-DST"

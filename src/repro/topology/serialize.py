@@ -1,0 +1,140 @@
+"""Scenario (de)serialization to JSON.
+
+Lets users version their topologies and experiment definitions as plain
+files — the role the paper's (unpublished) Mininet topology scripts
+played.  The format is stable and self-describing::
+
+    {
+      "format": "kar-scenario",
+      "version": 1,
+      "name": "...",
+      "nodes": [{"name": "SW7", "kind": "core", "switch_id": 7}, ...],
+      "links": [{"a": "SW7", "b": "SW13", "rate_mbps": 100.0, ...}, ...],
+      "primary_route": ["SW7", ...],
+      "src_host": "...", "dst_host": "...",
+      "protection": {"partial": [["SW17", "SW71"], ...]},
+      ...
+    }
+
+Ports are implied by link order (the graph's own rule), so round trips
+preserve port numbering exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.topology.graph import PortGraph
+from repro.topology.topologies import ProtectionSegment, Scenario
+
+__all__ = ["scenario_to_dict", "scenario_from_dict", "save_scenario",
+           "load_scenario", "FORMAT_NAME", "FORMAT_VERSION"]
+
+FORMAT_NAME = "kar-scenario"
+FORMAT_VERSION = 1
+
+
+def scenario_to_dict(scenario: Scenario) -> Dict[str, Any]:
+    """Serialize a scenario (topology + experiment inputs) to a dict."""
+    graph = scenario.graph
+    return {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "name": scenario.name,
+        "nodes": [
+            {"name": n.name, "kind": n.kind, "switch_id": n.switch_id}
+            for n in graph.nodes()
+        ],
+        "links": [
+            {
+                "a": link.a,
+                "b": link.b,
+                "rate_mbps": link.rate_mbps,
+                "delay_s": link.delay_s,
+                "queue_packets": link.queue_packets,
+            }
+            for link in graph.links()
+        ],
+        "primary_route": list(scenario.primary_route),
+        "src_host": scenario.src_host,
+        "dst_host": scenario.dst_host,
+        "protection": {
+            level: [[s.at, s.to] for s in segs]
+            for level, segs in scenario.protection.items()
+        },
+        "reverse_protection": {
+            level: [[s.at, s.to] for s in segs]
+            for level, segs in scenario.reverse_protection.items()
+        },
+        "reverse_route": (
+            list(scenario.reverse_route) if scenario.reverse_route else None
+        ),
+        "failure_links": [list(pair) for pair in scenario.failure_links],
+        "notes": scenario.notes,
+    }
+
+
+def scenario_from_dict(data: Dict[str, Any]) -> Scenario:
+    """Rebuild a scenario from :func:`scenario_to_dict` output.
+
+    Raises:
+        ValueError: on wrong format marker or unsupported version.
+    """
+    if data.get("format") != FORMAT_NAME:
+        raise ValueError(
+            f"not a {FORMAT_NAME} document (format={data.get('format')!r})"
+        )
+    if data.get("version") != FORMAT_VERSION:
+        raise ValueError(f"unsupported version {data.get('version')!r}")
+
+    graph = PortGraph()
+    for node in data["nodes"]:
+        graph.add_node(node["name"], kind=node["kind"],
+                       switch_id=node["switch_id"])
+    for link in data["links"]:
+        graph.add_link(
+            link["a"], link["b"],
+            rate_mbps=link["rate_mbps"],
+            delay_s=link["delay_s"],
+            queue_packets=link["queue_packets"],
+        )
+    graph.validate()
+
+    def segments(raw) -> tuple:
+        return tuple(ProtectionSegment(at, to) for at, to in raw)
+
+    return Scenario(
+        name=data["name"],
+        graph=graph,
+        primary_route=tuple(data["primary_route"]),
+        src_host=data["src_host"],
+        dst_host=data["dst_host"],
+        protection={
+            level: segments(raw)
+            for level, raw in data.get("protection", {}).items()
+        },
+        reverse_protection={
+            level: segments(raw)
+            for level, raw in data.get("reverse_protection", {}).items()
+        },
+        reverse_route=(
+            tuple(data["reverse_route"]) if data.get("reverse_route") else None
+        ),
+        failure_links=tuple(
+            tuple(pair) for pair in data.get("failure_links", [])
+        ),
+        notes=data.get("notes", ""),
+    )
+
+
+def save_scenario(scenario: Scenario, path: str) -> None:
+    """Write a scenario to a JSON file."""
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(scenario_to_dict(scenario), f, indent=2)
+
+
+def load_scenario(path: str) -> Scenario:
+    """Load a scenario from a JSON file."""
+    with open(path, "r", encoding="utf-8") as f:
+        return scenario_from_dict(json.load(f))

@@ -1,0 +1,96 @@
+"""Reference topologies beyond the paper's figures.
+
+The paper positions KAR "toward core network fabrics" (via KeyFlow) and
+future Internet architectures; these well-known topologies let the test
+suite and benchmarks exercise KAR where readers expect it to live:
+
+* :func:`fat_tree` — the k-ary data-center fat tree (SlickFlow's
+  setting, cited by the paper),
+* :func:`abilene` — the 11-PoP Abilene/Internet2 research backbone (a
+  real intra-domain WAN like the RNP).
+
+Switch IDs are planned automatically with
+:func:`repro.controller.idassign.assign_switch_ids`, demonstrating the
+controller's ID-handling role on networks with no hand-picked IDs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.controller.idassign import assign_switch_ids
+from repro.topology.graph import NodeKind, PortGraph
+
+__all__ = ["fat_tree", "abilene", "ABILENE_LINKS"]
+
+
+def fat_tree(k: int = 4, rate_mbps: float = 100.0,
+             delay_s: float = 0.0001, id_strategy: str = "greedy") -> PortGraph:
+    """A k-ary fat tree of KAR switches (k even, >= 2).
+
+    Structure: (k/2)² core switches; k pods, each with k/2 aggregation
+    and k/2 edge switches.  Every switch has degree k (edge switches
+    keep k/2 ports free for host attachment), so every assigned ID
+    must exceed k — which the ID planner guarantees.
+
+    Node names: ``core-i``, ``agg-p-i``, ``edgesw-p-i`` (p = pod).
+    """
+    if k < 2 or k % 2:
+        raise ValueError(f"fat tree arity must be even and >= 2, got {k}")
+    half = k // 2
+    names: List[str] = [f"core-{i}" for i in range(half * half)]
+    for pod in range(k):
+        names += [f"agg-{pod}-{i}" for i in range(half)]
+        names += [f"edgesw-{pod}-{i}" for i in range(half)]
+
+    # Degrees: every switch can face up to k neighbours.
+    ids = assign_switch_ids({n: k + 1 for n in names}, strategy=id_strategy)
+
+    g = PortGraph()
+    for name in names:
+        g.add_node(name, kind=NodeKind.CORE, switch_id=ids[name])
+    for pod in range(k):
+        for i in range(half):
+            # Aggregation i of each pod uplinks to core row i.
+            for j in range(half):
+                g.add_link(f"agg-{pod}-{i}", f"core-{i * half + j}",
+                           rate_mbps=rate_mbps, delay_s=delay_s)
+            # Full bipartite agg <-> edge inside the pod.
+            for j in range(half):
+                g.add_link(f"agg-{pod}-{i}", f"edgesw-{pod}-{j}",
+                           rate_mbps=rate_mbps, delay_s=delay_s)
+    return g
+
+
+#: The classic Abilene backbone adjacency (11 PoPs, 14 links).
+ABILENE_LINKS: Tuple[Tuple[str, str], ...] = (
+    ("Seattle", "Sunnyvale"), ("Seattle", "Denver"),
+    ("Sunnyvale", "LosAngeles"), ("Sunnyvale", "Denver"),
+    ("LosAngeles", "Houston"), ("Denver", "KansasCity"),
+    ("KansasCity", "Houston"), ("KansasCity", "Indianapolis"),
+    ("Houston", "Atlanta"), ("Indianapolis", "Chicago"),
+    ("Indianapolis", "Atlanta"), ("Chicago", "NewYork"),
+    ("Atlanta", "Washington"), ("NewYork", "Washington"),
+)
+
+
+def abilene(rate_mbps: float = 100.0, delay_s: float = 0.002,
+            id_strategy: str = "greedy") -> PortGraph:
+    """The Abilene/Internet2 backbone as a KAR core."""
+    cities: Dict[str, int] = {}
+    for a, b in ABILENE_LINKS:
+        cities[a] = cities.get(a, 0)
+        cities[b] = cities.get(b, 0)
+        cities[a] += 1
+        cities[b] += 1
+    # Leave one spare port per PoP for edge attachment.
+    ids = assign_switch_ids(
+        {name: deg + 1 for name, deg in cities.items()},
+        strategy=id_strategy,
+    )
+    g = PortGraph()
+    for name in cities:
+        g.add_node(name, kind=NodeKind.CORE, switch_id=ids[name])
+    for a, b in ABILENE_LINKS:
+        g.add_link(a, b, rate_mbps=rate_mbps, delay_s=delay_s)
+    return g

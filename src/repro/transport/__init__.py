@@ -1,0 +1,30 @@
+"""Transports: hosts, TCP Reno/NewReno, UDP probes, iperf-style flows."""
+
+from repro.transport.cubic import CubicTcpSender
+from repro.transport.flow import IperfFlow, IperfResult
+from repro.transport.host import Host, TransportEndpoint
+from repro.transport.reordering import (
+    ReorderingReport,
+    analyze_arrivals,
+    analyze_sequences,
+)
+from repro.transport.tcp import TCP_HEADER_BYTES, TcpReceiver, TcpSegment, TcpSender
+from repro.transport.udp import UdpDatagram, UdpSink, UdpSource
+
+__all__ = [
+    "Host",
+    "TransportEndpoint",
+    "TcpSender",
+    "CubicTcpSender",
+    "TcpReceiver",
+    "TcpSegment",
+    "TCP_HEADER_BYTES",
+    "UdpSource",
+    "UdpSink",
+    "UdpDatagram",
+    "IperfFlow",
+    "IperfResult",
+    "ReorderingReport",
+    "analyze_sequences",
+    "analyze_arrivals",
+]

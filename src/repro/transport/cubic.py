@@ -1,0 +1,86 @@
+"""CUBIC congestion control (RFC 8312 flavour).
+
+The paper's Mininet hosts ran Linux, whose default congestion control
+is CUBIC, not Reno.  This subclass plugs the CUBIC window law into the
+Reno/NewReno machinery of :class:`~repro.transport.tcp.TcpSender`
+(loss detection, recovery, Eifel, RTO are shared), enabling the
+``ablation_tcp_variants`` benchmark: does the paper's measured
+deflection cost depend on the congestion-control flavour?
+
+Implemented per RFC 8312:
+
+* window growth ``W(t) = C (t - K)^3 + W_max`` with
+  ``K = ((W_max (1 - beta)) / C)^(1/3)``,
+* multiplicative decrease by ``beta = 0.7``,
+* fast convergence (shrink the remembered ``W_max`` when a flow backs
+  off twice in a row below its previous peak),
+* TCP-friendly region (never slower than Reno's AIMD estimate).
+
+Windows are computed in segments (as in the RFC) and stored in bytes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.transport.tcp import TcpSender
+
+__all__ = ["CubicTcpSender"]
+
+
+class CubicTcpSender(TcpSender):
+    """TCP sender with CUBIC congestion avoidance."""
+
+    #: RFC 8312 constants.
+    C = 0.4
+    BETA = 0.7
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._w_max = 0.0             # segments, last pre-backoff window
+        self._epoch_start: Optional[float] = None
+        self._k = 0.0
+        self._ack_count = 0           # for the TCP-friendly estimate
+        self._w_est = 0.0
+
+    # ------------------------------------------------------------------
+    # congestion-control hooks
+    # ------------------------------------------------------------------
+    def _grow_cwnd(self, newly: int) -> None:
+        if self.cwnd < self.ssthresh:
+            self.cwnd += min(newly, self.mss)   # slow start, as Reno
+            return
+        now = self.sim.now
+        cwnd_seg = self.cwnd / self.mss
+        if self._epoch_start is None:
+            self._epoch_start = now
+            self._ack_count = 0
+            if self._w_max < cwnd_seg:
+                self._w_max = cwnd_seg
+            self._k = ((self._w_max * (1.0 - self.BETA)) / self.C) ** (1 / 3)
+            self._w_est = cwnd_seg
+        t = now - self._epoch_start
+        rtt = self.srtt if self.srtt is not None else 0.01
+        # Cubic target one RTT ahead.
+        target = self.C * (t + rtt - self._k) ** 3 + self._w_max
+        # TCP-friendly region (RFC 8312 §4.2): Reno-equivalent estimate.
+        self._ack_count += 1
+        self._w_est += 3.0 * (1.0 - self.BETA) / (1.0 + self.BETA) / cwnd_seg
+        target = max(target, self._w_est)
+        if target > cwnd_seg:
+            # Spread the increase over the ACKs of one window.
+            increment = (target - cwnd_seg) / cwnd_seg
+            self.cwnd += min(increment, 1.0) * self.mss
+        else:
+            # Plateau region: creep slowly (RFC: 1% of cwnd per RTT).
+            self.cwnd += 0.01 * self.mss
+
+    def _loss_backoff(self) -> float:
+        cwnd_seg = self.cwnd / self.mss
+        if cwnd_seg < self._w_max:
+            # Fast convergence: release bandwidth for newcomers.
+            self._w_max = cwnd_seg * (1.0 + self.BETA) / 2.0
+        else:
+            self._w_max = cwnd_seg
+        self._epoch_start = None
+        return max(self.cwnd * self.BETA, 2.0 * self.mss)

@@ -1,0 +1,56 @@
+"""End hosts.
+
+A host is a single-port node hanging off an edge.  It demultiplexes
+received packets to registered transport endpoints by flow ID and
+injects packets from its transports into the network.  Hosts know
+nothing about KAR — route IDs are attached/stripped by the edge, so the
+"host protocol" stays decoupled exactly as the paper requires.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Protocol
+
+from repro.sim.engine import Simulator
+from repro.sim.node import Node
+from repro.sim.packet import Packet
+
+__all__ = ["Host", "TransportEndpoint"]
+
+
+class TransportEndpoint(Protocol):
+    """Anything that can consume packets delivered to a host."""
+
+    def on_packet(self, packet: Packet) -> None: ...
+
+
+class Host(Node):
+    """A single-homed end host."""
+
+    def __init__(self, name: str, sim: Simulator, num_ports: int = 1):
+        super().__init__(name, sim, num_ports)
+        self._endpoints: Dict[str, TransportEndpoint] = {}
+        self.rx_packets = 0
+        self.tx_packets = 0
+        self.unmatched = 0
+
+    def register(self, flow_id: str, endpoint: TransportEndpoint) -> None:
+        """Attach a transport endpoint to *flow_id*."""
+        if flow_id in self._endpoints:
+            raise ValueError(f"{self.name}: flow {flow_id!r} already registered")
+        self._endpoints[flow_id] = endpoint
+
+    def inject(self, packet: Packet) -> bool:
+        """Send a packet from this host into the network (port 0)."""
+        packet.src_host = self.name
+        self.tx_packets += 1
+        return self.send(0, packet)
+
+    def receive(self, packet: Packet, in_port: int) -> None:
+        self.rx_packets += 1
+        flow_id = getattr(packet.payload, "flow_id", None)
+        endpoint = self._endpoints.get(flow_id) if flow_id else None
+        if endpoint is None:
+            self.unmatched += 1
+            return
+        endpoint.on_packet(packet)

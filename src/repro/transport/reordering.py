@@ -1,0 +1,84 @@
+"""Packet-reordering metrics (RFC 4737 style).
+
+The paper's central performance observation is that deflection bounds
+*packet disordering* and hence the TCP throughput hit.  These metrics
+quantify disorder from a receiver's arrival log:
+
+* **reordered ratio** — fraction of arrivals whose sequence number is
+  smaller than one already seen (Type-P-Reordered),
+* **displacement histogram** — how far (in arrival positions) reordered
+  packets land from where they should have,
+* **dup-ACK pressure** — arrivals that would generate duplicate ACKs at
+  a cumulative-ACK receiver; the direct cause of spurious fast
+  retransmits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+__all__ = ["ReorderingReport", "analyze_sequences", "analyze_arrivals"]
+
+
+@dataclass(frozen=True)
+class ReorderingReport:
+    """Summary of reordering in one arrival sequence."""
+
+    total: int
+    reordered: int
+    max_displacement: int
+    mean_displacement: float
+    dupack_events: int
+
+    @property
+    def reordered_ratio(self) -> float:
+        return self.reordered / self.total if self.total else 0.0
+
+    def describe(self) -> str:
+        return (
+            f"{self.reordered}/{self.total} reordered "
+            f"({100 * self.reordered_ratio:.2f}%), "
+            f"max displacement {self.max_displacement}, "
+            f"{self.dupack_events} dup-ack events"
+        )
+
+
+def analyze_sequences(sequences: Sequence[int]) -> ReorderingReport:
+    """Compute reordering metrics from sequence numbers in arrival order.
+
+    Sequence numbers may be packet indexes (UDP probe) or byte offsets
+    (TCP); only their relative order matters.  Duplicates (retransmitted
+    data) are treated as in-order arrivals of old data and do not count
+    as reordering.
+    """
+    total = len(sequences)
+    reordered = 0
+    displacements: List[int] = []
+    dupack_events = 0
+
+    max_seen = None
+    # Position where each sequence *should* have arrived: its rank order.
+    rank = {s: i for i, s in enumerate(sorted(set(sequences)))}
+    for position, seq in enumerate(sequences):
+        if max_seen is not None and seq < max_seen:
+            reordered += 1
+            # Displacement: how many later-rank packets arrived first.
+            displacements.append(max(position - rank[seq], 0))
+            dupack_events += 1
+        if max_seen is None or seq > max_seen:
+            max_seen = seq
+
+    mean_disp = sum(displacements) / len(displacements) if displacements else 0.0
+    return ReorderingReport(
+        total=total,
+        reordered=reordered,
+        max_displacement=max(displacements) if displacements else 0,
+        mean_displacement=mean_disp,
+        dupack_events=dupack_events,
+    )
+
+
+def analyze_arrivals(arrivals: Sequence[Tuple[float, int]]) -> ReorderingReport:
+    """Convenience: (time, seq) pairs — e.g. ``TcpReceiver.arrivals``."""
+    return analyze_sequences([seq for _, seq in arrivals])

@@ -1,0 +1,169 @@
+"""Tests for the static protection-coverage analysis.
+
+These encode the paper's own candidate-by-candidate narratives and
+check that `analyze_failure` reproduces them mechanically.
+"""
+
+import pytest
+
+from repro.analysis.coverage import Fate, analyze_failure
+from repro.topology import (
+    FULL,
+    PARTIAL,
+    UNPROTECTED,
+    fifteen_node,
+    redundant_path,
+    rnp28,
+)
+
+
+@pytest.fixture(scope="module")
+def fifteen():
+    return fifteen_node()
+
+
+@pytest.fixture(scope="module")
+def rnp():
+    return rnp28()
+
+
+def _outcomes_by_candidate(report):
+    return {o.candidate: o for o in report.outcomes}
+
+
+class TestFifteenNode:
+    def test_sw10_failure_partial_is_one_third(self, fifteen):
+        # Paper: "there is still 2/3 of packets that will be sent to
+        # switches SW17 or SW37".
+        report = analyze_failure(
+            fifteen.graph, fifteen.primary_route, "E-AS3",
+            fifteen.segments(PARTIAL), ("SW10", "SW7"),
+        )
+        assert report.delivered_fraction == pytest.approx(1 / 3)
+        assert report.wandering_fraction == pytest.approx(2 / 3)
+        by = _outcomes_by_candidate(report)
+        assert by["SW11"].fate == Fate.DRIVEN
+        assert by["SW17"].fate == Fate.WANDERING
+        assert by["SW37"].fate == Fate.WANDERING
+
+    def test_sw10_failure_full_covers_everything(self, fifteen):
+        report = analyze_failure(
+            fifteen.graph, fifteen.primary_route, "E-AS3",
+            fifteen.segments(FULL), ("SW10", "SW7"),
+        )
+        assert report.delivered_fraction == pytest.approx(1.0)
+        assert all(o.fate == Fate.DRIVEN for o in report.outcomes)
+
+    def test_sw7_failure_partial_equals_full(self, fifteen):
+        # Paper: partial had "similar resilient routing than full" here.
+        for level in (PARTIAL, FULL):
+            report = analyze_failure(
+                fifteen.graph, fifteen.primary_route, "E-AS3",
+                fifteen.segments(level), ("SW7", "SW13"),
+            )
+            assert report.delivered_fraction == pytest.approx(1.0), level
+        by = _outcomes_by_candidate(report)
+        # SW9 is never encoded; it delivers because NIP forces the
+        # degree-2 rejoin (FORCED, not DRIVEN).
+        assert by["SW9"].fate == Fate.FORCED
+        assert by["SW11"].fate == Fate.DRIVEN
+
+    def test_sw13_failure_partial_equals_full(self, fifteen):
+        for level in (PARTIAL, FULL):
+            report = analyze_failure(
+                fifteen.graph, fifteen.primary_route, "E-AS3",
+                fifteen.segments(level), ("SW13", "SW29"),
+            )
+            # SW23/SW31 driven, SW19 forced; only the SW9 branch (which
+            # bounces back through SW7 to the deflection point)
+            # re-randomizes.  Partial and full behave identically.
+            assert report.delivered_fraction == pytest.approx(3 / 4), level
+            by = _outcomes_by_candidate(report)
+            assert by["SW23"].fate == Fate.DRIVEN
+            assert by["SW31"].fate == Fate.DRIVEN
+            assert by["SW19"].fate == Fate.FORCED
+            assert by["SW9"].fate == Fate.WANDERING
+
+    def test_unprotected_still_has_forced_paths(self, fifteen):
+        report = analyze_failure(
+            fifteen.graph, fifteen.primary_route, "E-AS3",
+            fifteen.segments(UNPROTECTED), ("SW7", "SW13"),
+        )
+        by = _outcomes_by_candidate(report)
+        assert by["SW9"].fate == Fate.FORCED    # degree-2 rejoin
+        assert by["SW11"].fate == Fate.WANDERING
+
+    def test_candidate_probabilities_uniform(self, fifteen):
+        report = analyze_failure(
+            fifteen.graph, fifteen.primary_route, "E-AS3",
+            fifteen.segments(PARTIAL), ("SW13", "SW29"),
+        )
+        probs = [o.probability for o in report.outcomes]
+        assert sum(probs) == pytest.approx(1.0)
+        assert len(set(probs)) == 1
+
+    def test_bad_failure_link_rejected(self, fifteen):
+        with pytest.raises(Exception, match="not on the route"):
+            analyze_failure(
+                fifteen.graph, fifteen.primary_route, "E-AS3",
+                (), ("SW43", "SW47"),
+            )
+
+
+class TestRnp:
+    def test_sw7_failure_single_forced_alternative(self, rnp):
+        # Paper: "the only alternative path is to SW11 and, then, to
+        # SW17" — SW17 is covered, so delivery is deterministic.
+        report = analyze_failure(
+            rnp.graph, rnp.primary_route, "E-SP",
+            rnp.segments(PARTIAL), ("SW7", "SW13"),
+        )
+        assert len(report.outcomes) == 1
+        (outcome,) = report.outcomes
+        assert outcome.candidate == "SW11"
+        assert outcome.fate == Fate.FORCED
+        assert "SW17" in outcome.path and "SW71" in outcome.path
+
+    def test_sw13_failure_five_candidates_two_covered(self, rnp):
+        report = analyze_failure(
+            rnp.graph, rnp.primary_route, "E-SP",
+            rnp.segments(PARTIAL), ("SW13", "SW41"),
+        )
+        by = _outcomes_by_candidate(report)
+        assert set(by) == {"SW29", "SW17", "SW47", "SW37", "SW71"}
+        assert by["SW17"].fate == Fate.DRIVEN
+        assert by["SW71"].fate == Fate.DRIVEN
+        # Paper: "the other three nodes ... will be deflected until it
+        # finds a node that is part of the main route or protection".
+        for wanderer in ("SW29", "SW47", "SW37"):
+            assert by[wanderer].fate == Fate.WANDERING
+        assert report.delivered_fraction == pytest.approx(2 / 5)
+
+    def test_sw41_failure_both_candidates_driven(self, rnp):
+        report = analyze_failure(
+            rnp.graph, rnp.primary_route, "E-SP",
+            rnp.segments(PARTIAL), ("SW41", "SW73"),
+        )
+        by = _outcomes_by_candidate(report)
+        assert set(by) == {"SW17", "SW61"}
+        assert all(o.fate == Fate.DRIVEN for o in report.outcomes)
+        assert report.delivered_fraction == pytest.approx(1.0)
+
+
+class TestRedundantPath:
+    def test_coin_flip(self):
+        scn = redundant_path()
+        report = analyze_failure(
+            scn.graph, scn.primary_route, "E-DST",
+            scn.segments(PARTIAL), ("SW73", "SW107"),
+        )
+        by = _outcomes_by_candidate(report)
+        assert set(by) == {"SW109", "SW71"}
+        # SW109 branch: forced degree-2 rejoin to the destination.
+        assert by["SW109"].fate == Fate.FORCED
+        # SW71 branch: the driven protection loop returns to SW73, where
+        # the next coin flip is probabilistic — the walk classifies it
+        # WANDERING at the retry point (the paper's geometric retry).
+        assert by["SW71"].fate == Fate.WANDERING
+        assert "SW17" in by["SW71"].path and "SW41" in by["SW71"].path
+        assert by["SW71"].path[-1] == "SW73"  # ...back at the coin

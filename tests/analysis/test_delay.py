@@ -1,0 +1,63 @@
+"""Tests for delay/jitter analysis."""
+
+import pytest
+
+from repro.analysis.delay import analyze_delays, rfc3550_jitter
+from repro.runner import KarSimulation
+from repro.topology import PARTIAL, fifteen_node
+
+
+class TestJitter:
+    def test_constant_delays_zero_jitter(self):
+        assert rfc3550_jitter([0.01] * 50) == 0.0
+
+    def test_alternating_delays_converge(self):
+        # |D| is constantly 1 ms; the EWMA converges toward 1 ms.
+        series = [0.001 if i % 2 else 0.002 for i in range(500)]
+        assert rfc3550_jitter(series) == pytest.approx(0.001, rel=0.01)
+
+    def test_single_or_empty_series(self):
+        assert rfc3550_jitter([]) == 0.0
+        assert rfc3550_jitter([0.5]) == 0.0
+
+
+class TestDelayReport:
+    def test_summary_fields(self):
+        delays = [0.001 * (i + 1) for i in range(100)]
+        report = analyze_delays(delays)
+        assert report.count == 100
+        assert report.mean == pytest.approx(0.0505)
+        assert report.p50 == pytest.approx(0.050, abs=0.002)
+        assert report.p95 == pytest.approx(0.095, abs=0.002)
+        assert report.max == pytest.approx(0.100)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            analyze_delays([])
+
+    def test_describe_in_milliseconds(self):
+        text = analyze_delays([0.001, 0.002]).describe()
+        assert "ms" in text and "n=2" in text
+
+
+class TestDeflectionJitter:
+    def test_failure_raises_jitter_and_tail(self):
+        """The paper's premise: deflection inflates jitter/tail delay."""
+
+        def run(fail: bool):
+            ks = KarSimulation(
+                fifteen_node(rate_mbps=20.0, delay_s=0.0002),
+                deflection="nip", protection=PARTIAL, seed=4,
+            )
+            if fail:
+                ks.schedule_failure("SW7", "SW13", at=0.5)
+            src, sink = ks.add_udp_probe(rate_pps=300, duration_s=2.0)
+            src.start(at=1.0)
+            ks.run(until=5.0)
+            return analyze_delays([a[2] for a in sink.arrivals])
+
+        clean = run(fail=False)
+        failed = run(fail=True)
+        assert failed.jitter > clean.jitter
+        assert failed.p99 > clean.p99
+        assert failed.mean > clean.mean

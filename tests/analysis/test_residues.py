@@ -1,0 +1,84 @@
+"""Tests for residue statistics at unencoded switches."""
+
+import random
+
+import pytest
+
+from repro.analysis.residues import (
+    expected_random_hops_fraction,
+    network_residue_profiles,
+    residue_profile,
+)
+from repro.rns import RouteEncoder
+from repro.topology import fifteen_node, rnp28
+
+
+class TestProfiles:
+    def test_fifteen_node_values(self):
+        scn = fifteen_node()
+        p7 = residue_profile(scn.graph, "SW7")  # ID 7, degree 4
+        assert p7.p_valid == pytest.approx(4 / 7)
+        assert p7.p_invalid == pytest.approx(3 / 7)
+        assert p7.p_deterministic_nip() == pytest.approx(3 / 7)
+
+    def test_rnp_sw13_is_most_capturing(self):
+        # SW13: ID 13, degree 7 — the highest accidental validity in the
+        # RNP core, which the paper's 3.2 narrative leans on.
+        scn = rnp28()
+        profiles = network_residue_profiles(scn.graph)
+        assert profiles[0].switch == "SW13"
+        assert profiles[0].p_valid == pytest.approx(7 / 13)
+
+    def test_profiles_sorted(self):
+        scn = fifteen_node()
+        values = [p.p_valid for p in network_residue_profiles(scn.graph)]
+        assert values == sorted(values, reverse=True)
+
+    def test_non_core_rejected(self):
+        scn = fifteen_node()
+        with pytest.raises(ValueError):
+            residue_profile(scn.graph, "E-AS1")
+
+    def test_degree_one_never_deterministic(self):
+        from repro.topology import PortGraph
+
+        g = PortGraph()
+        g.add_node("A", switch_id=7)
+        g.add_node("B", switch_id=11)
+        g.add_link("A", "B")
+        assert residue_profile(g, "A").p_deterministic_nip() == 0.0
+
+
+class TestMonteCarloAgreement:
+    def test_p_valid_matches_sampled_route_ids(self):
+        # Empirically: encode many random routes that do NOT include
+        # SW19, and check how often SW19's residue lands on a valid
+        # port.  Must agree with degree/switch_id.
+        scn = fifteen_node()
+        g = scn.graph
+        profile = residue_profile(g, "SW19")
+        encoder = RouteEncoder()
+        rng = random.Random(5)
+        pool = [10, 7, 13, 29, 11, 23]  # never 19
+        hits = trials = 0
+        for _ in range(2000):
+            ports = [rng.randrange(min(s, 5)) for s in pool]
+            route = encoder.encode_path(pool, ports)
+            trials += 1
+            if route.port_at(19) < profile.degree:
+                hits += 1
+        assert hits / trials == pytest.approx(profile.p_valid, abs=0.05)
+
+
+class TestWalkFraction:
+    def test_mean_over_visited(self):
+        scn = fifteen_node()
+        value = expected_random_hops_fraction(scn.graph, ["SW7", "SW13"])
+        p7 = 1 - residue_profile(scn.graph, "SW7").p_deterministic_nip()
+        p13 = 1 - residue_profile(scn.graph, "SW13").p_deterministic_nip()
+        assert value == pytest.approx((p7 + p13) / 2)
+
+    def test_empty_rejected(self):
+        scn = fifteen_node()
+        with pytest.raises(ValueError):
+            expected_random_hops_fraction(scn.graph, [])

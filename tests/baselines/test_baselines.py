@@ -1,0 +1,146 @@
+"""Tests for the executable baselines and the Table 2 matrix."""
+
+import random
+
+import pytest
+
+from repro.baselines.fastfailover import (
+    FastFailoverStrategy,
+    FastFailoverSwitch,
+    plan_backup_ports,
+)
+from repro.baselines.feature_matrix import TABLE2_ROWS, render_table2
+from repro.baselines.repair import ControllerRepair
+from repro.runner import KarSimulation
+from repro.sim import Simulator
+from repro.topology import UNPROTECTED, fifteen_node, six_node
+
+
+class TestFeatureMatrix:
+    def test_eight_rows_ending_with_kar(self):
+        assert len(TABLE2_ROWS) == 8
+        assert TABLE2_ROWS[-1].system == "KAR"
+
+    def test_kar_cell_values(self):
+        kar = TABLE2_ROWS[-1]
+        assert kar.cells() == ("KAR", "Yes", "Yes", "Stateless")
+
+    def test_render_contains_header_and_all_systems(self):
+        text = render_table2()
+        assert "Support multiple link failures" in text
+        for row in TABLE2_ROWS:
+            assert row.system in text
+
+
+class TestFastFailoverStrategy:
+    class FakeSwitch:
+        def __init__(self, num_ports, down=()):
+            self._n, self._down = num_ports, set(down)
+
+        @property
+        def num_ports(self):
+            return self._n
+
+        def port_up(self, p):
+            return 0 <= p < self._n and p not in self._down
+
+        def healthy_ports(self):
+            return [p for p in range(self._n) if self.port_up(p)]
+
+    def test_primary_used_when_up(self):
+        strat = FastFailoverStrategy({1: 2})
+        d = strat.select_port(self.FakeSwitch(3), None, 0, 1, random.Random(0))
+        assert (d.port, d.deflected) == (1, False)
+
+    def test_backup_used_when_primary_down(self):
+        strat = FastFailoverStrategy({1: 2})
+        d = strat.select_port(
+            self.FakeSwitch(3, down={1}), None, 0, 1, random.Random(0)
+        )
+        assert (d.port, d.deflected) == (2, True)
+
+    def test_drop_when_backup_down_too(self):
+        strat = FastFailoverStrategy({1: 2})
+        d = strat.select_port(
+            self.FakeSwitch(3, down={1, 2}), None, 0, 1, random.Random(0)
+        )
+        assert d.port is None
+
+    def test_drop_without_backup(self):
+        strat = FastFailoverStrategy({})
+        d = strat.select_port(
+            self.FakeSwitch(3, down={1}), None, 0, 1, random.Random(0)
+        )
+        assert d.port is None
+
+    def test_switch_wrapper_install(self):
+        sim = Simulator()
+        sw = FastFailoverSwitch("S", sim, 3, 7, random.Random(0))
+        sw.install_backup(1, 2)
+        assert sw.strategy.backups == {1: 2}
+
+
+class TestPlanBackupPorts:
+    def test_plans_for_each_route_switch(self):
+        scn = fifteen_node()
+        plans = plan_backup_ports(
+            scn.graph, scn.primary_route,
+            scn.graph.edge_of_host(scn.dst_host),
+        )
+        # Every route switch with an alternative path gets a backup.
+        # (The egress switch SW29 has none: its link to the edge is the
+        # only way to reach the destination.)
+        for sw in scn.primary_route[:-1]:
+            assert sw in plans, sw
+            for primary, backup in plans[sw].items():
+                assert primary != backup
+                assert backup < scn.graph.degree(sw)
+        assert scn.primary_route[-1] not in plans
+
+    def test_backup_avoids_failed_next_hop(self):
+        scn = fifteen_node()
+        plans = plan_backup_ports(
+            scn.graph, scn.primary_route,
+            scn.graph.edge_of_host(scn.dst_host),
+        )
+        g = scn.graph
+        primary_port = g.port_of("SW7", "SW13")
+        backup_port = plans["SW7"][primary_port]
+        assert g.neighbor_on_port("SW7", backup_port) != "SW13"
+
+
+class TestControllerRepair:
+    def test_repair_installs_detour(self):
+        scn = six_node(rate_mbps=50.0, delay_s=0.0002)
+        ks = KarSimulation(scn, deflection="none", protection=UNPROTECTED,
+                           seed=1)
+        repair = ControllerRepair(ks, reaction_delay_s=0.3)
+        repair.arm("SW7", "SW11", fail_at=1.0, repair_at=3.0)
+        src, sink = ks.add_udp_probe(rate_pps=100, duration_s=3.5)
+        src.start(at=0.5)
+        ks.run(until=5.0)
+
+        assert repair.repairs_installed == 1
+        assert repair.restores_installed == 1
+        # Packets during the reaction window (1.0 - 1.3 s) died; before
+        # and after they flow.
+        ratio = sink.delivery_ratio(src.sent)
+        assert 0.7 < ratio < 1.0
+        drops = ks.tracer.drop_reasons
+        assert drops["no-usable-port(none)"] > 0
+
+    def test_no_deflection_without_repair_loses_everything(self):
+        scn = six_node(rate_mbps=50.0, delay_s=0.0002)
+        ks = KarSimulation(scn, deflection="none", protection=UNPROTECTED,
+                           seed=1)
+        ks.schedule_failure("SW7", "SW11", at=1.0, repair_at=3.0)
+        src, sink = ks.add_udp_probe(rate_pps=100, duration_s=1.5)
+        src.start(at=1.2)  # entirely inside the failure
+        ks.run(until=5.0)
+        assert sink.received == 0
+
+    def test_validation(self):
+        scn = six_node()
+        ks = KarSimulation(scn, seed=0)
+        with pytest.raises(ValueError):
+            ControllerRepair(ks, reaction_delay_s=-1.0)

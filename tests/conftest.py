@@ -1,0 +1,25 @@
+"""Shared pytest configuration.
+
+The CI box for this repository is a single-core VM, so the hypothesis
+profile is tuned down from the library defaults: enough examples to
+exercise the properties, few enough to keep the suite fast.  Export
+``HYPOTHESIS_PROFILE=thorough`` for a deeper run.
+"""
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "fast",
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "thorough",
+    max_examples=200,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "fast"))

@@ -1,0 +1,79 @@
+"""Tests for the KAR controller (flow install + re-encode service)."""
+
+import pytest
+
+from repro.controller import KarController
+from repro.runner import KarSimulation
+from repro.switches.edge import EdgeNode
+from repro.topology import FULL, UNPROTECTED, six_node
+
+
+@pytest.fixture
+def ks():
+    return KarSimulation(six_node(), deflection="nip", protection=FULL, seed=0)
+
+
+class TestInstallFlow:
+    def test_paper_route_ids(self, ks):
+        assert ks.primary_forward.route_id == 660  # protected, Fig. 1b
+        assert ks.primary_forward.modulus == 1540
+        # Reverse path SW11 -> SW7 -> SW4 (unprotected).
+        g = ks.scenario.graph
+        expected = {
+            11: g.port_of("SW11", "SW7"),
+            7: g.port_of("SW7", "SW4"),
+            4: g.port_of("SW4", "E-S"),
+        }
+        assert ks.primary_reverse.residue_map() == expected
+
+    def test_ingress_entries_installed(self, ks):
+        ingress = ks.network.node("E-S")
+        assert isinstance(ingress, EdgeNode)
+        entry = ingress.ingress_entry("D")
+        assert entry is not None
+        assert entry.route_id == 660
+        egress = ks.network.node("E-D")
+        assert egress.ingress_entry("S") is not None
+
+    def test_unprotected_level(self):
+        ks = KarSimulation(six_node(), protection=UNPROTECTED, seed=0)
+        assert ks.primary_forward.route_id == 44
+        assert ks.primary_forward.modulus == 308
+
+
+class TestReencodeService:
+    def test_reencode_returns_route_to_host(self, ks):
+        entry = ks.controller.reencode("E-S", "D")
+        assert entry is not None
+        # Shortest path E-S -> E-D is via SW4, SW7, SW11 -> R = 44.
+        assert entry.route_id == 44
+        assert entry.out_port == ks.scenario.graph.port_of("E-S", "SW4")
+
+    def test_reencode_unknown_host(self, ks):
+        assert ks.controller.reencode("E-S", "NOBODY") is None
+
+    def test_reencode_cached(self, ks):
+        first = ks.controller.reencode("E-S", "D")
+        second = ks.controller.reencode("E-S", "D")
+        assert first is second
+        assert ks.controller.reencodes_served == 2
+
+    def test_control_rtt_property(self, ks):
+        assert ks.controller.control_rtt_s > 0
+
+
+class TestEncodeRoute:
+    def test_explicit_path_with_protection(self, ks):
+        from repro.topology import ProtectionSegment
+
+        route = ks.controller.encode_route(
+            "E-S", ["SW4", "SW7", "SW11"], "E-D",
+            protection=[ProtectionSegment("SW5", "SW11")],
+        )
+        assert route.route_id == 660
+
+    def test_install_flow_rejects_non_edge(self, ks):
+        with pytest.raises(TypeError):
+            ks.controller._install_entry(
+                ks.network, "SW4", "D", "SW7", ks.primary_forward
+            )

@@ -1,0 +1,55 @@
+"""Tests for switch-ID assignment."""
+
+import math
+
+import pytest
+
+from repro.controller import AssignmentError, assign_switch_ids
+from repro.rns import pairwise_coprime
+
+
+class TestAssignment:
+    def test_basic(self):
+        ids = assign_switch_ids({"A": 2, "B": 3, "C": 4})
+        assert pairwise_coprime(ids.values())
+        for name, deg in (("A", 2), ("B", 3), ("C", 4)):
+            assert ids[name] > deg - 1
+            assert ids[name] >= 2
+
+    def test_high_degree_gets_large_enough_id(self):
+        ids = assign_switch_ids({"HUB": 20, "leaf1": 1, "leaf2": 1})
+        assert ids["HUB"] >= 20
+
+    def test_greedy_product_not_larger_than_prime(self):
+        degrees = {f"n{i}": 3 for i in range(12)}
+        greedy = math.prod(assign_switch_ids(degrees, "greedy").values())
+        prime = math.prod(assign_switch_ids(degrees, "prime").values())
+        assert greedy <= prime
+
+    def test_prime_strategy_all_prime(self):
+        from repro.rns import is_prime
+
+        ids = assign_switch_ids({f"n{i}": 2 for i in range(8)}, "prime")
+        assert all(is_prime(v) for v in ids.values())
+
+    def test_deterministic(self):
+        degrees = {"A": 5, "B": 2, "C": 7}
+        assert assign_switch_ids(degrees) == assign_switch_ids(degrees)
+
+    def test_empty_rejected(self):
+        with pytest.raises(AssignmentError):
+            assign_switch_ids({})
+
+    def test_negative_degree_rejected(self):
+        with pytest.raises(AssignmentError):
+            assign_switch_ids({"A": -1})
+
+    def test_unknown_strategy(self):
+        with pytest.raises(AssignmentError, match="unknown strategy"):
+            assign_switch_ids({"A": 2}, "fibonacci")
+
+    def test_large_network(self):
+        degrees = {f"n{i}": (i % 7) + 1 for i in range(60)}
+        ids = assign_switch_ids(degrees)
+        assert len(set(ids.values())) == 60
+        assert pairwise_coprime(ids.values())

@@ -1,0 +1,105 @@
+"""Tests for failure-notification plumbing and the reactive baseline."""
+
+import pytest
+
+from repro.runner import KarSimulation
+from repro.topology import UNPROTECTED, fifteen_node
+
+
+def _sim(deflection="none", reactive=False, delay_s=0.05):
+    ks = KarSimulation(
+        fifteen_node(rate_mbps=20.0, delay_s=0.0002),
+        deflection=deflection, protection=UNPROTECTED, seed=13,
+    )
+    service = ks.enable_notifications(reactive=reactive, delay_s=delay_s)
+    return ks, service
+
+
+class TestLogging:
+    def test_both_endpoints_notify(self):
+        ks, service = _sim()
+        ks.schedule_failure("SW7", "SW13", at=1.0, repair_at=2.0)
+        ks.run(until=3.0)
+        events = service.notifications_for("SW7", "SW13")
+        downs = [n for n in events if not n.up]
+        ups = [n for n in events if n.up]
+        assert len(downs) == 2   # SW7 and SW13 both saw carrier loss
+        assert len(ups) == 2
+        assert {n.switch for n in downs} == {"SW7", "SW13"}
+
+    def test_notification_latency(self):
+        ks, service = _sim(delay_s=0.05)
+        ks.schedule_failure("SW7", "SW13", at=1.0)
+        ks.run(until=2.0)
+        first = service.notifications_for("SW7", "SW13")[0]
+        assert first.received_at == pytest.approx(1.05)
+
+    def test_ignoring_mode_keeps_routes(self):
+        # Paper mode: the controller logs but the ingress entry stays.
+        ks, service = _sim(reactive=False)
+        ingress = ks.network.node("E-AS1")
+        before = ingress.ingress_entry("H-AS3").route_id
+        ks.schedule_failure("SW7", "SW13", at=1.0, repair_at=2.0)
+        ks.run(until=3.0)
+        assert ingress.ingress_entry("H-AS3").route_id == before
+        assert service.reroutes == 0
+        assert not service.down_links  # repaired
+
+    def test_describe(self):
+        ks, service = _sim()
+        ks.schedule_failure("SW7", "SW13", at=1.0)
+        ks.run(until=2.0)
+        text = service.describe()
+        assert "ignoring" in text and "2 notifications" in text
+
+    def test_double_wire_rejected(self):
+        ks, service = _sim()
+        with pytest.raises(RuntimeError, match="already wired"):
+            service.wire()
+
+    def test_bad_delay(self):
+        ks = KarSimulation(fifteen_node(), seed=0)
+        with pytest.raises(ValueError):
+            ks.enable_notifications(delay_s=-1.0)
+
+
+class TestReactiveBaseline:
+    def test_reroute_after_notification(self):
+        ks, service = _sim(deflection="none", reactive=True, delay_s=0.05)
+        ingress = ks.network.node("E-AS1")
+        original = ingress.ingress_entry("H-AS3").route_id
+        ks.schedule_failure("SW7", "SW13", at=1.0, repair_at=3.0)
+        src, sink = ks.add_udp_probe(rate_pps=200, duration_s=1.5)
+        src.start(at=0.5)
+        ks.run(until=5.0)
+
+        # Packets during the notification window died; the rest flowed
+        # over the recomputed detour.
+        assert service.reroutes >= 1
+        assert service.restores >= 1
+        assert 0.8 < sink.delivery_ratio(src.sent) < 1.0
+        # After repair, the original route is restored.
+        assert ingress.ingress_entry("H-AS3").route_id == original
+
+    def test_reactive_loss_window_scales_with_delay(self):
+        def lost(delay_s):
+            ks, service = _sim(deflection="none", reactive=True,
+                               delay_s=delay_s)
+            ks.schedule_failure("SW7", "SW13", at=1.0, repair_at=3.0)
+            src, sink = ks.add_udp_probe(rate_pps=500, duration_s=1.5)
+            src.start(at=0.5)
+            ks.run(until=5.0)
+            return src.sent - sink.received
+
+        assert lost(0.2) > lost(0.02)
+
+    def test_kar_deflection_needs_no_notifications(self):
+        # The punchline: with NIP deflection and the controller
+        # *ignoring* every notification, nothing is lost at all.
+        ks, service = _sim(deflection="nip", reactive=False)
+        ks.schedule_failure("SW7", "SW13", at=1.0, repair_at=3.0)
+        src, sink = ks.add_udp_probe(rate_pps=500, duration_s=1.5)
+        src.start(at=0.5)
+        ks.run(until=5.0)
+        assert sink.received == src.sent
+        assert service.reroutes == 0

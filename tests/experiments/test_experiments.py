@@ -1,0 +1,96 @@
+"""Tests for the experiment modules (fast paths only — the full runs
+live in benchmarks/)."""
+
+import pytest
+
+from repro.experiments import common, figure8, table1, table2
+
+
+class TestTable1:
+    def test_matches_paper(self):
+        rows = table1.compute_table1()
+        assert [(r.bit_length, r.switch_count) for r in rows] == [
+            (15, 4), (28, 7), (43, 10),
+        ]
+
+    def test_render_contains_rows(self):
+        text = table1.render_table1()
+        for token in ("Unprotected", "Partial protection",
+                      "Full protection", "15", "28", "43"):
+            assert token in text
+
+
+class TestTable2:
+    def test_render(self):
+        text = table2.render_table2()
+        assert "KAR" in text
+
+
+class TestCommon:
+    def test_scenario_factories(self):
+        for name in ("fifteen_node", "rnp28", "redundant_path"):
+            scn = common.scenario_factory(name)()
+            assert scn.name == name
+            # Standard experiment parameters applied.
+            link = scn.graph.links()[0]
+            assert link.rate_mbps <= common.SCENARIO_RATE_MBPS
+
+    def test_unknown_scenario(self):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            common.scenario_factory("mininet")
+
+    def test_seeds_from_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SEEDS", raising=False)
+        assert common.seeds_from_env(default=4) == [1, 2, 3, 4]
+        monkeypatch.setenv("REPRO_SEEDS", "2")
+        assert common.seeds_from_env() == [1, 2]
+        monkeypatch.setenv("REPRO_SEEDS", "0")
+        with pytest.raises(ValueError):
+            common.seeds_from_env()
+
+    def test_run_outcome_ratio(self):
+        class FakeIperf:
+            pass
+
+        outcome = common.RunOutcome(
+            baseline_mbps=20.0, failure_mbps=15.0, iperf=FakeIperf()
+        )
+        assert outcome.ratio == pytest.approx(0.75)
+        zero = common.RunOutcome(0.0, 1.0, FakeIperf())
+        assert zero.ratio == 0.0
+
+    def test_single_run_experiment(self):
+        # One short end-to-end run through the experiment plumbing.
+        timeline = common.Timeline(
+            flow_start=0.1, fail_at=0.8, repair_at=1.6, end=2.4,
+            baseline_window=(0.4, 0.8), failure_window=(1.0, 1.6),
+            sample_interval_s=0.2,
+        )
+        scn = common.scenario_factory("fifteen_node")()
+        outcome = common.run_failure_experiment(
+            scn, "nip", "partial", ("SW7", "SW13"), seed=1,
+            timeline=timeline,
+        )
+        assert outcome.baseline_mbps > 0
+        assert 0.0 <= outcome.ratio <= 1.5
+
+    def test_ratio_ci(self):
+        class FakeIperf:
+            pass
+
+        outcomes = [
+            common.RunOutcome(10.0, v, FakeIperf()) for v in (5.0, 6.0, 7.0)
+        ]
+        ci = common.ratio_ci(outcomes)
+        assert ci.mean == pytest.approx(0.6)
+        assert ci.n == 3
+
+
+class TestFigure8Model:
+    def test_analytical_model(self):
+        model = figure8.analytical_model()
+        assert model.p_success == 0.5
+        assert model.expected_total_hops == pytest.approx(6.0)
+
+    def test_paper_ratio_constant(self):
+        assert figure8.PAPER_RATIO == pytest.approx(0.548)

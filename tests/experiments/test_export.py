@@ -1,0 +1,88 @@
+"""Tests for experiment export helpers."""
+
+import json
+
+import pytest
+
+from repro.analysis.stats import MeanCI
+from repro.experiments.export import (
+    figure5_rows,
+    figure7_rows,
+    rows_to_csv,
+    rows_to_json,
+    sparkline,
+    write_rows,
+)
+from repro.experiments.figure5 import Figure5Cell
+from repro.experiments.figure7 import Figure7Point
+
+
+def _ci(mean):
+    return MeanCI(mean=mean, half_width=0.1, n=3, confidence=0.95)
+
+
+class TestSparkline:
+    def test_monotone_ramp(self):
+        assert sparkline([0, 1, 2, 3]) == "▁▃▅█"
+
+    def test_flat_series(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_downsampling(self):
+        s = sparkline(list(range(100)), width=10)
+        assert len(s) == 10
+        assert s[0] == "▁" and s[-1] == "█"
+
+
+class TestRows:
+    def test_figure5_rows(self):
+        cells = [
+            Figure5Cell("nip", "full", ("SW10", "SW7"),
+                        throughput_mbps=_ci(14.0), ratio=_ci(0.7)),
+        ]
+        rows = figure5_rows(cells)
+        assert rows[0]["failure"] == "SW10-SW7"
+        assert rows[0]["ratio_mean"] == 0.7
+        assert rows[0]["n"] == 3
+
+    def test_figure7_rows(self):
+        points = [
+            Figure7Point(None, throughput_mbps=_ci(9.5), ratio=_ci(1.0)),
+            Figure7Point(("SW13", "SW41"),
+                         throughput_mbps=_ci(3.2), ratio=_ci(0.35)),
+        ]
+        rows = figure7_rows(points)
+        assert rows[0]["failure"] == "no failure"
+        assert rows[1]["failure"] == "SW13-SW41"
+
+
+class TestSerializers:
+    ROWS = [{"a": 1, "b": "x"}, {"a": 2, "b": "y"}]
+
+    def test_csv(self):
+        text = rows_to_csv(self.ROWS)
+        lines = text.strip().splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == "1,x"
+
+    def test_csv_empty(self):
+        assert rows_to_csv([]) == ""
+
+    def test_json(self):
+        data = json.loads(rows_to_json(self.ROWS))
+        assert data == self.ROWS
+
+    def test_write_rows(self, tmp_path):
+        csv_path = tmp_path / "out.csv"
+        write_rows(self.ROWS, str(csv_path))
+        assert csv_path.read_text().startswith("a,b")
+        json_path = tmp_path / "out.json"
+        write_rows(self.ROWS, str(json_path))
+        assert json.loads(json_path.read_text()) == self.ROWS
+
+    def test_write_rows_bad_extension(self, tmp_path):
+        with pytest.raises(ValueError, match="extension"):
+            write_rows(self.ROWS, str(tmp_path / "out.xml"))

@@ -1,0 +1,108 @@
+"""Unit tests for switch-ID pool generation and validation."""
+
+import math
+
+import pytest
+
+from repro.rns import (
+    greedy_coprime_pool,
+    is_prime,
+    min_id_for_ports,
+    pairwise_coprime,
+    prime_pool,
+    validate_pool,
+)
+
+
+class TestIsPrime:
+    def test_small_values(self):
+        assert [n for n in range(-2, 14) if is_prime(n)] == [2, 3, 5, 7, 11, 13]
+
+    def test_square(self):
+        assert not is_prime(49)
+        assert not is_prime(121)
+
+    def test_larger_prime(self):
+        assert is_prime(7919)
+
+
+class TestPrimePool:
+    def test_first_primes(self):
+        assert prime_pool(5) == [2, 3, 5, 7, 11]
+
+    def test_min_value(self):
+        assert prime_pool(4, min_value=10) == [11, 13, 17, 19]
+
+    def test_empty(self):
+        assert prime_pool(0) == []
+
+    def test_negative_count(self):
+        with pytest.raises(ValueError):
+            prime_pool(-1)
+
+    def test_pairwise_coprime(self):
+        assert pairwise_coprime(prime_pool(30))
+
+
+class TestGreedyPool:
+    def test_small_pool_values(self):
+        # From 2 up, prime powers clash with their base primes, so the
+        # greedy pool degenerates to the primes themselves.
+        pool = greedy_coprime_pool(8)
+        assert pool == [2, 3, 5, 7, 11, 13, 17, 19]
+
+    def test_includes_prime_powers_when_bases_excluded(self):
+        # Starting at 4 skips the bases 2 and 3, so 4 = 2² and 9 = 3²
+        # become usable — the paper's own {4, 9, ...} style IDs.
+        assert greedy_coprime_pool(5, min_value=4) == [4, 5, 7, 9, 11]
+
+    def test_is_pairwise_coprime(self):
+        assert pairwise_coprime(greedy_coprime_pool(40))
+
+    def test_min_value_four(self):
+        # Reproduces the flavour of the paper's {4, 5, 7, 9, 11, ...} IDs.
+        pool = greedy_coprime_pool(5, min_value=4)
+        assert pool[0] == 4
+        assert pairwise_coprime(pool)
+
+    def test_smaller_product_than_primes(self):
+        # The whole point of the greedy pool: smaller M for the same size.
+        n = 12
+        greedy = math.prod(greedy_coprime_pool(n, min_value=4))
+        primes = math.prod(prime_pool(n, min_value=4))
+        assert greedy < primes
+
+
+class TestValidatePool:
+    def test_valid(self):
+        validate_pool([4, 5, 7, 11])
+
+    def test_duplicates(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            validate_pool([5, 7, 5])
+
+    def test_not_coprime(self):
+        with pytest.raises(ValueError, match="coprime"):
+            validate_pool([4, 6])
+
+    def test_too_small_id(self):
+        with pytest.raises(ValueError, match="> 1"):
+            validate_pool([1, 5])
+
+    def test_port_capacity(self):
+        validate_pool([5, 7], port_counts=[4, 6])
+        with pytest.raises(ValueError, match="cannot address"):
+            validate_pool([5, 7], port_counts=[6, 6])
+
+    def test_port_count_length_mismatch(self):
+        with pytest.raises(ValueError, match="length"):
+            validate_pool([5, 7], port_counts=[4])
+
+
+class TestMinId:
+    def test_floor_of_two(self):
+        assert min_id_for_ports(0) == 2
+        assert min_id_for_ports(1) == 2
+
+    def test_matches_port_count(self):
+        assert min_id_for_ports(5) == 5

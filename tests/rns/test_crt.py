@@ -1,0 +1,151 @@
+"""Unit tests for the CRT arithmetic core."""
+
+import math
+
+import pytest
+
+from repro.rns import (
+    CrtError,
+    NotCoprimeError,
+    crt,
+    egcd,
+    first_noncoprime_pair,
+    modular_inverse,
+    pairwise_coprime,
+)
+
+
+class TestEgcd:
+    def test_identity(self):
+        g, x, y = egcd(240, 46)
+        assert g == math.gcd(240, 46)
+        assert 240 * x + 46 * y == g
+
+    def test_coprime_pair(self):
+        g, x, y = egcd(44, 7)
+        assert g == 1
+        assert 44 * x + 7 * y == 1
+
+    def test_zero_left(self):
+        assert egcd(0, 5)[0] == 5
+
+    def test_zero_right(self):
+        assert egcd(5, 0)[0] == 5
+
+    def test_equal_values(self):
+        g, x, y = egcd(12, 12)
+        assert g == 12
+        assert 12 * x + 12 * y == 12
+
+    def test_large_values(self):
+        a, b = 2**200 + 1, 2**100 + 1
+        g, x, y = egcd(a, b)
+        assert a * x + b * y == g
+
+
+class TestModularInverse:
+    @pytest.mark.parametrize(
+        "a,mod,expected",
+        [
+            (77, 4, 1),   # paper, unprotected example: L_1
+            (44, 7, 4),   # L_2
+            (28, 11, 2),  # L_3
+            (385, 4, 1),  # paper, protected example
+            (220, 7, 5),
+            (140, 11, 7),
+            (308, 5, 2),
+        ],
+    )
+    def test_paper_inverses(self, a, mod, expected):
+        assert modular_inverse(a, mod) == expected
+
+    def test_inverse_property(self):
+        for a in range(1, 50):
+            for mod in (7, 11, 13, 29):
+                if math.gcd(a, mod) == 1:
+                    inv = modular_inverse(a, mod)
+                    assert (inv * a) % mod == 1
+                    assert 0 <= inv < mod
+
+    def test_not_coprime_raises(self):
+        with pytest.raises(NotCoprimeError) as exc:
+            modular_inverse(6, 4)
+        assert exc.value.gcd == 2
+
+    def test_negative_a_normalised(self):
+        assert (modular_inverse(-3, 7) * -3) % 7 == 1
+
+    def test_bad_modulus(self):
+        with pytest.raises(CrtError):
+            modular_inverse(3, 0)
+        with pytest.raises(CrtError):
+            modular_inverse(3, -5)
+
+
+class TestPairwiseCoprime:
+    def test_paper_pool(self):
+        assert pairwise_coprime([4, 5, 7, 11])
+
+    def test_four_is_fine_with_odd(self):
+        # Paper: "Even though 4 is not a prime number, it can be used".
+        assert pairwise_coprime([4, 7, 11, 9, 25])
+
+    def test_shared_factor_detected(self):
+        assert not pairwise_coprime([4, 6, 7])
+        assert first_noncoprime_pair([4, 6, 7]) == (4, 6)
+
+    def test_empty_and_singleton(self):
+        assert pairwise_coprime([])
+        assert pairwise_coprime([12])
+
+    def test_first_pair_order(self):
+        # Scans pairs in index order: (3,5), (3,10), (3,15) hits first.
+        assert first_noncoprime_pair([3, 5, 10, 15]) == (3, 15)
+        assert first_noncoprime_pair([7, 5, 10, 3]) == (5, 10)
+
+
+class TestCrt:
+    def test_paper_unprotected(self):
+        r, m = crt([0, 2, 0], [4, 7, 11])
+        assert (r, m) == (44, 308)
+
+    def test_paper_protected(self):
+        r, m = crt([0, 2, 0, 0], [4, 7, 11, 5])
+        assert (r, m) == (660, 1540)
+
+    def test_residues_recovered(self):
+        residues, moduli = [1, 3, 5, 0], [4, 7, 11, 9]
+        r, m = crt(residues, moduli)
+        assert [r % s for s in moduli] == residues
+        assert 0 <= r < m
+
+    def test_single_congruence(self):
+        assert crt([3], [7]) == (3, 7)
+
+    def test_order_independent(self):
+        # The paper's key commutativity observation (Section 2.2).
+        r1, _ = crt([0, 2, 0, 0], [4, 7, 11, 5])
+        r2, _ = crt([0, 0, 2, 0], [5, 4, 7, 11])
+        assert r1 == r2
+
+    def test_length_mismatch(self):
+        with pytest.raises(CrtError, match="mismatch"):
+            crt([1, 2], [7])
+
+    def test_empty_system(self):
+        with pytest.raises(CrtError, match="empty"):
+            crt([], [])
+
+    def test_residue_out_of_range(self):
+        with pytest.raises(CrtError, match="out of range"):
+            crt([7], [7])
+        with pytest.raises(CrtError, match="out of range"):
+            crt([-1], [7])
+
+    def test_non_coprime_moduli(self):
+        with pytest.raises(NotCoprimeError):
+            crt([1, 1], [6, 4])
+
+    def test_modulus_one_rejected(self):
+        with pytest.raises(CrtError):
+            crt([0, 0], [1, 5])

@@ -1,0 +1,145 @@
+"""Unit tests for route encoding/decoding and incremental updates."""
+
+import pytest
+
+from repro.rns import (
+    CrtError,
+    DuplicateSwitchError,
+    EncodedRoute,
+    Hop,
+    NotCoprimeError,
+    RouteEncoder,
+)
+
+
+@pytest.fixture
+def encoder():
+    return RouteEncoder()
+
+
+class TestHop:
+    def test_valid(self):
+        h = Hop(7, 2)
+        assert (h.switch_id, h.port) == (7, 2)
+
+    def test_port_must_fit_modulus(self):
+        with pytest.raises(CrtError):
+            Hop(7, 7)
+        with pytest.raises(CrtError):
+            Hop(7, -1)
+
+    def test_bad_switch_id(self):
+        with pytest.raises(CrtError):
+            Hop(1, 0)
+
+
+class TestEncode:
+    def test_paper_route(self, encoder):
+        route = encoder.encode_path([4, 7, 11], [0, 2, 0])
+        assert route.route_id == 44
+        assert route.modulus == 308
+
+    def test_paper_protected_route(self, encoder):
+        route = encoder.encode_path([4, 7, 11, 5], [0, 2, 0, 0])
+        assert route.route_id == 660
+        assert route.modulus == 1540
+
+    def test_port_at_on_and_off_route(self, encoder):
+        route = encoder.encode_path([4, 7, 11], [0, 2, 0])
+        assert route.port_at(4) == 0
+        assert route.port_at(7) == 2
+        assert route.port_at(11) == 0
+        # Off-route switches still get *a* port — pseudo-random residue.
+        assert route.port_at(13) == 44 % 13
+
+    def test_encodes_and_contains(self, encoder):
+        route = encoder.encode_path([4, 7], [1, 2])
+        assert route.encodes(4)
+        assert 7 in route
+        assert 11 not in route
+
+    def test_residue_map(self, encoder):
+        route = encoder.encode_path([4, 7, 11], [0, 2, 0])
+        assert route.residue_map() == {4: 0, 7: 2, 11: 0}
+
+    def test_duplicate_switch_rejected(self, encoder):
+        with pytest.raises(DuplicateSwitchError):
+            encoder.encode([Hop(7, 1), Hop(7, 2)])
+
+    def test_length_mismatch(self, encoder):
+        with pytest.raises(CrtError):
+            encoder.encode_path([4, 7], [0])
+
+    def test_not_coprime(self, encoder):
+        with pytest.raises(NotCoprimeError):
+            encoder.encode_path([4, 6], [0, 0])
+
+
+class TestDecode:
+    def test_roundtrip(self, encoder):
+        switches, ports = [9, 11, 13, 29], [5, 3, 12, 17]
+        route = encoder.encode_path(switches, ports)
+        assert encoder.decode(route.route_id, switches) == ports
+
+    def test_negative_route_id(self, encoder):
+        with pytest.raises(CrtError):
+            encoder.decode(-1, [7])
+
+
+class TestIncremental:
+    def test_with_hop_matches_paper(self, encoder):
+        # Start from the unprotected example (R=44) and fold in the SW5
+        # protection hop; must land on R=660 like the full re-encode.
+        base = encoder.encode_path([4, 7, 11], [0, 2, 0])
+        protected = encoder.with_hop(base, Hop(5, 0))
+        assert protected.route_id == 660
+        assert protected.modulus == 1540
+        assert protected.encodes(5)
+
+    def test_with_hop_preserves_existing_residues(self, encoder):
+        base = encoder.encode_path([9, 11, 13], [4, 7, 2])
+        extended = encoder.with_hop(base, Hop(29, 21))
+        for sid, port in base.residue_map().items():
+            assert extended.port_at(sid) == port
+        assert extended.port_at(29) == 21
+
+    def test_with_hop_equals_full_encode(self, encoder):
+        full = encoder.encode_path([9, 11, 13, 29], [4, 7, 2, 21])
+        base = encoder.encode_path([9, 11, 13], [4, 7, 2])
+        inc = encoder.with_hop(base, Hop(29, 21))
+        assert inc.route_id == full.route_id
+        assert inc.modulus == full.modulus
+
+    def test_with_hop_duplicate(self, encoder):
+        base = encoder.encode_path([4, 7], [0, 1])
+        with pytest.raises(DuplicateSwitchError):
+            encoder.with_hop(base, Hop(7, 0))
+
+    def test_with_hop_noncoprime(self, encoder):
+        base = encoder.encode_path([4, 7], [0, 1])
+        with pytest.raises(NotCoprimeError):
+            encoder.with_hop(base, Hop(6, 0))
+
+    def test_without_switch_reverses_with_hop(self, encoder):
+        base = encoder.encode_path([4, 7, 11], [0, 2, 0])
+        protected = encoder.with_hop(base, Hop(5, 0))
+        stripped = encoder.without_switch(protected, 5)
+        assert stripped.route_id == base.route_id
+        assert stripped.modulus == base.modulus
+        assert not stripped.encodes(5)
+
+    def test_without_unknown_switch(self, encoder):
+        base = encoder.encode_path([4, 7], [0, 1])
+        with pytest.raises(CrtError):
+            encoder.without_switch(base, 13)
+
+    def test_without_last_hop_rejected(self, encoder):
+        base = encoder.encode_path([7], [3])
+        with pytest.raises(CrtError):
+            encoder.without_switch(base, 7)
+
+
+class TestBitLengthProperty:
+    def test_paper_bit_lengths(self, encoder):
+        assert encoder.encode_path([4, 7, 11], [0, 2, 0]).bit_length == 9
+        assert encoder.encode_path([4, 7, 11, 5], [0, 2, 0, 0]).bit_length == 11

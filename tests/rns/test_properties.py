@@ -1,0 +1,116 @@
+"""Property-based tests (hypothesis) for the RNS encoding core.
+
+These pin the invariants the whole KAR system rests on:
+* CRT round-trip: encode-then-decode recovers every port,
+* order independence (commutativity of the CRT summation),
+* incremental update equivalence,
+* uniqueness of the route ID inside [0, M).
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rns import (
+    Hop,
+    RouteEncoder,
+    crt,
+    greedy_coprime_pool,
+    modular_inverse,
+    pairwise_coprime,
+    route_id_bit_length,
+)
+
+# A pool of 24 pairwise-coprime IDs >= 4 to draw route subsets from.
+_POOL = greedy_coprime_pool(24, min_value=4)
+
+
+@st.composite
+def route_systems(draw, min_size=1, max_size=8):
+    """Random (switch_ids, ports) with valid residues."""
+    size = draw(st.integers(min_size, max_size))
+    ids = draw(
+        st.lists(st.sampled_from(_POOL), min_size=size, max_size=size, unique=True)
+    )
+    ports = [draw(st.integers(0, sid - 1)) for sid in ids]
+    return ids, ports
+
+
+@given(route_systems())
+def test_crt_roundtrip(system):
+    ids, ports = system
+    r, m = crt(ports, ids)
+    assert 0 <= r < m
+    assert [r % s for s in ids] == ports
+
+
+@given(route_systems(min_size=2), st.randoms(use_true_random=False))
+def test_crt_order_independence(system, rnd):
+    ids, ports = system
+    r1, m1 = crt(ports, ids)
+    paired = list(zip(ids, ports))
+    rnd.shuffle(paired)
+    ids2, ports2 = zip(*paired)
+    r2, m2 = crt(list(ports2), list(ids2))
+    assert (r1, m1) == (r2, m2)
+
+
+@given(route_systems())
+def test_route_id_unique_in_range(system):
+    # No other value in [0, M) has the same residues: CRT uniqueness.
+    ids, ports = system
+    r, m = crt(ports, ids)
+    # Check a handful of other candidates rather than the full range.
+    for delta in (1, 2, 3, m // 2, m - 1):
+        other = (r + delta) % m
+        if other == r:
+            continue
+        assert [other % s for s in ids] != ports
+
+
+@given(route_systems(min_size=2))
+def test_incremental_equals_batch(system):
+    ids, ports = system
+    enc = RouteEncoder()
+    batch = enc.encode_path(ids, ports)
+    grown = enc.encode_path(ids[:1], ports[:1])
+    for sid, port in zip(ids[1:], ports[1:]):
+        grown = enc.with_hop(grown, Hop(sid, port))
+    assert grown.route_id == batch.route_id
+    assert grown.modulus == batch.modulus
+
+
+@given(route_systems(min_size=2))
+def test_removal_inverts_addition(system):
+    ids, ports = system
+    enc = RouteEncoder()
+    full = enc.encode_path(ids, ports)
+    reduced = enc.without_switch(full, ids[-1])
+    assert reduced.route_id == enc.encode_path(ids[:-1], ports[:-1]).route_id
+
+
+@given(st.lists(st.sampled_from(_POOL), min_size=1, max_size=10, unique=True))
+def test_bit_length_matches_product(ids):
+    m = math.prod(ids)
+    bits = route_id_bit_length(m)
+    # Definitionally: 2^(bits-1) < M - 1 <= 2^bits  (for M > 2).
+    if m > 2:
+        assert 2 ** (bits - 1) < m - 1 <= 2**bits
+
+
+@given(
+    st.integers(2, 10**6),
+    st.integers(2, 10**6),
+)
+def test_modular_inverse_property(a, mod):
+    if math.gcd(a, mod) == 1:
+        inv = modular_inverse(a, mod)
+        assert 0 <= inv < mod
+        assert (inv * a) % mod == 1
+
+
+@settings(max_examples=30)
+@given(st.integers(4, 60), st.integers(2, 40))
+def test_greedy_pool_always_coprime(min_value, count):
+    assert pairwise_coprime(greedy_coprime_pool(count, min_value=min_value))

@@ -1,0 +1,111 @@
+"""Tests for the KAR shim-header wire codec."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.rns.wire import (
+    FIXED_HEADER_BYTES,
+    WIRE_VERSION,
+    WireError,
+    decode_header,
+    encode_header,
+    header_wire_size,
+)
+from repro.sim.packet import KarHeader
+
+
+class TestRoundTrip:
+    def test_paper_route_44(self):
+        header = KarHeader(route_id=44, modulus=308, ttl=64)
+        data = encode_header(header)
+        decoded, consumed = decode_header(data)
+        assert consumed == len(data)
+        assert decoded.route_id == 44
+        assert decoded.ttl == 64
+        assert decoded.deflected is False
+
+    def test_deflected_flag(self):
+        header = KarHeader(route_id=660, modulus=1540, deflected=True, ttl=9)
+        decoded, _ = decode_header(encode_header(header))
+        assert decoded.deflected is True
+        assert decoded.ttl == 9
+
+    def test_trailing_payload_untouched(self):
+        header = KarHeader(route_id=44, modulus=308)
+        data = encode_header(header) + b"payload-bytes"
+        decoded, consumed = decode_header(data)
+        assert decoded.route_id == 44
+        assert data[consumed:] == b"payload-bytes"
+
+    @given(
+        route_id=st.integers(0, 2**120 - 1),
+        ttl=st.integers(0, 255),
+        deflected=st.booleans(),
+    )
+    def test_roundtrip_property(self, route_id, ttl, deflected):
+        header = KarHeader(route_id=route_id, modulus=0,
+                           deflected=deflected, ttl=ttl)
+        decoded, consumed = decode_header(encode_header(header))
+        assert decoded.route_id == route_id
+        assert decoded.ttl == ttl
+        assert decoded.deflected == deflected
+        assert consumed == len(encode_header(header))
+
+
+class TestSizing:
+    def test_fixed_overhead(self):
+        assert header_wire_size(2) == FIXED_HEADER_BYTES + 1
+
+    def test_table1_sizes(self):
+        # Table 1's routes: 15/28/43 bits -> 2/4/6 payload bytes.
+        m4 = 10 * 7 * 13 * 29
+        m7 = m4 * 11 * 23 * 31
+        m10 = m7 * 17 * 37 * 41
+        assert header_wire_size(m4) == FIXED_HEADER_BYTES + 2
+        assert header_wire_size(m7) == FIXED_HEADER_BYTES + 4
+        assert header_wire_size(m10) == FIXED_HEADER_BYTES + 6
+
+    def test_modulus_sized_field(self):
+        # Small route ID in a big-modulus route still gets the
+        # modulus-sized field (the field width is per-route, not
+        # per-value — switches on the path expect a fixed offset).
+        header = KarHeader(route_id=1, modulus=2**40)  # 40-bit route IDs
+        assert len(encode_header(header)) == FIXED_HEADER_BYTES + 5
+
+    def test_invalid_modulus(self):
+        with pytest.raises(WireError):
+            header_wire_size(1)
+
+
+class TestValidation:
+    def test_route_id_exceeds_modulus(self):
+        with pytest.raises(WireError, match="out of range"):
+            encode_header(KarHeader(route_id=400, modulus=308))
+
+    def test_negative_route_id(self):
+        with pytest.raises(WireError):
+            encode_header(KarHeader(route_id=-1, modulus=308))
+
+    def test_ttl_range(self):
+        with pytest.raises(WireError):
+            encode_header(KarHeader(route_id=1, modulus=308, ttl=256))
+
+    def test_truncated_fixed_part(self):
+        with pytest.raises(WireError, match="truncated"):
+            decode_header(b"\x10")
+
+    def test_truncated_route_id(self):
+        data = encode_header(KarHeader(route_id=44, modulus=308))
+        with pytest.raises(WireError, match="truncated route ID"):
+            decode_header(data[:-1])
+
+    def test_bad_version(self):
+        data = bytearray(encode_header(KarHeader(route_id=44, modulus=308)))
+        data[0] = (WIRE_VERSION + 1) << 4
+        with pytest.raises(WireError, match="version"):
+            decode_header(bytes(data))
+
+    def test_zero_length_field(self):
+        with pytest.raises(WireError, match="zero-length"):
+            decode_header(bytes([WIRE_VERSION << 4, 64, 0, 0]))

@@ -1,0 +1,148 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim import SimError, Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(3.0, order.append, "c")
+        sim.schedule(1.0, order.append, "a")
+        sim.schedule(2.0, order.append, "b")
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_fifo_for_simultaneous_events(self):
+        sim = Simulator()
+        order = []
+        for tag in range(5):
+            sim.schedule(1.0, order.append, tag)
+        sim.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(2.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [2.5]
+
+    def test_schedule_during_run(self):
+        sim = Simulator()
+        order = []
+
+        def first():
+            order.append("first")
+            sim.schedule(1.0, lambda: order.append("second"))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert order == ["first", "second"]
+        assert sim.now == 2.0
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_schedule_at_absolute(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_at(5.0, lambda: seen.append(sim.now))
+        sim.run_until(10.0)
+        assert seen == [5.0]
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimError):
+            sim.schedule_at(0.5, lambda: None)
+
+
+class TestRunUntil:
+    def test_stops_at_boundary(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, 1)
+        sim.schedule(5.0, fired.append, 5)
+        sim.run_until(2.0)
+        assert fired == [1]
+        assert sim.now == 2.0
+        sim.run_until(6.0)
+        assert fired == [1, 5]
+
+    def test_boundary_inclusive(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(2.0, fired.append, 1)
+        sim.run_until(2.0)
+        assert fired == [1]
+
+    def test_clock_reaches_end_even_when_idle(self):
+        sim = Simulator()
+        sim.run_until(7.0)
+        assert sim.now == 7.0
+
+    def test_backwards_run_rejected(self):
+        sim = Simulator()
+        sim.run_until(5.0)
+        with pytest.raises(SimError):
+            sim.run_until(3.0)
+
+    def test_reentrant_run_rejected(self):
+        sim = Simulator()
+
+        def reenter():
+            with pytest.raises(SimError):
+                sim.run_until(10.0)
+
+        sim.schedule(1.0, reenter)
+        sim.run_until(2.0)
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(1.0, fired.append, 1)
+        handle.cancel()
+        sim.run()
+        assert fired == []
+        assert handle.cancelled
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        sim.run()
+
+    def test_pending_counts_live_events(self):
+        sim = Simulator()
+        h1 = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        assert sim.pending() == 2
+        h1.cancel()
+        assert sim.pending() == 1
+
+
+class TestStop:
+    def test_stop_halts_processing(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, 1)
+        sim.schedule(2.0, sim.stop)
+        sim.schedule(3.0, fired.append, 3)
+        sim.run()
+        assert fired == [1]
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for _ in range(4):
+            sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.events_processed == 4

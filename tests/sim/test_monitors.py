@@ -1,0 +1,87 @@
+"""Tests for link/network monitors."""
+
+import pytest
+
+from repro.runner import KarSimulation
+from repro.sim.monitors import LinkMonitor, NetworkMonitor
+from repro.topology import PARTIAL, fifteen_node
+
+
+class TestNetworkMonitor:
+    def test_deflection_shifts_traffic_to_protection_links(self):
+        ks = KarSimulation(
+            fifteen_node(rate_mbps=20.0, delay_s=0.0002),
+            deflection="nip", protection=PARTIAL, seed=7,
+        )
+        monitor = NetworkMonitor(ks.network, interval_s=0.25,
+                                 links=[("SW7", "SW13"), ("SW11", "SW23"),
+                                        ("SW7", "SW11"), ("SW7", "SW9")])
+        monitor.start()
+        ks.schedule_failure("SW7", "SW13", at=1.0, repair_at=3.0)
+        src, sink = ks.add_udp_probe(rate_pps=500, duration_s=3.5)
+        src.start(at=0.5)
+        ks.run(until=4.5)
+
+        primary = monitor.monitor("SW7", "SW13")
+        protection = monitor.monitor("SW11", "SW23")
+
+        # Before the failure the primary link carries the probe...
+        pre = [s for s in primary.samples if s.time <= 1.0]
+        assert max(s.mbps_ab + s.mbps_ba for s in pre) > 1.0
+        # ...during the failure it carries nothing...
+        mid = [s for s in primary.samples if 1.3 < s.time <= 3.0]
+        assert max((s.mbps_ab + s.mbps_ba for s in mid), default=0.0) < 0.1
+        # ...and the partial-protection branch lights up instead.
+        prot_mid = [s for s in protection.samples if 1.3 < s.time <= 3.0]
+        assert max(s.mbps_ab + s.mbps_ba for s in prot_mid) > 0.5
+
+    def test_busiest_links_ranking(self):
+        ks = KarSimulation(
+            fifteen_node(rate_mbps=20.0, delay_s=0.0002),
+            deflection="nip", protection=PARTIAL, seed=7,
+        )
+        monitor = NetworkMonitor(ks.network, interval_s=0.5)
+        monitor.start()
+        src, sink = ks.add_udp_probe(rate_pps=400, duration_s=2.0)
+        src.start()
+        ks.run(until=3.0)
+        busiest = monitor.busiest_links(top=6)
+        assert len(busiest) == 6
+        values = [v for _, v in busiest]
+        assert values == sorted(values, reverse=True)
+        # The primary-route links must be among the busiest.
+        names = [set(name) for name, _ in busiest]
+        assert {"SW10", "SW7"} in names or {"SW7", "SW13"} in names
+
+    def test_queue_drop_accounting(self):
+        ks = KarSimulation(
+            fifteen_node(rate_mbps=5.0, delay_s=0.0002),
+            deflection="nip", protection=PARTIAL, seed=7,
+        )
+        monitor = NetworkMonitor(ks.network, interval_s=0.25)
+        monitor.start()
+        # Overdrive a 5 Mbit/s path with an 11 Mbit/s probe.
+        src, sink = ks.add_udp_probe(rate_pps=1000, duration_s=1.0)
+        src.start()
+        ks.run(until=2.0)
+        assert monitor.total_queue_drops() > 0
+        assert sink.received < src.sent
+
+
+class TestLinkMonitor:
+    def test_validation(self):
+        ks = KarSimulation(fifteen_node(), seed=0)
+        link = ks.network.link_between("SW7", "SW13")
+        with pytest.raises(ValueError):
+            LinkMonitor(link, ("SW7", "SW13"), interval_s=0)
+
+    def test_idle_link_reports_zero(self):
+        ks = KarSimulation(fifteen_node(), seed=0,
+                           install_primary_flow=False)
+        monitor = NetworkMonitor(ks.network, interval_s=0.5,
+                                 links=[("SW43", "SW47")])
+        monitor.start()
+        ks.run(until=2.0)
+        m = monitor.monitor("SW43", "SW47")
+        assert m.peak_mbps() == 0.0
+        assert m.peak_queue() == 0

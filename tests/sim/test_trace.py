@@ -1,0 +1,64 @@
+"""Tests for the packet tracer."""
+
+import pytest
+
+from repro.sim import PacketTracer, Packet
+
+
+def _pkt(uid_payload=None):
+    return Packet(src_host="a", dst_host="b", size_bytes=100)
+
+
+class TestAggregates:
+    def test_forward_and_deflection_counts(self):
+        tr = PacketTracer()
+        p = _pkt()
+        tr.on_forward(0.1, "SW1", p, 0, 1, deflected=False)
+        tr.on_forward(0.2, "SW2", p, 0, 2, deflected=True)
+        assert tr.forward_count == 2
+        assert tr.deflection_count == 1
+
+    def test_drop_reasons(self):
+        tr = PacketTracer()
+        tr.on_drop(0.1, "SW1", _pkt(), "ttl-expired")
+        tr.on_drop(0.2, "SW2", _pkt(), "ttl-expired")
+        tr.on_drop(0.3, "SW3", _pkt(), "queue-overflow")
+        assert tr.drop_reasons["ttl-expired"] == 2
+        assert tr.total_drops == 3
+
+    def test_delivery_hop_histogram(self):
+        tr = PacketTracer()
+        for hops in (4, 4, 6):
+            p = _pkt()
+            p.hops = hops
+            tr.on_deliver(1.0, "hb", p)
+        assert tr.delivered_count == 3
+        assert tr.mean_hops() == pytest.approx(14 / 3)
+        assert tr.max_hops() == 6
+
+    def test_empty_stats(self):
+        tr = PacketTracer()
+        assert tr.mean_hops() is None
+        assert tr.max_hops() is None
+
+
+class TestPathTracing:
+    def test_paths_disabled_by_default(self):
+        tr = PacketTracer()
+        tr.on_forward(0.1, "SW1", _pkt(), 0, 1, False)
+        with pytest.raises(RuntimeError):
+            tr.path_of(1)
+
+    def test_per_packet_path(self):
+        tr = PacketTracer(trace_paths=True)
+        p = _pkt()
+        tr.on_forward(0.1, "SW1", p, 0, 1, False)
+        tr.on_forward(0.2, "SW2", p, 1, 0, True)
+        tr.on_deliver(0.3, "hb", p)
+        assert tr.switch_sequence(p.uid) == ["SW1", "SW2"]
+        assert tr.path_of(p.uid)[1].deflected
+        assert tr.deliveries[p.uid][1] == "hb"
+
+    def test_unknown_packet_has_empty_path(self):
+        tr = PacketTracer(trace_paths=True)
+        assert tr.path_of(999999) == []

@@ -1,0 +1,154 @@
+"""Unit tests for the deflection techniques (Section 2.1 / Algorithm 1)."""
+
+import random
+
+import pytest
+
+from repro.sim.packet import KarHeader, Packet
+from repro.switches.deflection import (
+    STRATEGY_NAMES,
+    AnyValidPort,
+    HotPotato,
+    NoDeflection,
+    NotInputPort,
+    strategy_by_name,
+)
+
+
+class FakeSwitch:
+    """Minimal PortView: ports 0..n-1 with a configurable down-set."""
+
+    def __init__(self, num_ports, down=()):
+        self._n = num_ports
+        self._down = set(down)
+
+    @property
+    def num_ports(self):
+        return self._n
+
+    def port_up(self, port):
+        return 0 <= port < self._n and port not in self._down
+
+    def healthy_ports(self):
+        return [p for p in range(self._n) if self.port_up(p)]
+
+
+def _pkt(route_id=44, deflected=False):
+    return Packet(
+        src_host="s", dst_host="d", size_bytes=100,
+        kar=KarHeader(route_id=route_id, deflected=deflected),
+    )
+
+
+@pytest.fixture
+def rng():
+    return random.Random(7)
+
+
+class TestNoDeflection:
+    def test_forwards_computed(self, rng):
+        d = NoDeflection().select_port(FakeSwitch(4), _pkt(), 0, 2, rng)
+        assert (d.port, d.deflected) == (2, False)
+
+    def test_drops_on_down_port(self, rng):
+        d = NoDeflection().select_port(FakeSwitch(4, down={2}), _pkt(), 0, 2, rng)
+        assert d.port is None
+
+    def test_drops_on_invalid_port(self, rng):
+        d = NoDeflection().select_port(FakeSwitch(3), _pkt(), 0, 7, rng)
+        assert d.port is None
+
+
+class TestHotPotato:
+    def test_undeflected_follows_route(self, rng):
+        d = HotPotato().select_port(FakeSwitch(4), _pkt(), 0, 2, rng)
+        assert (d.port, d.deflected) == (2, False)
+
+    def test_first_deflection_random(self, rng):
+        sw = FakeSwitch(4, down={2})
+        d = HotPotato().select_port(sw, _pkt(), 0, 2, rng)
+        assert d.deflected and d.port in {0, 1, 3}
+
+    def test_flagged_packet_random_walks_even_on_valid_port(self):
+        # Once deflected, HP ignores the computed port entirely.
+        sw = FakeSwitch(4)
+        seen = set()
+        for seed in range(40):
+            d = HotPotato().select_port(
+                sw, _pkt(deflected=True), 0, 2, random.Random(seed)
+            )
+            assert d.deflected
+            seen.add(d.port)
+        assert seen == {0, 1, 2, 3}  # includes the input port
+
+    def test_no_ports_drops(self, rng):
+        sw = FakeSwitch(2, down={0, 1})
+        assert HotPotato().select_port(sw, _pkt(deflected=True), 0, 0, rng).port is None
+
+
+class TestAnyValidPort:
+    def test_computed_port_even_if_input(self, rng):
+        # AVP may send a packet back out the port it came in on.
+        d = AnyValidPort().select_port(FakeSwitch(4), _pkt(), 2, 2, rng)
+        assert (d.port, d.deflected) == (2, False)
+
+    def test_random_includes_input(self):
+        sw = FakeSwitch(3, down={1})
+        seen = set()
+        for seed in range(40):
+            d = AnyValidPort().select_port(
+                sw, _pkt(), 0, 1, random.Random(seed)
+            )
+            assert d.deflected
+            seen.add(d.port)
+        assert seen == {0, 2}
+
+    def test_deflected_flag_does_not_randomize(self, rng):
+        # Unlike HP, AVP keeps using the modulo even after a deflection.
+        d = AnyValidPort().select_port(FakeSwitch(4), _pkt(deflected=True), 0, 2, rng)
+        assert (d.port, d.deflected) == (2, False)
+
+
+class TestNotInputPort:
+    def test_computed_equal_input_rejected(self):
+        # Algorithm 1 line 4: output == in_port forces a re-pick.
+        sw = FakeSwitch(3)
+        seen = set()
+        for seed in range(40):
+            d = NotInputPort().select_port(sw, _pkt(), 2, 2, random.Random(seed))
+            assert d.deflected
+            assert d.port != 2
+            seen.add(d.port)
+        assert seen == {0, 1}
+
+    def test_random_excludes_input(self):
+        sw = FakeSwitch(3, down={1})
+        for seed in range(40):
+            d = NotInputPort().select_port(sw, _pkt(), 0, 1, random.Random(seed))
+            assert d.port == 2  # only non-input healthy port
+
+    def test_no_candidates_drops(self, rng):
+        sw = FakeSwitch(2, down={1})
+        d = NotInputPort().select_port(sw, _pkt(), 0, 1, rng)
+        assert d.port is None
+
+    def test_valid_non_input_forwarded(self, rng):
+        d = NotInputPort().select_port(FakeSwitch(4), _pkt(), 0, 2, rng)
+        assert (d.port, d.deflected) == (2, False)
+
+
+class TestRegistry:
+    def test_names(self):
+        assert STRATEGY_NAMES == ("none", "hp", "avp", "nip")
+
+    @pytest.mark.parametrize("name,cls", [
+        ("none", NoDeflection), ("hp", HotPotato),
+        ("avp", AnyValidPort), ("nip", NotInputPort),
+        ("NIP", NotInputPort),
+    ])
+    def test_lookup(self, name, cls):
+        assert isinstance(strategy_by_name(name), cls)
+
+    def test_unknown(self):
+        with pytest.raises(ValueError, match="unknown"):
+            strategy_by_name("magic")

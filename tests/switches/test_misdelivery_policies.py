@@ -1,0 +1,106 @@
+"""Tests for the two misdelivery policies (Section 2.1's design choice)."""
+
+import pytest
+
+from repro.runner import KarSimulation
+from repro.sim import KarHeader, Link, PacketTracer, Packet, Simulator
+from repro.sim.node import Node
+from repro.switches.edge import BOUNCE, MISDELIVERY_POLICIES, REENCODE, EdgeNode
+from repro.topology import FULL, fifteen_node
+
+
+class Collector(Node):
+    def __init__(self, name, sim):
+        super().__init__(name, sim, 1)
+        self.received = []
+
+    def receive(self, packet, in_port):
+        self.received.append(packet)
+
+
+class TestPolicyValidation:
+    def test_policies_exposed(self):
+        assert MISDELIVERY_POLICIES == (BOUNCE, REENCODE)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="misdelivery"):
+            EdgeNode("E", Simulator(), 1, misdelivery_policy="teleport")
+
+
+class TestBounce:
+    def _rig(self):
+        sim = Simulator()
+        tracer = PacketTracer()
+        edge = EdgeNode("E", sim, 2, tracer=tracer,
+                        misdelivery_policy=BOUNCE)
+        core = Collector("CORE", sim)
+        host = Collector("H1", sim)
+        Link(sim, edge, 0, core, 0, delay_s=0.0001)
+        Link(sim, edge, 1, host, 0, delay_s=0.0001)
+        edge.serve_host("H1", 1)
+        return sim, edge, core, host, tracer
+
+    def test_stray_packet_bounced_unchanged(self):
+        sim, edge, core, host, tracer = self._rig()
+        p = Packet(src_host="x", dst_host="H-ELSEWHERE", size_bytes=100,
+                   kar=KarHeader(route_id=77, deflected=True, ttl=20))
+        edge.receive(p, in_port=0)
+        sim.run()
+        assert len(core.received) == 1
+        bounced = core.received[0]
+        # "without any change": same route ID, flag and TTL preserved.
+        assert bounced.kar.route_id == 77
+        assert bounced.kar.deflected is True
+        assert bounced.kar.ttl == 20
+        assert edge.bounces == 1
+        assert edge.reencode_requests == 0
+
+    def test_bounce_never_uses_host_ports(self):
+        sim, edge, core, host, tracer = self._rig()
+        p = Packet(src_host="x", dst_host="H-ELSEWHERE", size_bytes=100,
+                   kar=KarHeader(route_id=77, ttl=20))
+        edge.receive(p, in_port=0)
+        sim.run()
+        assert host.received == []
+
+    def test_bounce_expired_ttl_drops(self):
+        sim, edge, core, host, tracer = self._rig()
+        p = Packet(src_host="x", dst_host="H-ELSEWHERE", size_bytes=100,
+                   kar=KarHeader(route_id=77, ttl=0))
+        edge.receive(p, in_port=0)
+        sim.run()
+        assert tracer.drop_reasons["ttl-expired"] == 1
+        assert core.received == []
+
+    def test_bounce_no_port_drops(self):
+        sim = Simulator()
+        tracer = PacketTracer()
+        edge = EdgeNode("E", sim, 1, tracer=tracer,
+                        misdelivery_policy=BOUNCE)
+        host = Collector("H1", sim)
+        Link(sim, edge, 0, host, 0, delay_s=0.0001)
+        edge.serve_host("H1", 0)
+        p = Packet(src_host="x", dst_host="H-X", size_bytes=100,
+                   kar=KarHeader(route_id=7, ttl=10))
+        edge.receive(p, in_port=0)
+        sim.run()
+        assert tracer.drop_reasons["bounce-no-port"] == 1
+
+
+class TestPoliciesEndToEnd:
+    @pytest.mark.parametrize("policy", [BOUNCE, REENCODE])
+    def test_both_policies_survive_failure(self, policy):
+        # AVP deflects packets into edges; both policies must keep the
+        # system live (reencode converges faster, bounce needs the TTL).
+        ks = KarSimulation(
+            fifteen_node(rate_mbps=20.0, delay_s=0.0002),
+            deflection="avp", protection=FULL, seed=11,
+            misdelivery_policy=policy,
+        )
+        ks.schedule_failure("SW10", "SW7", at=0.5)
+        src, sink = ks.add_udp_probe(rate_pps=200, duration_s=1.5)
+        src.start(at=1.0)
+        ks.run(until=8.0)
+        accounted = sink.received + sum(ks.tracer.drop_reasons.values())
+        assert accounted == src.sent
+        assert sink.received >= 0.9 * src.sent

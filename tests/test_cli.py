@@ -1,0 +1,69 @@
+"""Tests for the command-line interface (fast commands only)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.scenario == "fifteen_node"
+        assert args.deflection == "nip"
+        assert args.protection == "partial"
+
+    def test_bad_deflection(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--deflection", "magic"])
+
+
+class TestFastCommands:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "43" in out and "Unprotected" in out
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        assert "KAR" in capsys.readouterr().out
+
+    def test_topo_summary(self, capsys):
+        assert main(["topo", "fifteen_node"]) == 0
+        out = capsys.readouterr().out
+        assert "15 core switches" in out
+        assert "SW10 -> SW7 -> SW13 -> SW29" in out
+
+    def test_topo_dot(self, capsys):
+        assert main(["topo", "six_node", "--dot"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("graph kar {")
+        assert '"SW4"' in out
+
+    def test_topo_all_scenarios(self, capsys):
+        for name in ("six_node", "rnp28", "redundant_path"):
+            assert main(["topo", name]) == 0
+
+
+class TestRunCommand:
+    def test_short_custom_run(self, capsys):
+        rc = main([
+            "run", "--scenario", "fifteen_node", "--deflection", "nip",
+            "--protection", "partial", "--failure", "SW7-SW13",
+            "--seed", "2", "--duration", "3.0",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "baseline" in out and "% of baseline" in out
+
+    def test_default_failure_case(self, capsys):
+        rc = main(["run", "--duration", "3.0"])
+        assert rc == 0
+        assert "failure=SW10-SW7" in capsys.readouterr().out

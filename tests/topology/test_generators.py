@@ -1,0 +1,81 @@
+"""Tests for random-topology generators, incl. hypothesis properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rns import pairwise_coprime
+from repro.topology import (
+    NodeKind,
+    attach_host_pair,
+    random_connected,
+    ring_lattice,
+)
+
+
+class TestRandomConnected:
+    def test_deterministic(self):
+        a = random_connected(10, extra_links=4, seed=42)
+        b = random_connected(10, extra_links=4, seed=42)
+        assert [l.key for l in a.links()] == [l.key for l in b.links()]
+        assert a.switch_ids() == b.switch_ids()
+
+    def test_different_seeds_differ(self):
+        a = random_connected(10, extra_links=4, seed=1)
+        b = random_connected(10, extra_links=4, seed=2)
+        assert [l.key for l in a.links()] != [l.key for l in b.links()]
+
+    def test_connected_and_coprime(self):
+        g = random_connected(20, extra_links=10, seed=0, min_switch_id=31)
+        assert g.is_connected()
+        assert pairwise_coprime(g.switch_ids().values())
+
+    def test_too_few_switches(self):
+        with pytest.raises(ValueError):
+            random_connected(1)
+
+    def test_greedy_strategy(self):
+        g = random_connected(8, seed=0, id_strategy="greedy", min_switch_id=9)
+        assert pairwise_coprime(g.switch_ids().values())
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError, match="strategy"):
+            random_connected(5, id_strategy="magic")
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n=st.integers(2, 25),
+        extra=st.integers(0, 15),
+        seed=st.integers(0, 1000),
+    )
+    def test_property_connected_valid(self, n, extra, seed):
+        g = random_connected(n, extra_links=extra, seed=seed, min_switch_id=101)
+        assert g.is_connected()
+        assert pairwise_coprime(g.switch_ids().values())
+        for node in g.nodes(NodeKind.CORE):
+            assert node.switch_id > node.degree
+
+
+class TestRingLattice:
+    def test_ring_degrees(self):
+        g = ring_lattice(8)
+        assert all(g.degree(n.name) == 2 for n in g.nodes())
+
+    def test_chords(self):
+        g = ring_lattice(10, chord_step=5)
+        degrees = sorted(g.degree(n.name) for n in g.nodes())
+        assert degrees[-1] >= 3
+
+    def test_too_small(self):
+        with pytest.raises(ValueError):
+            ring_lattice(2)
+
+
+class TestAttachHostPair:
+    def test_stacks_created(self):
+        g = random_connected(6, seed=0, min_switch_id=13)
+        names = g.node_names()
+        src, dst = attach_host_pair(g, names[0], names[1])
+        assert src == "H-SRC" and dst == "H-DST"
+        assert g.edge_of_host("H-SRC") == "E-SRC"
+        g.validate()

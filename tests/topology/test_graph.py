@@ -1,0 +1,173 @@
+"""Unit tests for the port-indexed graph substrate."""
+
+import pytest
+
+from repro.topology import NodeKind, PortGraph, TopologyError
+
+
+@pytest.fixture
+def small_graph():
+    g = PortGraph()
+    g.add_node("A", kind=NodeKind.CORE, switch_id=7)
+    g.add_node("B", kind=NodeKind.CORE, switch_id=11)
+    g.add_node("C", kind=NodeKind.CORE, switch_id=13)
+    g.add_link("A", "B")
+    g.add_link("B", "C")
+    return g
+
+
+class TestNodes:
+    def test_duplicate_name(self, small_graph):
+        with pytest.raises(TopologyError, match="duplicate"):
+            small_graph.add_node("A")
+
+    def test_unknown_kind(self):
+        g = PortGraph()
+        with pytest.raises(TopologyError, match="kind"):
+            g.add_node("X", kind="router")
+
+    def test_switch_id_only_on_core(self):
+        g = PortGraph()
+        with pytest.raises(TopologyError):
+            g.add_node("E", kind=NodeKind.EDGE, switch_id=7)
+
+    def test_bad_switch_id(self):
+        g = PortGraph()
+        with pytest.raises(TopologyError):
+            g.add_node("X", switch_id=1)
+
+    def test_unknown_node_lookup(self, small_graph):
+        with pytest.raises(TopologyError, match="unknown"):
+            small_graph.node("Z")
+
+    def test_kind_filter(self, small_graph):
+        small_graph.add_node("E", kind=NodeKind.EDGE)
+        assert small_graph.node_names(NodeKind.EDGE) == ["E"]
+        assert len(small_graph.nodes(NodeKind.CORE)) == 3
+
+
+class TestLinks:
+    def test_port_assignment_order(self, small_graph):
+        # A: port0->B.  B: port0->A, port1->C.  C: port0->B.
+        assert small_graph.port_of("A", "B") == 0
+        assert small_graph.port_of("B", "A") == 0
+        assert small_graph.port_of("B", "C") == 1
+        assert small_graph.neighbor_on_port("B", 1) == "C"
+
+    def test_no_self_link(self, small_graph):
+        with pytest.raises(TopologyError, match="self-link"):
+            small_graph.add_link("A", "A")
+
+    def test_no_parallel_links(self, small_graph):
+        with pytest.raises(TopologyError, match="already exists"):
+            small_graph.add_link("B", "A")
+
+    def test_unknown_endpoint(self, small_graph):
+        with pytest.raises(TopologyError):
+            small_graph.add_link("A", "Z")
+
+    def test_link_lookup_symmetric(self, small_graph):
+        assert small_graph.link("A", "B") is small_graph.link("B", "A")
+        assert small_graph.has_link("C", "B")
+        assert not small_graph.has_link("A", "C")
+
+    def test_link_key_and_other(self, small_graph):
+        link = small_graph.link("B", "A")
+        assert link.key == ("A", "B")
+        assert link.other("A") == "B"
+        with pytest.raises(TopologyError):
+            link.other("Z")
+
+    def test_bad_parameters(self, small_graph):
+        with pytest.raises(TopologyError, match="rate"):
+            small_graph.add_link("A", "C", rate_mbps=0)
+        with pytest.raises(TopologyError, match="delay"):
+            small_graph.add_link("A", "C", delay_s=-1)
+        with pytest.raises(TopologyError, match="queue"):
+            small_graph.add_link("A", "C", queue_packets=0)
+
+    def test_port_of_missing_neighbor(self, small_graph):
+        with pytest.raises(TopologyError, match="no port"):
+            small_graph.port_of("A", "C")
+
+    def test_neighbor_on_bad_port(self, small_graph):
+        with pytest.raises(TopologyError, match="no port"):
+            small_graph.neighbor_on_port("A", 5)
+
+
+class TestValidation:
+    def test_valid_graph_passes(self, small_graph):
+        small_graph.validate()
+
+    def test_id_must_cover_ports(self):
+        g = PortGraph()
+        g.add_node("X", switch_id=2)
+        g.add_node("A", switch_id=7)
+        g.add_node("B", switch_id=11)
+        g.add_node("C", switch_id=13)
+        g.add_link("X", "A")
+        g.add_link("X", "B")
+        g.add_link("A", "C")
+        # ID 2 addresses ports 0 and 1: still legal.
+        g.validate()
+        # A third port pushes the largest index to 2 >= ID: illegal.
+        g.add_link("X", "C")
+        with pytest.raises(TopologyError, match="must exceed"):
+            g.validate()
+
+    def test_missing_switch_id(self):
+        g = PortGraph()
+        g.add_node("A")
+        with pytest.raises(TopologyError, match="no switch ID"):
+            g.validate()
+
+    def test_non_coprime_ids(self):
+        g = PortGraph()
+        g.add_node("A", switch_id=4)
+        g.add_node("B", switch_id=6)
+        g.add_link("A", "B")
+        with pytest.raises(TopologyError, match="coprime"):
+            g.validate()
+
+    def test_disconnected(self):
+        g = PortGraph()
+        g.add_node("A", switch_id=5)
+        g.add_node("B", switch_id=7)
+        with pytest.raises(TopologyError, match="connected"):
+            g.validate()
+
+    def test_host_must_attach_to_edge(self):
+        g = PortGraph()
+        g.add_node("A", switch_id=5)
+        g.add_node("H", kind=NodeKind.HOST)
+        g.add_link("A", "H")
+        with pytest.raises(TopologyError, match="non-edge"):
+            g.validate()
+
+
+class TestHostEdgeHelpers:
+    def test_edge_of_host(self):
+        g = PortGraph()
+        g.add_node("A", switch_id=5)
+        g.add_node("E", kind=NodeKind.EDGE)
+        g.add_node("H", kind=NodeKind.HOST)
+        g.add_link("A", "E")
+        g.add_link("E", "H")
+        assert g.edge_of_host("H") == "E"
+        assert g.hosts_of_edge("E") == ["H"]
+
+    def test_edge_of_non_host(self, small_graph):
+        with pytest.raises(TopologyError, match="not a host"):
+            small_graph.edge_of_host("A")
+
+
+class TestExport:
+    def test_dot_contains_nodes_and_links(self, small_graph):
+        dot = small_graph.to_dot()
+        assert '"A"' in dot and '"B" -- "C"' in dot or '"C" -- "B"' in dot
+        assert "id=7" in dot
+
+    def test_len_iter_contains(self, small_graph):
+        assert len(small_graph) == 3
+        assert "A" in small_graph
+        assert {n.name for n in small_graph} == {"A", "B", "C"}

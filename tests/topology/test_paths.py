@@ -1,0 +1,141 @@
+"""Unit tests for path algorithms, cross-checked against networkx."""
+
+import networkx as nx
+import pytest
+
+from repro.topology import (
+    NoPathError,
+    PortGraph,
+    all_shortest_paths,
+    articulation_links,
+    is_reachable_without,
+    k_shortest_paths,
+    path_links,
+    random_connected,
+    shortest_path,
+)
+
+
+@pytest.fixture
+def diamond():
+    #   A - B - D
+    #    \- C -/   plus a pendant E off D
+    g = PortGraph()
+    for name, sid in (("A", 5), ("B", 7), ("C", 11), ("D", 13), ("E", 17)):
+        g.add_node(name, switch_id=sid)
+    g.add_link("A", "B")
+    g.add_link("A", "C")
+    g.add_link("B", "D")
+    g.add_link("C", "D")
+    g.add_link("D", "E")
+    return g
+
+
+def _to_nx(g: PortGraph) -> nx.Graph:
+    nxg = nx.Graph()
+    for link in g.links():
+        nxg.add_edge(link.a, link.b)
+    return nxg
+
+
+class TestShortestPath:
+    def test_trivial(self, diamond):
+        assert shortest_path(diamond, "A", "A") == ["A"]
+
+    def test_basic(self, diamond):
+        path = shortest_path(diamond, "A", "D")
+        assert path in (["A", "B", "D"], ["A", "C", "D"])
+
+    def test_forbidden_link(self, diamond):
+        path = shortest_path(diamond, "A", "D", forbidden_links=[("A", "B")])
+        assert path == ["A", "C", "D"]
+
+    def test_forbidden_node(self, diamond):
+        path = shortest_path(diamond, "A", "D", forbidden_nodes=["B"])
+        assert path == ["A", "C", "D"]
+
+    def test_unreachable(self, diamond):
+        with pytest.raises(NoPathError):
+            shortest_path(
+                diamond, "A", "E",
+                forbidden_links=[("B", "D"), ("C", "D")],
+            )
+
+    def test_weighted(self, diamond):
+        def weight(a, b):
+            return 10.0 if {a, b} == {"A", "B"} else 1.0
+
+        assert shortest_path(diamond, "A", "D", weight=weight) == ["A", "C", "D"]
+
+    def test_negative_weight_rejected(self, diamond):
+        with pytest.raises(Exception, match="negative"):
+            shortest_path(diamond, "A", "D", weight=lambda a, b: -1.0)
+
+    def test_matches_networkx_on_random_graphs(self):
+        for seed in range(5):
+            g = random_connected(12, extra_links=6, seed=seed, min_switch_id=29)
+            nxg = _to_nx(g)
+            names = g.node_names()
+            src, dst = names[0], names[-1]
+            ours = shortest_path(g, src, dst)
+            assert len(ours) - 1 == nx.shortest_path_length(nxg, src, dst)
+
+
+class TestAllShortestPaths:
+    def test_diamond_has_two(self, diamond):
+        paths = all_shortest_paths(diamond, "A", "D")
+        assert paths == [["A", "B", "D"], ["A", "C", "D"]]
+
+    def test_matches_networkx(self):
+        g = random_connected(10, extra_links=8, seed=3, min_switch_id=29)
+        nxg = _to_nx(g)
+        names = g.node_names()
+        ours = all_shortest_paths(g, names[0], names[-1])
+        theirs = sorted(nx.all_shortest_paths(nxg, names[0], names[-1]))
+        assert ours == theirs
+
+
+class TestKShortest:
+    def test_returns_k_distinct_loopfree(self, diamond):
+        paths = k_shortest_paths(diamond, "A", "D", k=3)
+        assert len(paths) == 2  # only two loop-free paths exist
+        for p in paths:
+            assert len(set(p)) == len(p)
+
+    def test_sorted_by_length(self):
+        g = random_connected(14, extra_links=10, seed=1, min_switch_id=31)
+        names = g.node_names()
+        paths = k_shortest_paths(g, names[0], names[-1], k=5)
+        lengths = [len(p) for p in paths]
+        assert lengths == sorted(lengths)
+        assert len({tuple(p) for p in paths}) == len(paths)
+
+    def test_bad_k(self, diamond):
+        with pytest.raises(ValueError):
+            k_shortest_paths(diamond, "A", "D", k=0)
+
+    def test_no_path_returns_empty(self):
+        g = PortGraph()
+        g.add_node("A", switch_id=5)
+        g.add_node("B", switch_id=7)
+        assert k_shortest_paths(g, "A", "B", k=2) == []
+
+
+class TestReachabilityAndBridges:
+    def test_path_links(self):
+        assert path_links(["A", "B", "C"]) == [("A", "B"), ("B", "C")]
+
+    def test_reachable_without(self, diamond):
+        assert is_reachable_without(diamond, "A", "D", [("A", "B")])
+        assert not is_reachable_without(
+            diamond, "A", "E", [("D", "E")]
+        )
+
+    def test_bridges(self, diamond):
+        assert articulation_links(diamond) == [("D", "E")]
+
+    def test_bridges_match_networkx(self):
+        g = random_connected(15, extra_links=5, seed=7, min_switch_id=31)
+        nxg = _to_nx(g)
+        theirs = sorted(tuple(sorted(e)) for e in nx.bridges(nxg))
+        assert articulation_links(g) == theirs

@@ -1,0 +1,78 @@
+"""Tests for scenario JSON (de)serialization."""
+
+import json
+
+import pytest
+
+from repro.runner import KarSimulation
+from repro.topology import fifteen_node, redundant_path, rnp28, six_node
+from repro.topology.serialize import (
+    FORMAT_NAME,
+    load_scenario,
+    save_scenario,
+    scenario_from_dict,
+    scenario_to_dict,
+)
+
+
+@pytest.mark.parametrize("build", [six_node, fifteen_node, rnp28,
+                                   redundant_path])
+class TestRoundTrip:
+    def test_full_round_trip(self, build):
+        original = build()
+        restored = scenario_from_dict(scenario_to_dict(original))
+        assert restored.name == original.name
+        assert restored.primary_route == original.primary_route
+        assert restored.src_host == original.src_host
+        assert restored.failure_links == original.failure_links
+        assert restored.reverse_route == original.reverse_route
+        # Protection preserved level by level.
+        assert set(restored.protection) == set(original.protection)
+        for level in original.protection:
+            assert restored.segments(level) == original.segments(level)
+            assert restored.reverse_segments(level) == \
+                original.reverse_segments(level)
+
+    def test_port_numbering_preserved(self, build):
+        original = build()
+        restored = scenario_from_dict(scenario_to_dict(original))
+        for node in original.graph.nodes():
+            assert restored.graph.neighbors(node.name) == \
+                original.graph.neighbors(node.name)
+
+    def test_link_parameters_preserved(self, build):
+        original = build()
+        restored = scenario_from_dict(scenario_to_dict(original))
+        for link in original.graph.links():
+            twin = restored.graph.link(link.a, link.b)
+            assert twin.rate_mbps == link.rate_mbps
+            assert twin.delay_s == link.delay_s
+            assert twin.queue_packets == link.queue_packets
+
+
+class TestFiles:
+    def test_save_and_load(self, tmp_path):
+        path = str(tmp_path / "scenario.json")
+        save_scenario(fifteen_node(), path)
+        restored = load_scenario(path)
+        assert restored.name == "fifteen_node"
+        # The saved file is valid, self-describing JSON.
+        data = json.load(open(path))
+        assert data["format"] == FORMAT_NAME
+
+    def test_restored_scenario_runs(self, tmp_path):
+        path = str(tmp_path / "scenario.json")
+        save_scenario(six_node(), path)
+        ks = KarSimulation(load_scenario(path), deflection="nip",
+                           protection="full", seed=1)
+        assert ks.primary_forward.route_id == 660  # ports survived
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ValueError, match="not a kar-scenario"):
+            scenario_from_dict({"format": "pcap"})
+
+    def test_wrong_version_rejected(self):
+        data = scenario_to_dict(six_node())
+        data["version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            scenario_from_dict(data)

@@ -1,0 +1,114 @@
+"""Tests for the fat-tree and Abilene reference topologies."""
+
+import pytest
+
+from repro.rns import pairwise_coprime
+from repro.runner import KarSimulation
+from repro.topology import Scenario, attach_host_pair, shortest_path
+from repro.topology.zoo import ABILENE_LINKS, abilene, fat_tree
+
+
+class TestFatTree:
+    def test_k4_structure(self):
+        g = fat_tree(4)
+        names = g.node_names()
+        assert sum(n.startswith("core-") for n in names) == 4
+        assert sum(n.startswith("agg-") for n in names) == 8
+        assert sum(n.startswith("edgesw-") for n in names) == 8
+        # Core and aggregation switches have full degree k; edge
+        # switches keep k/2 ports for hosts.
+        assert g.degree("core-0") == 4
+        assert g.degree("agg-0-0") == 4
+        assert g.degree("edgesw-0-0") == 2
+
+    def test_ids_valid(self):
+        g = fat_tree(4)
+        ids = list(g.switch_ids().values())
+        assert pairwise_coprime(ids)
+        assert all(v > 4 for v in ids)
+
+    def test_k6(self):
+        g = fat_tree(6)
+        assert sum(n.startswith("core-") for n in g.node_names()) == 9
+        assert g.is_connected()
+
+    def test_odd_k_rejected(self):
+        with pytest.raises(ValueError):
+            fat_tree(3)
+
+    def test_any_pod_pair_reachable_in_four_core_hops(self):
+        g = fat_tree(4)
+        path = shortest_path(g, "edgesw-0-0", "edgesw-3-1")
+        assert len(path) == 5  # edge-agg-core-agg-edge
+
+    def test_kar_runs_on_fat_tree(self):
+        g = fat_tree(4, rate_mbps=50.0)
+        src, dst = attach_host_pair(g, "edgesw-0-0", "edgesw-3-0",
+                                    rate_mbps=50.0, delay_s=0.0001)
+        g.validate()
+        route = shortest_path(g, "edgesw-0-0", "edgesw-3-0")
+        scn = Scenario(
+            name="fat-tree", graph=g, primary_route=tuple(route),
+            src_host=src, dst_host=dst, protection={"none": ()},
+        )
+        ks = KarSimulation(scn, deflection="nip", protection="none", seed=1)
+        probe, sink = ks.add_udp_probe(rate_pps=200, duration_s=0.5)
+        probe.start()
+        ks.run(until=2.0)
+        assert sink.received == probe.sent
+
+    def test_fat_tree_failure_survivable(self):
+        # Fat trees are rich in path diversity: even unprotected NIP
+        # deflection routes around an agg-core failure.
+        g = fat_tree(4, rate_mbps=50.0)
+        src, dst = attach_host_pair(g, "edgesw-0-0", "edgesw-3-0",
+                                    rate_mbps=50.0, delay_s=0.0001)
+        g.validate()
+        route = shortest_path(g, "edgesw-0-0", "edgesw-3-0")
+        scn = Scenario(
+            name="fat-tree", graph=g, primary_route=tuple(route),
+            src_host=src, dst_host=dst, protection={"none": ()},
+        )
+        ks = KarSimulation(scn, deflection="nip", protection="none", seed=2)
+        ks.schedule_failure(route[1], route[2], at=0.3)
+        probe, sink = ks.add_udp_probe(rate_pps=200, duration_s=1.0)
+        probe.start(at=0.5)
+        ks.run(until=4.0)
+        accounted = sink.received + sum(ks.tracer.drop_reasons.values())
+        assert accounted == probe.sent
+        assert sink.received >= 0.9 * probe.sent
+
+
+class TestAbilene:
+    def test_eleven_pops_fourteen_links(self):
+        g = abilene()
+        assert len(g) == 11
+        assert len(g.links()) == 14
+
+    def test_matches_published_adjacency(self):
+        g = abilene()
+        for a, b in ABILENE_LINKS:
+            assert g.has_link(a, b)
+
+    def test_ids_valid(self):
+        g = abilene()
+        ids = list(g.switch_ids().values())
+        assert pairwise_coprime(ids)
+        for n in g.nodes():
+            assert n.switch_id > n.degree
+
+    def test_coast_to_coast_kar_flow(self):
+        g = abilene(rate_mbps=50.0, delay_s=0.0005)
+        src, dst = attach_host_pair(g, "Seattle", "NewYork",
+                                    rate_mbps=50.0, delay_s=0.0005)
+        g.validate()
+        route = shortest_path(g, "Seattle", "NewYork")
+        scn = Scenario(
+            name="abilene", graph=g, primary_route=tuple(route),
+            src_host=src, dst_host=dst, protection={"none": ()},
+        )
+        ks = KarSimulation(scn, deflection="nip", protection="none", seed=1)
+        probe, sink = ks.add_udp_probe(rate_pps=100, duration_s=0.5)
+        probe.start()
+        ks.run(until=2.0)
+        assert sink.received == probe.sent
