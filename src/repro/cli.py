@@ -8,6 +8,8 @@ runner:
 * ``report [PATH]`` — regenerate EXPERIMENTS.md.
 * ``topo SCENARIO [--dot]`` — describe (or DOT-dump) a topology.
 * ``run`` — one custom iperf-under-failure run with full knobs.
+* ``chaos`` — seeded generative fault injection with runtime invariant
+  checking; ``--sweep`` maps delivery ratio vs. failure rate.
 """
 
 from __future__ import annotations
@@ -21,6 +23,10 @@ from repro.switches.deflection import STRATEGY_NAMES
 __all__ = ["main", "build_parser"]
 
 _SCENARIOS = ("six_node", "fifteen_node", "rnp28", "redundant_path")
+
+#: Kept in sync with repro.sim.chaos.CHAOS_MODES (asserted by tests);
+#: listed literally so the parser builds without importing the sim.
+_CHAOS_MODES = ("adversarial", "flap", "mtbf", "regional", "srlg")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -61,6 +67,32 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=1)
     run.add_argument("--duration", type=float, default=12.0,
                      help="total simulated seconds")
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="generative fault injection with invariant checking",
+    )
+    chaos.add_argument("--scenario", choices=_SCENARIOS[1:],
+                       default="fifteen_node")
+    chaos.add_argument("--deflection", choices=STRATEGY_NAMES, default="nip")
+    chaos.add_argument("--mode", choices=sorted(_CHAOS_MODES),
+                       default="mtbf",
+                       help="failure process (default: %(default)s)")
+    chaos.add_argument("--seed", type=int, default=42)
+    chaos.add_argument("--duration", type=float, default=4.0,
+                       help="simulated seconds of probe traffic")
+    chaos.add_argument("--mtbf", type=float, default=2.0,
+                       help="per-link mean time between failures (mtbf mode)")
+    chaos.add_argument("--mttr", type=float, default=0.5,
+                       help="mean time to repair (mtbf/srlg/regional modes)")
+    chaos.add_argument("--ctrl-outage", action="store_true",
+                       help="also inject controller outages (exercises the "
+                            "re-encode retry/backoff path)")
+    chaos.add_argument("--sweep", action="store_true",
+                       help="run the full delivery-ratio vs. failure-rate "
+                            "sweep (HP/AVP/NIP) instead of a single run")
+    chaos.add_argument("--export", metavar="PATH.csv|PATH.json",
+                       help="also write the sweep/run rows")
     return parser
 
 
@@ -192,6 +224,46 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _chaos_kwargs(args: argparse.Namespace) -> dict:
+    if args.mode == "mtbf":
+        return {"mtbf_s": args.mtbf, "mttr_s": args.mttr}
+    if args.mode in ("srlg", "regional"):
+        return {"mttr_s": args.mttr}
+    return {}
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.experiments.chaos_sweep import (
+        render_chaos_run,
+        render_chaos_sweep,
+        run_chaos_once,
+        run_chaos_sweep,
+    )
+
+    if args.sweep:
+        runs = run_chaos_sweep(scenario_name=args.scenario, seed=args.seed)
+        print(render_chaos_sweep(runs))
+    else:
+        runs = [
+            run_chaos_once(
+                scenario_name=args.scenario,
+                technique=args.deflection,
+                mode=args.mode,
+                seed=args.seed,
+                chaos_kwargs=_chaos_kwargs(args),
+                ctrl_outage=args.ctrl_outage,
+                traffic_s=args.duration,
+            )
+        ]
+        print(render_chaos_run(runs[0]))
+    if args.export:
+        from repro.experiments.export import chaos_rows, write_rows
+
+        write_rows(chaos_rows(runs), args.export)
+        print(f"wrote {args.export}")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "table1":
@@ -212,6 +284,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_topo(args.scenario, args.dot)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "chaos":
+        return _cmd_chaos(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

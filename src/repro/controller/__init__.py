@@ -8,6 +8,7 @@ from repro.controller.protection import (
     ProtectionPlanner,
     segments_to_hops,
 )
+from repro.controller.retry import DEFAULT_RETRY_POLICY, RetryPolicy
 from repro.controller.routing import (
     RoutingError,
     core_path_between_edges,
@@ -17,6 +18,8 @@ from repro.controller.routing import (
 
 __all__ = [
     "KarController",
+    "RetryPolicy",
+    "DEFAULT_RETRY_POLICY",
     "NotificationService",
     "LinkNotification",
     "assign_switch_ids",

@@ -59,6 +59,8 @@ class KarController:
         self.encoder = encoder or RouteEncoder()
         self._reencode_cache: Dict[Tuple[str, str], Optional[IngressEntry]] = {}
         self.reencodes_served = 0
+        self._reachable = True
+        self.outages = 0
 
     # ------------------------------------------------------------------
     # ReencodeService protocol (used by EdgeNode)
@@ -66,6 +68,21 @@ class KarController:
     @property
     def control_rtt_s(self) -> float:
         return self._control_rtt_s
+
+    @property
+    def reachable(self) -> bool:
+        """Whether the re-encode service currently answers requests.
+
+        Chaos injectors (:class:`~repro.sim.chaos.ControllerOutageChaos`)
+        toggle this; edges observe an unreachable controller as a
+        request timeout and enter their retry/backoff path.
+        """
+        return self._reachable
+
+    def set_reachable(self, up: bool) -> None:
+        if not up and self._reachable:
+            self.outages += 1
+        self._reachable = up
 
     def reencode(self, edge_name: str, dst_host: str) -> Optional[IngressEntry]:
         """Best-path route ID from *edge_name* to *dst_host*'s edge.

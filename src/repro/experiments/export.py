@@ -19,6 +19,7 @@ __all__ = [
     "figure4_rows",
     "figure5_rows",
     "figure7_rows",
+    "chaos_rows",
     "rows_to_csv",
     "rows_to_json",
     "write_rows",
@@ -101,6 +102,30 @@ def figure7_rows(points: Iterable[Any]) -> List[Dict[str, Any]]:
                 "mbps_ci95": p.throughput_mbps.half_width,
                 "ratio_mean": p.ratio.mean,
                 "ratio_ci95": p.ratio.half_width,
+            }
+        )
+    return rows
+
+
+def chaos_rows(runs: Iterable[Any]) -> List[Dict[str, Any]]:
+    """Chaos runs -> one row per (technique, failure level)."""
+    rows = []
+    for r in runs:
+        rows.append(
+            {
+                "scenario": r.scenario,
+                "technique": r.technique,
+                "mode": r.mode,
+                "seed": r.seed,
+                "mtbf_s": r.mtbf_s,
+                "sent": r.sent,
+                "delivered": r.delivered,
+                "delivery_ratio": r.delivery_ratio,
+                "dropped": r.dropped,
+                "chaos_events": r.chaos_events,
+                "digest": r.digest,
+                "peak_links_down": r.peak_links_down,
+                "violations": r.violation_count,
             }
         )
     return rows

@@ -22,9 +22,12 @@ from __future__ import annotations
 from typing import Dict, Optional, Tuple
 
 from repro.controller.controller import KarController
+from repro.controller.retry import RetryPolicy
 from repro.rns.encoder import EncodedRoute
+from repro.sim.chaos import CHAOS_MODES, ChaosInjector, ControllerOutageChaos
 from repro.sim.engine import Simulator
 from repro.sim.failures import FailureSchedule
+from repro.sim.invariants import InvariantChecker
 from repro.sim.network import Network
 from repro.sim.node import Node
 from repro.sim.rng import RngRegistry
@@ -59,6 +62,13 @@ class KarSimulation:
             :class:`~repro.switches.edge.EdgeNode`; pass
             :class:`~repro.multipath.MultipathEdgeNode` for per-packet
             multipath policies).
+        invariants: True wires a collecting
+            :class:`~repro.sim.invariants.InvariantChecker` through the
+            whole packet path (NIP runs also enable the return-to-
+            sender check); pass a checker instance for custom/strict
+            configuration.
+        retry_policy: edge→controller re-encode timeout/backoff policy
+            (default :data:`~repro.controller.retry.DEFAULT_RETRY_POLICY`).
     """
 
     def __init__(
@@ -73,9 +83,12 @@ class KarSimulation:
         install_primary_flow: bool = True,
         edge_node_cls: type = EdgeNode,
         misdelivery_policy: str = "reencode",
+        invariants: bool | InvariantChecker = False,
+        retry_policy: Optional[RetryPolicy] = None,
     ):
         self.edge_node_cls = edge_node_cls
         self.misdelivery_policy = misdelivery_policy
+        self.retry_policy = retry_policy
         self.scenario = scenario
         self.sim = Simulator()
         self.rng = RngRegistry(seed)
@@ -86,6 +99,16 @@ class KarSimulation:
             self.strategy = strategy_by_name(deflection)
         self.protection_level = protection
         self._flow_count = 0
+        self.chaos: list[ChaosInjector] = []
+
+        if isinstance(invariants, InvariantChecker):
+            self.invariants: Optional[InvariantChecker] = invariants
+        elif invariants:
+            self.invariants = InvariantChecker(
+                forbid_return_to_sender=(self.strategy.name == "nip")
+            )
+        else:
+            self.invariants = None
 
         graph = scenario.graph
         factories = {
@@ -93,7 +116,10 @@ class KarSimulation:
             NodeKind.EDGE: self._make_edge,
             NodeKind.HOST: self._make_host,
         }
-        self.network = Network(graph, self.sim, factories, tracer=self.tracer)
+        self.network = Network(
+            graph, self.sim, factories, tracer=self.tracer,
+            invariants=self.invariants,
+        )
         self.controller = KarController(
             graph, control_rtt_s=control_rtt_s, default_ttl=ttl
         )
@@ -119,12 +145,16 @@ class KarSimulation:
             strategy=self.strategy,
             rng=self.rng.stream(f"deflect:{info.name}"),
             tracer=self.tracer,
+            invariants=self.invariants,
         )
 
     def _make_edge(self, info: NodeInfo, sim: Simulator) -> Node:
         return self.edge_node_cls(
             info.name, sim, info.degree, tracer=self.tracer,
             misdelivery_policy=self.misdelivery_policy,
+            retry_policy=self.retry_policy,
+            rng=self.rng.stream(f"edge:{info.name}"),
+            invariants=self.invariants,
         )
 
     def _make_host(self, info: NodeInfo, sim: Simulator) -> Node:
@@ -213,6 +243,39 @@ class KarSimulation:
         else:
             schedule.fail_between(a, b, at, repair_at)
         schedule.install(self.network)
+
+    def add_chaos(self, mode: str, until: float, **kwargs) -> ChaosInjector:
+        """Arm a generative fault injector ('mtbf', 'flap', 'srlg',
+        'regional' or 'adversarial') drawing from this run's seeded
+        streams; no new fault starts after *until*.
+        """
+        try:
+            cls = CHAOS_MODES[mode]
+        except KeyError:
+            raise ValueError(
+                f"unknown chaos mode {mode!r}; "
+                f"choose from {sorted(CHAOS_MODES)}"
+            ) from None
+        injector = cls(self.network, self.rng, until, **kwargs).install()
+        self.chaos.append(injector)
+        return injector
+
+    def add_controller_outage(
+        self, until: float, **kwargs
+    ) -> ControllerOutageChaos:
+        """Arm stochastic controller outages (re-encode unreachability)."""
+        injector = ControllerOutageChaos(
+            self.network, self.rng, until, controller=self.controller,
+            **kwargs,
+        ).install()
+        self.chaos.append(injector)
+        return injector
+
+    def check_conservation(self, expect_in_flight: int = 0) -> None:
+        """Run the invariant checker's drain-time conservation check."""
+        if self.invariants is None:
+            raise RuntimeError("simulation was built without invariants")
+        self.invariants.check_conservation(self.sim.now, expect_in_flight)
 
     # ------------------------------------------------------------------
     # traffic

@@ -38,10 +38,18 @@ class FailureSchedule:
         self._events: List[FailureEvent] = []
 
     def fail(self, time: float, a: str, b: str) -> "FailureSchedule":
+        if time < 0:
+            raise ValueError(
+                f"failure time for {a}-{b} must be non-negative, got {time}"
+            )
         self._events.append(FailureEvent(time, a, b, up=False))
         return self
 
     def repair(self, time: float, a: str, b: str) -> "FailureSchedule":
+        if time < 0:
+            raise ValueError(
+                f"repair time for {a}-{b} must be non-negative, got {time}"
+            )
         self._events.append(FailureEvent(time, a, b, up=True))
         return self
 
@@ -49,7 +57,10 @@ class FailureSchedule:
                      end: float) -> "FailureSchedule":
         """Fail link a-b during [start, end) — the paper's pattern."""
         if end <= start:
-            raise ValueError(f"repair time {end} must follow failure {start}")
+            raise ValueError(
+                f"link {a}-{b}: repair time t={end} must come after "
+                f"failure time t={start}"
+            )
         return self.fail(start, a, b).repair(end, a, b)
 
     @property
@@ -57,8 +68,23 @@ class FailureSchedule:
         return tuple(sorted(self._events, key=lambda e: e.time))
 
     def install(self, network: "Network") -> None:
-        """Schedule every event on the network's simulator."""
-        for ev in self.events:
+        """Schedule every event on the network's simulator.
+
+        Every event is validated against the network first, so a typo'd
+        endpoint pair fails here with the offending link named, not
+        later inside the event loop.
+        """
+        events = self.events
+        for ev in events:
+            try:
+                network.link_between(ev.a, ev.b)
+            except KeyError:
+                raise ValueError(
+                    f"failure schedule references link {ev.a}-{ev.b} "
+                    f"(event: {ev.describe()}), which does not exist in "
+                    f"the network"
+                ) from None
+        for ev in events:
             link = network.link_between(ev.a, ev.b)
             network.sim.schedule_at(ev.time, link.set_up, ev.up)
 

@@ -1,0 +1,231 @@
+"""Runtime invariant checking for the packet path.
+
+Chaos runs (:mod:`repro.sim.chaos`) flip link state at arbitrary
+instants, which is exactly where forwarding bugs hide: a strategy that
+only ever saw scripted fail/repair pairs can silently forward into a
+dead port or ping-pong forever when failures flip mid-flight.  The
+checker turns the properties KAR *claims* into executable assertions:
+
+* **no-dead-port** — a deflection decision never selects a port whose
+  link is down at decision time (all strategies);
+* **no-return-to-sender** — the packet never leaves on the port it
+  arrived on (NIP's Algorithm 1 guarantee; optional, because HP
+  legitimately random-walks back);
+* **TTL sanity** — the remaining hop budget never goes negative and a
+  packet's hop count never exceeds its initial budget;
+* **packet conservation** — every packet encapsulated at an ingress
+  edge is eventually delivered or dropped with an explicit reason;
+  nothing silently vanishes (checked at drain time).
+
+Violations are structured :class:`InvariantViolation` errors carrying
+the offending packet's recent hop trace.  In ``strict`` mode the first
+violation raises; otherwise violations are collected for reporting
+(the chaos CLI prints the tally, which must be zero for AVP/NIP).
+
+The checker is observational: attaching it never changes forwarding
+behaviour, only adds assertions (same contract as
+:class:`~repro.sim.trace.PacketTracer`).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Tuple
+
+from repro.sim.packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.node import Node
+
+__all__ = ["InvariantViolation", "Violation", "InvariantChecker"]
+
+#: How many recent hops to keep per live packet for violation traces.
+TRACE_WINDOW = 16
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One recorded invariant violation."""
+
+    kind: str
+    time: float
+    node: str
+    packet_uid: int
+    detail: str
+    trace: Tuple[str, ...] = ()
+
+    def describe(self) -> str:
+        path = " -> ".join(self.trace) or "(no trace)"
+        return (
+            f"[{self.kind}] t={self.time:.6f}s at {self.node} "
+            f"pkt#{self.packet_uid}: {self.detail} (trace: {path})"
+        )
+
+
+class InvariantViolation(AssertionError):
+    """Raised in strict mode; carries the structured violation."""
+
+    def __init__(self, violation: Violation):
+        super().__init__(violation.describe())
+        self.violation = violation
+
+
+class InvariantChecker:
+    """Collects (or raises on) packet-path invariant violations.
+
+    Args:
+        strict: raise :class:`InvariantViolation` on the first violation
+            instead of collecting it.
+        forbid_return_to_sender: also enforce NIP's never-use-the-input-
+            port guarantee (enable only for NIP runs; HP may legally
+            revisit the sender).
+    """
+
+    def __init__(
+        self,
+        strict: bool = False,
+        forbid_return_to_sender: bool = False,
+    ):
+        self.strict = strict
+        self.forbid_return_to_sender = forbid_return_to_sender
+        self.violations: List[Violation] = []
+        self.violation_counts: Counter = Counter()
+        # Conservation ledger: uids encapsulated and not yet resolved.
+        self._outstanding: Dict[int, str] = {}  # uid -> src edge
+        self.injected = 0
+        self.delivered = 0
+        self.dropped = 0
+        # Recent hop window per live packet (for violation traces and
+        # the return-to-sender check).
+        self._recent: Dict[int, Deque[str]] = {}
+
+    # ------------------------------------------------------------------
+    # hooks called by the dataplane
+    # ------------------------------------------------------------------
+    def on_encapsulate(self, time: float, edge: str, packet: Packet) -> None:
+        """An ingress edge attached a KAR header to *packet*."""
+        self.injected += 1
+        self._outstanding[packet.uid] = edge
+        self._recent[packet.uid] = deque([edge], maxlen=TRACE_WINDOW)
+
+    def on_switch_forward(
+        self,
+        time: float,
+        switch: "Node",
+        packet: Packet,
+        in_port: int,
+        out_port: int,
+    ) -> None:
+        """A core switch decided to transmit *packet* on *out_port*.
+
+        Called after the deflection decision, before the send — the
+        decision and the transmission are one atomic event, so checking
+        port state here is exact (no flip can interleave).
+        """
+        trace = self._recent.setdefault(
+            packet.uid, deque(maxlen=TRACE_WINDOW)
+        )
+        trace.append(switch.name)
+        if not switch.port_up(out_port):
+            peer = switch.peer_name(out_port) or f"port{out_port}"
+            self._flag(
+                "dead-port-forward", time, switch.name, packet,
+                f"selected port {out_port} (toward {peer}) while its "
+                f"link is down",
+            )
+        if (
+            self.forbid_return_to_sender
+            and in_port == out_port
+            and switch.link_on(in_port) is not None
+        ):
+            peer = switch.peer_name(in_port) or f"port{in_port}"
+            self._flag(
+                "return-to-sender", time, switch.name, packet,
+                f"forwarded back out input port {in_port} (toward {peer})",
+            )
+        if packet.kar is not None and packet.kar.ttl < 0:
+            self._flag(
+                "negative-ttl", time, switch.name, packet,
+                f"TTL went negative ({packet.kar.ttl})",
+            )
+
+    def on_reencode(self, time: float, edge: str, packet: Packet) -> None:
+        """An edge re-encoded a stray packet (fresh route, fresh trace).
+
+        The packet may now legally revisit nodes it just came from, so
+        the hop window restarts.
+        """
+        self._recent[packet.uid] = deque([edge], maxlen=TRACE_WINDOW)
+
+    def on_deliver(self, time: float, edge: str, packet: Packet) -> None:
+        """An egress edge stripped the header and delivered *packet*."""
+        if packet.uid in self._outstanding:
+            del self._outstanding[packet.uid]
+            self.delivered += 1
+        self._recent.pop(packet.uid, None)
+
+    def on_drop(self, time: float, node: str, packet: Packet,
+                reason: str) -> None:
+        """Any element dropped *packet* with an explicit *reason*."""
+        if packet.uid in self._outstanding:
+            del self._outstanding[packet.uid]
+            self.dropped += 1
+        self._recent.pop(packet.uid, None)
+
+    # ------------------------------------------------------------------
+    # end-of-run checks & reporting
+    # ------------------------------------------------------------------
+    @property
+    def in_flight(self) -> int:
+        """Packets encapsulated but not yet delivered or dropped."""
+        return len(self._outstanding)
+
+    def check_conservation(self, time: float, expect_in_flight: int = 0) -> None:
+        """Assert injected == delivered + dropped + in-flight.
+
+        Call after the event heap has drained (or at a quiesce point
+        where *expect_in_flight* packets are legitimately still inside
+        the network).
+        """
+        if self.in_flight != expect_in_flight:
+            uids = sorted(self._outstanding)[:8]
+            self._flag(
+                "conservation", time, "<network>", None,
+                f"{self.in_flight} packet(s) unaccounted for at drain "
+                f"(injected={self.injected} delivered={self.delivered} "
+                f"dropped={self.dropped}; first uids: {uids})",
+            )
+
+    def summary(self) -> str:
+        tally = ", ".join(
+            f"{kind}={count}"
+            for kind, count in sorted(self.violation_counts.items())
+        ) or "none"
+        return (
+            f"invariants: injected={self.injected} "
+            f"delivered={self.delivered} dropped={self.dropped} "
+            f"in_flight={self.in_flight} violations: {tally}"
+        )
+
+    # ------------------------------------------------------------------
+    def _flag(
+        self,
+        kind: str,
+        time: float,
+        node: str,
+        packet: Optional[Packet],
+        detail: str,
+    ) -> None:
+        uid = packet.uid if packet is not None else -1
+        trace: Tuple[str, ...] = ()
+        if packet is not None:
+            trace = tuple(self._recent.get(uid, ()))
+        violation = Violation(
+            kind=kind, time=time, node=node, packet_uid=uid,
+            detail=detail, trace=trace,
+        )
+        self.violation_counts[kind] += 1
+        if self.strict:
+            raise InvariantViolation(violation)
+        self.violations.append(violation)

@@ -18,7 +18,7 @@ A :class:`Link` joins two node ports and owns two independent
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, List, Optional
+from typing import TYPE_CHECKING, Callable, List, Optional, Tuple
 
 from repro.sim.engine import EventHandle, Simulator
 from repro.sim.packet import Packet
@@ -61,7 +61,8 @@ class Channel:
         self._queue: List[Packet] = []
         self._busy = False
         self._up = True
-        self._in_flight: List[EventHandle] = []
+        self._transmitting: Optional[Packet] = None
+        self._in_flight: List[Tuple[EventHandle, Packet]] = []
         self.stats = ChannelStats()
 
     # -- state ---------------------------------------------------------
@@ -74,12 +75,20 @@ class Channel:
             return
         self._up = up
         if not up:
-            # A cut loses everything queued and on the wire.
+            # A cut loses everything queued and on the wire.  Every
+            # casualty goes through the drop hook: chaos runs verify
+            # packet conservation, so nothing may vanish silently.
             for pkt in self._queue:
                 self._drop(pkt, "link-down")
+                self.stats.failure_drops += 1
             self._queue.clear()
-            for handle in self._in_flight:
+            if self._transmitting is not None:
+                self._drop(self._transmitting, "link-down")
+                self.stats.failure_drops += 1
+                self._transmitting = None
+            for handle, pkt in self._in_flight:
                 handle.cancel()
+                self._drop(pkt, "link-down")
                 self.stats.failure_drops += 1
             self._in_flight.clear()
             self._busy = False
@@ -112,16 +121,22 @@ class Channel:
 
     def _transmit(self, packet: Packet) -> None:
         self._busy = True
+        self._transmitting = packet
         tx_time = packet.size_bytes * 8 / self._rate_bps
         self.stats.tx_packets += 1
         self.stats.tx_bytes += packet.size_bytes
         self._sim.schedule(tx_time, self._tx_done, packet)
 
     def _tx_done(self, packet: Packet) -> None:
-        if not self._up:
-            return  # state flipped mid-serialization; packet already lost
+        if packet is not self._transmitting:
+            # State flipped mid-serialization: the packet was dropped
+            # (and accounted) by set_up, even if the link has already
+            # been repaired by now — an interrupted serialization never
+            # resumes.
+            return
+        self._transmitting = None
         handle = self._sim.schedule(self._delay_s, self._arrive, packet)
-        self._in_flight.append(handle)
+        self._in_flight.append((handle, packet))
         if self._queue:
             self._transmit(self._queue.pop(0))
         else:
@@ -130,8 +145,10 @@ class Channel:
     def _arrive(self, packet: Packet) -> None:
         # Drop completed handles lazily; the list stays short (one entry
         # per packet in the propagation pipe).
-        self._in_flight = [h for h in self._in_flight if not h.cancelled
-                           and h.time > self._sim.now]
+        self._in_flight = [
+            (h, p) for h, p in self._in_flight
+            if not h.cancelled and h.time > self._sim.now
+        ]
         self.stats.delivered_packets += 1
         self._deliver(packet)
 

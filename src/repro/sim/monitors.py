@@ -11,10 +11,17 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.sim.invariants import InvariantChecker
 from repro.sim.link import Link
 from repro.sim.network import Network
 
-__all__ = ["LinkSample", "LinkMonitor", "NetworkMonitor"]
+__all__ = [
+    "LinkSample",
+    "LinkMonitor",
+    "NetworkMonitor",
+    "HealthSample",
+    "InvariantSampler",
+]
 
 
 @dataclass(frozen=True)
@@ -126,3 +133,68 @@ class NetworkMonitor:
                 last = monitor.samples[-1]
                 total += last.drops_ab + last.drops_ba
         return total
+
+
+@dataclass(frozen=True)
+class HealthSample:
+    """Point-in-time network health during a chaos run."""
+
+    time: float
+    links_down: int
+    in_flight: int
+    injected: int
+    delivered: int
+    dropped: int
+    violations: int
+
+
+class InvariantSampler:
+    """Samples the invariant checker + link state on an interval.
+
+    The per-link monitors say where the bytes went; this sampler says
+    whether the system stayed *sane* while chaos ran: how many links
+    were dark, how many packets were in flight, and whether any
+    invariant had been violated by that point — the time series a
+    resilience-envelope plot needs.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        invariants: InvariantChecker,
+        interval_s: float = 0.25,
+    ):
+        if interval_s <= 0:
+            raise ValueError("interval must be positive")
+        self.network = network
+        self.invariants = invariants
+        self.interval_s = interval_s
+        self.samples: List[HealthSample] = []
+
+    def start(self) -> None:
+        self.network.sim.schedule(self.interval_s, self._tick)
+
+    def _tick(self) -> None:
+        inv = self.invariants
+        self.samples.append(
+            HealthSample(
+                time=self.network.sim.now,
+                links_down=len(self.network.down_link_keys()),
+                in_flight=inv.in_flight,
+                injected=inv.injected,
+                delivered=inv.delivered,
+                dropped=inv.dropped,
+                violations=sum(inv.violation_counts.values()),
+            )
+        )
+        self.network.sim.schedule(self.interval_s, self._tick)
+
+    def peak_links_down(self) -> int:
+        if not self.samples:
+            return 0
+        return max(s.links_down for s in self.samples)
+
+    def peak_in_flight(self) -> int:
+        if not self.samples:
+            return 0
+        return max(s.in_flight for s in self.samples)

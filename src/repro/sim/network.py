@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Callable, Dict, Optional
 
 from repro.sim.engine import Simulator
+from repro.sim.invariants import InvariantChecker
 from repro.sim.link import Link
 from repro.sim.node import Node
 from repro.sim.packet import Packet
@@ -35,6 +36,10 @@ class Network:
         tracer: optional packet tracer shared by all nodes that support
             one (factories are responsible for passing it to their
             nodes; the network keeps it here for convenient access).
+        invariants: optional runtime invariant checker; the network
+            reports link-level drops (queue overflow, link-down) to its
+            conservation ledger, so chaos cuts never make packets
+            vanish unaccounted.
     """
 
     def __init__(
@@ -43,10 +48,12 @@ class Network:
         sim: Simulator,
         factories: Dict[str, NodeFactory],
         tracer: Optional[PacketTracer] = None,
+        invariants: Optional[InvariantChecker] = None,
     ):
         self.graph = graph
         self.sim = sim
         self.tracer = tracer
+        self.invariants = invariants
         self.nodes: Dict[str, Node] = {}
         self._links: Dict[tuple, Link] = {}
 
@@ -67,6 +74,8 @@ class Network:
         def drop_hook(packet: Packet, reason: str) -> None:
             if self.tracer is not None:
                 self.tracer.on_drop(sim.now, "<link>", packet, reason)
+            if self.invariants is not None:
+                self.invariants.on_drop(sim.now, "<link>", packet, reason)
 
         for link_info in graph.links():
             link = Link(
@@ -97,3 +106,22 @@ class Network:
 
     def links(self) -> Dict[tuple, Link]:
         return dict(self._links)
+
+    def core_link_keys(self) -> list:
+        """Keys of links joining two core switches, in insertion order.
+
+        These are the chaos-eligible links: cutting host/edge access
+        links proves nothing about deflection, so fault injectors
+        restrict themselves to the core by default.
+        """
+        from repro.topology.graph import NodeKind
+
+        return [
+            key for key in self._links
+            if self.graph.node(key[0]).kind == NodeKind.CORE
+            and self.graph.node(key[1]).kind == NodeKind.CORE
+        ]
+
+    def down_link_keys(self) -> list:
+        """Keys of links currently down (chaos/monitor reporting)."""
+        return [key for key, link in self._links.items() if not link.up]

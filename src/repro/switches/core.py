@@ -20,6 +20,7 @@ import random
 from typing import Optional
 
 from repro.sim.engine import Simulator
+from repro.sim.invariants import InvariantChecker
 from repro.sim.node import Node
 from repro.sim.packet import Packet
 from repro.sim.trace import PacketTracer
@@ -50,6 +51,7 @@ class KarSwitch(Node):
         strategy: DeflectionStrategy,
         rng: random.Random,
         tracer: Optional[PacketTracer] = None,
+        invariants: Optional[InvariantChecker] = None,
     ):
         super().__init__(name, sim, num_ports)
         if switch_id <= num_ports - 1:
@@ -61,6 +63,7 @@ class KarSwitch(Node):
         self.strategy = strategy
         self._rng = rng
         self.tracer = tracer
+        self.invariants = invariants
         # Local counters (cheap; kept even without a tracer).
         self.forwarded = 0
         self.deflections = 0
@@ -87,6 +90,12 @@ class KarSwitch(Node):
             packet.kar.deflected = True
             self.deflections += 1
         self.forwarded += 1
+        if self.invariants is not None:
+            # Decision and transmission are one atomic event, so the
+            # checker sees exactly the port state the strategy saw.
+            self.invariants.on_switch_forward(
+                self.sim.now, self, packet, in_port, decision.port
+            )
         if self.tracer is not None:
             self.tracer.on_forward(
                 self.sim.now, self.name, packet, in_port,
@@ -98,3 +107,5 @@ class KarSwitch(Node):
         self.drops += 1
         if self.tracer is not None:
             self.tracer.on_drop(self.sim.now, self.name, packet, reason)
+        if self.invariants is not None:
+            self.invariants.on_drop(self.sim.now, self.name, packet, reason)

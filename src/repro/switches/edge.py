@@ -16,13 +16,20 @@ edge/core split):
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
-from typing import Dict, Optional, Protocol
+from typing import TYPE_CHECKING, Dict, Optional, Protocol
 
 from repro.sim.engine import Simulator
+from repro.sim.invariants import InvariantChecker
 from repro.sim.node import Node
 from repro.sim.packet import KarHeader, Packet
 from repro.sim.trace import PacketTracer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    # Imported lazily at runtime: repro.controller.controller imports
+    # this module, so a module-level import here would be circular.
+    from repro.controller.retry import RetryPolicy
 
 __all__ = ["EdgeNode", "IngressEntry", "ReencodeService"]
 
@@ -56,6 +63,11 @@ class ReencodeService(Protocol):
         """One control-plane round-trip, in seconds."""
         ...
 
+    @property
+    def reachable(self) -> bool:
+        """Whether the service currently answers (chaos may say no)."""
+        ...
+
 
 #: Misdelivery policies (Section 2.1 of the paper describes both): the
 #: edge either bounces the stray packet back unchanged, or asks the
@@ -76,6 +88,9 @@ class EdgeNode(Node):
         num_ports: int,
         tracer: Optional[PacketTracer] = None,
         misdelivery_policy: str = REENCODE,
+        retry_policy: Optional["RetryPolicy"] = None,
+        rng: Optional[random.Random] = None,
+        invariants: Optional[InvariantChecker] = None,
     ):
         super().__init__(name, sim, num_ports)
         if misdelivery_policy not in MISDELIVERY_POLICIES:
@@ -83,8 +98,15 @@ class EdgeNode(Node):
                 f"unknown misdelivery policy {misdelivery_policy!r}; "
                 f"choose from {MISDELIVERY_POLICIES}"
             )
+        if retry_policy is None:
+            from repro.controller.retry import DEFAULT_RETRY_POLICY
+
+            retry_policy = DEFAULT_RETRY_POLICY
         self.tracer = tracer
         self.misdelivery_policy = misdelivery_policy
+        self.retry_policy = retry_policy
+        self.invariants = invariants
+        self._rng = rng if rng is not None else random.Random(0)
         self._host_ports: Dict[str, int] = {}
         self._ingress: Dict[str, IngressEntry] = {}
         self._controller: Optional[ReencodeService] = None
@@ -92,6 +114,9 @@ class EdgeNode(Node):
         self.encapsulated = 0
         self.delivered = 0
         self.reencode_requests = 0
+        self.reencode_timeouts = 0
+        self.reencode_retries = 0
+        self.reencode_giveups = 0
         self.bounces = 0
         self.drops = 0
 
@@ -129,6 +154,8 @@ class EdgeNode(Node):
             route_id=entry.route_id, modulus=entry.modulus, ttl=entry.ttl
         )
         self.encapsulated += 1
+        if self.invariants is not None:
+            self.invariants.on_encapsulate(self.sim.now, self.name, packet)
         self.send(entry.out_port, packet)
 
     def _core_packet(self, packet: Packet) -> None:
@@ -139,6 +166,8 @@ class EdgeNode(Node):
             self.delivered += 1
             if self.tracer is not None:
                 self.tracer.on_deliver(self.sim.now, packet.dst_host, packet)
+            if self.invariants is not None:
+                self.invariants.on_deliver(self.sim.now, self.name, packet)
             self.send(host_port, packet)
             return
         self._misdelivered(packet)
@@ -153,6 +182,11 @@ class EdgeNode(Node):
         paper's first option) the edge "directly returns the packet to
         the network without any change" — zero latency, but the stale
         route ID means the packet resumes wandering.
+
+        The re-encode RPC can fail: an unreachable controller never
+        answers, so the request times out and the edge retries with
+        exponential backoff + jitter per its :class:`RetryPolicy`,
+        finally dropping with reason ``reencode-unreachable``.
         """
         if self.misdelivery_policy == BOUNCE:
             self._bounce(packet)
@@ -160,13 +194,37 @@ class EdgeNode(Node):
         if self._controller is None:
             self._drop(packet, "misdelivered-no-controller")
             return
-        entry = self._controller.reencode(self.name, packet.dst_host)
+        self._reencode_attempt(packet, attempt=1)
+
+    def _reencode_attempt(self, packet: Packet, attempt: int) -> None:
+        """Issue re-encode request number *attempt* for *packet*."""
+        ctrl = self._controller
+        assert ctrl is not None
         self.reencode_requests += 1
-        if entry is None:
-            self._drop(packet, "misdelivered-no-route")
+        if getattr(ctrl, "reachable", True):
+            # The request will be answered one control RTT from now.
+            entry = ctrl.reencode(self.name, packet.dst_host)
+            if entry is None:
+                self._drop(packet, "misdelivered-no-route")
+                return
+            self.sim.schedule(ctrl.control_rtt_s, self._reinject, packet, entry)
             return
+        # No answer is coming; the timeout fires, then we back off.
         self.sim.schedule(
-            self._controller.control_rtt_s, self._reinject, packet, entry
+            self.retry_policy.timeout_s, self._reencode_timed_out,
+            packet, attempt,
+        )
+
+    def _reencode_timed_out(self, packet: Packet, attempt: int) -> None:
+        self.reencode_timeouts += 1
+        if attempt >= self.retry_policy.max_attempts:
+            self.reencode_giveups += 1
+            self._drop(packet, "reencode-unreachable")
+            return
+        self.reencode_retries += 1
+        self.sim.schedule(
+            self.retry_policy.backoff_s(attempt, self._rng),
+            self._reencode_attempt, packet, attempt + 1,
         )
 
     def _bounce(self, packet: Packet) -> None:
@@ -183,6 +241,8 @@ class EdgeNode(Node):
             if self._host_ports and port in self._host_ports.values():
                 continue
             self.bounces += 1
+            if self.invariants is not None:
+                self.invariants.on_reencode(self.sim.now, self.name, packet)
             self.send(port, packet)
             return
         self._drop(packet, "bounce-no-port")
@@ -198,9 +258,13 @@ class EdgeNode(Node):
             modulus=entry.modulus,
             ttl=packet.kar.ttl,
         )
+        if self.invariants is not None:
+            self.invariants.on_reencode(self.sim.now, self.name, packet)
         self.send(entry.out_port, packet)
 
     def _drop(self, packet: Packet, reason: str) -> None:
         self.drops += 1
         if self.tracer is not None:
             self.tracer.on_drop(self.sim.now, self.name, packet, reason)
+        if self.invariants is not None:
+            self.invariants.on_drop(self.sim.now, self.name, packet, reason)

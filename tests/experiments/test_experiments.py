@@ -94,3 +94,37 @@ class TestFigure8Model:
 
     def test_paper_ratio_constant(self):
         assert figure8.PAPER_RATIO == pytest.approx(0.548)
+
+
+class TestChaosSweep:
+    def test_single_run_is_reproducible_and_clean(self):
+        from repro.experiments.chaos_sweep import run_chaos_once
+
+        a = run_chaos_once(technique="avp", seed=42, traffic_s=1.0,
+                           chaos_kwargs={"mtbf_s": 1.0, "mttr_s": 0.3})
+        b = run_chaos_once(technique="avp", seed=42, traffic_s=1.0,
+                           chaos_kwargs={"mtbf_s": 1.0, "mttr_s": 0.3})
+        assert a == b                     # the whole summary, bit for bit
+        assert a.digest == b.digest
+        assert a.violation_count == 0
+        assert a.sent > 0
+        assert a.delivered + a.dropped == a.sent
+
+    def test_render_sweep_flags_violations(self):
+        from repro.experiments.chaos_sweep import ChaosRun, render_chaos_sweep
+
+        def run(technique, mtbf, violations):
+            return ChaosRun(
+                scenario="fifteen_node", technique=technique, mode="mtbf",
+                seed=1, sent=100, delivered=90, drop_reasons=(),
+                violations=violations, chaos_events=4, digest="abc",
+                peak_links_down=2, reencode_requests=0,
+                reencode_timeouts=0, reencode_giveups=0, mtbf_s=mtbf,
+            )
+
+        clean = render_chaos_sweep([run("hp", 2.0, ()),
+                                    run("nip", 2.0, ())])
+        assert "violations across all runs: 0" in clean
+        dirty = render_chaos_sweep(
+            [run("hp", 2.0, (("dead-port-forward", 3),))])
+        assert "!" in dirty

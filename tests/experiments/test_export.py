@@ -86,3 +86,25 @@ class TestSerializers:
     def test_write_rows_bad_extension(self, tmp_path):
         with pytest.raises(ValueError, match="extension"):
             write_rows(self.ROWS, str(tmp_path / "out.xml"))
+
+
+class TestChaosRows:
+    def test_rows_flatten_runs(self, tmp_path):
+        from repro.experiments.chaos_sweep import ChaosRun
+        from repro.experiments.export import chaos_rows
+
+        run = ChaosRun(
+            scenario="fifteen_node", technique="nip", mode="mtbf",
+            seed=42, sent=100, delivered=97,
+            drop_reasons=(("link-down", 3),),
+            violations=(), chaos_events=8, digest="deadbeef",
+            peak_links_down=3, reencode_requests=5,
+            reencode_timeouts=1, reencode_giveups=0, mtbf_s=2.0,
+        )
+        rows = chaos_rows([run])
+        assert rows[0]["delivery_ratio"] == pytest.approx(0.97)
+        assert rows[0]["dropped"] == 3
+        assert rows[0]["violations"] == 0
+        path = tmp_path / "chaos.csv"
+        write_rows(rows, str(path))
+        assert "deadbeef" in path.read_text()

@@ -1,0 +1,111 @@
+"""Property-style chaos trials on random topologies (stdlib random only).
+
+Seeded trials drive the full stack on generated networks while an
+MTBF/MTTR chaos process flips core links mid-flight, asserting the
+properties the deflection techniques claim:
+
+* NIP never forwards a packet back out its input port (no ping-pong),
+  even when the port set is shifting under it;
+* AVP and NIP never select a port whose link is down at decision time;
+* packet conservation holds for every technique: injected ==
+  delivered + dropped once the network drains.
+
+The invariant checker runs in collect mode so a failing trial reports
+every violation (with hop traces) instead of stopping at the first.
+"""
+
+import random
+
+import pytest
+
+from repro.controller.protection import ProtectionPlanner
+from repro.runner import KarSimulation
+from repro.topology import Scenario, attach_host_pair, random_connected, shortest_path
+
+#: Seeds for the trial generator — bump to widen the search.
+MASTER_SEEDS = (11, 23)
+TRIALS_PER_SEED = 3
+TRAFFIC_S = 1.5
+DRAIN_S = 2.5
+
+
+def _random_scenario(seed):
+    graph = random_connected(
+        9, extra_links=5, seed=seed, min_switch_id=53,
+        rate_mbps=50.0, delay_s=0.0002,
+    )
+    names = sorted(graph.node_names())
+    src_sw, dst_sw = names[0], names[-1]
+    src_host, dst_host = attach_host_pair(
+        graph, src_sw, dst_sw, rate_mbps=50.0, delay_s=0.0002
+    )
+    route = shortest_path(graph, src_sw, dst_sw)
+    plan = ProtectionPlanner(graph).full(route)
+    return Scenario(
+        name=f"chaos-random-{seed}",
+        graph=graph,
+        primary_route=tuple(route),
+        src_host=src_host,
+        dst_host=dst_host,
+        protection={"full": tuple(plan.segments), "none": ()},
+    )
+
+
+def _chaos_trial(technique, topo_seed, run_seed):
+    scenario = _random_scenario(topo_seed)
+    ks = KarSimulation(
+        scenario, deflection=technique, protection="full",
+        seed=run_seed, ttl=96, invariants=True,
+    )
+    ks.add_chaos("mtbf", until=TRAFFIC_S, mtbf_s=0.6, mttr_s=0.25)
+    src, sink = ks.add_udp_probe(rate_pps=250, duration_s=TRAFFIC_S)
+    src.start(at=0.05)
+    ks.run(until=TRAFFIC_S + DRAIN_S)
+    ks.check_conservation()
+    return ks, src, sink
+
+
+def _trial_seeds():
+    for master in MASTER_SEEDS:
+        gen = random.Random(master)
+        for _ in range(TRIALS_PER_SEED):
+            yield gen.randrange(10_000), gen.randrange(10_000)
+
+
+@pytest.mark.parametrize("technique", ["avp", "nip"])
+def test_no_dead_port_forward_under_midflight_flips(technique):
+    for topo_seed, run_seed in _trial_seeds():
+        ks, _, _ = _chaos_trial(technique, topo_seed, run_seed)
+        bad = [
+            v for v in ks.invariants.violations
+            if v.kind == "dead-port-forward"
+        ]
+        assert not bad, (
+            f"{technique} topo={topo_seed} run={run_seed}:\n"
+            + "\n".join(v.describe() for v in bad[:5])
+        )
+
+
+def test_nip_never_ping_pongs():
+    for topo_seed, run_seed in _trial_seeds():
+        ks, _, _ = _chaos_trial("nip", topo_seed, run_seed)
+        # invariants=True arms forbid_return_to_sender for NIP runs.
+        assert ks.invariants.forbid_return_to_sender
+        bad = [
+            v for v in ks.invariants.violations
+            if v.kind == "return-to-sender"
+        ]
+        assert not bad, (
+            f"topo={topo_seed} run={run_seed}:\n"
+            + "\n".join(v.describe() for v in bad[:5])
+        )
+
+
+@pytest.mark.parametrize("technique", ["hp", "avp", "nip"])
+def test_conservation_under_chaos(technique):
+    topo_seed, run_seed = next(iter(_trial_seeds()))
+    ks, src, sink = _chaos_trial(technique, topo_seed, run_seed)
+    assert ks.invariants.violation_counts["conservation"] == 0
+    dropped = sum(ks.tracer.drop_reasons.values())
+    assert sink.received + dropped == src.sent
+    assert ks.invariants.injected == src.sent

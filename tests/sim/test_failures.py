@@ -1,0 +1,89 @@
+"""Tests for the declarative failure schedule (validation & messages)."""
+
+import pytest
+
+from repro.sim import FailureSchedule, Network, Simulator
+from repro.sim.node import Node
+from repro.topology import NodeKind, PortGraph
+
+
+class Sink(Node):
+    def receive(self, packet, in_port):
+        pass
+
+
+def _triangle_network():
+    g = PortGraph()
+    for name, sid in (("A", 5), ("B", 7), ("C", 11)):
+        g.add_node(name, switch_id=sid)
+    g.add_link("A", "B")
+    g.add_link("B", "C")
+    g.add_link("C", "A")
+    sim = Simulator()
+
+    def make(info, sim):
+        return Sink(info.name, sim, info.degree)
+
+    factories = {k: make for k in (NodeKind.CORE, NodeKind.EDGE, NodeKind.HOST)}
+    return sim, Network(g, sim, factories)
+
+
+class TestEventValidation:
+    def test_negative_fail_time_rejected(self):
+        with pytest.raises(ValueError, match="A-B.*non-negative"):
+            FailureSchedule().fail(-1.0, "A", "B")
+
+    def test_negative_repair_time_rejected(self):
+        with pytest.raises(ValueError, match="B-C.*non-negative"):
+            FailureSchedule().repair(-0.5, "B", "C")
+
+    def test_fail_between_rejects_inverted_window(self):
+        # The message must name the link and both times.
+        with pytest.raises(ValueError) as exc:
+            FailureSchedule().fail_between("A", "B", start=5.0, end=2.0)
+        msg = str(exc.value)
+        assert "A-B" in msg
+        assert "t=2.0" in msg and "t=5.0" in msg
+
+    def test_fail_between_rejects_zero_width_window(self):
+        with pytest.raises(ValueError):
+            FailureSchedule().fail_between("A", "B", start=3.0, end=3.0)
+
+    def test_fail_between_valid_window_produces_pair(self):
+        sched = FailureSchedule().fail_between("A", "B", 1.0, 2.0)
+        kinds = [(ev.time, ev.up) for ev in sched.events]
+        assert kinds == [(1.0, False), (2.0, True)]
+
+
+class TestInstallValidation:
+    def test_install_rejects_unknown_link(self):
+        sim, net = _triangle_network()
+        sched = FailureSchedule().fail(1.0, "A", "Z")
+        with pytest.raises(ValueError) as exc:
+            sched.install(net)
+        msg = str(exc.value)
+        assert "A-Z" in msg
+        assert "does not exist" in msg
+        # The offending event is spelled out too.
+        assert "t=1" in msg and "fail" in msg
+
+    def test_install_validates_before_scheduling_anything(self):
+        # One bad event poisons the whole install: nothing runs.
+        sim, net = _triangle_network()
+        sched = (
+            FailureSchedule()
+            .fail(0.5, "A", "B")
+            .fail(1.0, "B", "Q")  # typo'd endpoint
+        )
+        with pytest.raises(ValueError, match="B-Q"):
+            sched.install(net)
+        sim.run()
+        assert net.link_between("A", "B").up  # good event never scheduled
+
+    def test_install_applies_valid_schedule(self):
+        sim, net = _triangle_network()
+        FailureSchedule().fail_between("A", "B", 1.0, 2.0).install(net)
+        sim.run_until(1.5)
+        assert not net.link_between("A", "B").up
+        sim.run_until(2.5)
+        assert net.link_between("A", "B").up

@@ -1,0 +1,132 @@
+"""Tests for the runtime invariant checker (unit level, fake switches)."""
+
+import pytest
+
+from repro.sim.invariants import InvariantChecker, InvariantViolation
+from repro.sim.packet import KarHeader, Packet
+
+
+class FakeSwitch:
+    """Just enough of the Node surface for on_switch_forward."""
+
+    def __init__(self, name="SW1", dead_ports=()):
+        self.name = name
+        self._dead = set(dead_ports)
+
+    def port_up(self, port):
+        return port not in self._dead
+
+    def peer_name(self, port):
+        return f"peer{port}"
+
+    def link_on(self, port):
+        return object()  # every port is cabled
+
+
+def _pkt(ttl=16):
+    return Packet(src_host="S", dst_host="D", size_bytes=100,
+                  kar=KarHeader(route_id=7, modulus=5, ttl=ttl))
+
+
+class TestConservationLedger:
+    def test_clean_lifecycle_balances(self):
+        inv = InvariantChecker()
+        p = _pkt()
+        inv.on_encapsulate(0.0, "E1", p)
+        inv.on_switch_forward(0.1, FakeSwitch(), p, in_port=0, out_port=1)
+        inv.on_deliver(0.2, "E2", p)
+        assert (inv.injected, inv.delivered, inv.dropped) == (1, 1, 0)
+        assert inv.in_flight == 0
+        inv.check_conservation(1.0)
+        assert inv.violations == []
+
+    def test_drop_resolves_the_ledger(self):
+        inv = InvariantChecker()
+        p = _pkt()
+        inv.on_encapsulate(0.0, "E1", p)
+        inv.on_drop(0.5, "SW3", p, "link-down")
+        assert inv.dropped == 1
+        inv.check_conservation(1.0)
+        assert inv.violations == []
+
+    def test_unresolved_packet_is_a_conservation_violation(self):
+        inv = InvariantChecker()
+        p = _pkt()
+        inv.on_encapsulate(0.0, "E1", p)
+        inv.check_conservation(1.0)
+        assert inv.violation_counts["conservation"] == 1
+        v = inv.violations[0]
+        assert f"{p.uid}" in v.detail
+        assert "injected=1 delivered=0 dropped=0" in v.detail
+
+    def test_expected_in_flight_suppresses_the_violation(self):
+        inv = InvariantChecker()
+        inv.on_encapsulate(0.0, "E1", _pkt())
+        inv.check_conservation(1.0, expect_in_flight=1)
+        assert inv.violations == []
+
+
+class TestForwardChecks:
+    def test_dead_port_forward_flagged_with_trace(self):
+        inv = InvariantChecker()
+        p = _pkt()
+        inv.on_encapsulate(0.0, "E1", p)
+        inv.on_switch_forward(0.1, FakeSwitch("SW1"), p, 0, 1)
+        inv.on_switch_forward(0.2, FakeSwitch("SW2", dead_ports={3}), p, 0, 3)
+        assert inv.violation_counts["dead-port-forward"] == 1
+        v = inv.violations[0]
+        assert v.node == "SW2"
+        assert v.trace == ("E1", "SW1", "SW2")
+        assert "peer3" in v.detail
+
+    def test_live_port_forward_is_clean(self):
+        inv = InvariantChecker()
+        inv.on_switch_forward(0.1, FakeSwitch(), _pkt(), 0, 1)
+        assert inv.violations == []
+
+    def test_return_to_sender_only_when_enabled(self):
+        relaxed = InvariantChecker(forbid_return_to_sender=False)
+        relaxed.on_switch_forward(0.1, FakeSwitch(), _pkt(), 2, 2)
+        assert relaxed.violations == []
+
+        nip = InvariantChecker(forbid_return_to_sender=True)
+        nip.on_switch_forward(0.1, FakeSwitch(), _pkt(), 2, 2)
+        assert nip.violation_counts["return-to-sender"] == 1
+
+    def test_negative_ttl_flagged(self):
+        inv = InvariantChecker()
+        inv.on_switch_forward(0.1, FakeSwitch(), _pkt(ttl=-1), 0, 1)
+        assert inv.violation_counts["negative-ttl"] == 1
+
+    def test_reencode_resets_the_trace(self):
+        inv = InvariantChecker()
+        p = _pkt()
+        inv.on_encapsulate(0.0, "E1", p)
+        inv.on_switch_forward(0.1, FakeSwitch("SW1"), p, 0, 1)
+        inv.on_reencode(0.2, "E9", p)
+        inv.on_switch_forward(0.3, FakeSwitch("SW2", dead_ports={0}), p, 1, 0)
+        assert inv.violations[0].trace == ("E9", "SW2")
+
+
+class TestStrictMode:
+    def test_strict_raises_structured_error(self):
+        inv = InvariantChecker(strict=True)
+        with pytest.raises(InvariantViolation) as exc:
+            inv.on_switch_forward(
+                0.1, FakeSwitch(dead_ports={1}), _pkt(), 0, 1)
+        assert exc.value.violation.kind == "dead-port-forward"
+        assert "SW1" in str(exc.value)
+
+    def test_collect_mode_keeps_going(self):
+        inv = InvariantChecker(strict=False)
+        sw = FakeSwitch(dead_ports={1})
+        inv.on_switch_forward(0.1, sw, _pkt(), 0, 1)
+        inv.on_switch_forward(0.2, sw, _pkt(), 0, 1)
+        assert len(inv.violations) == 2
+        assert inv.violation_counts["dead-port-forward"] == 2
+
+    def test_summary_tallies(self):
+        inv = InvariantChecker()
+        inv.on_switch_forward(0.1, FakeSwitch(dead_ports={1}), _pkt(), 0, 1)
+        assert "dead-port-forward=1" in inv.summary()
+        assert "none" in InvariantChecker().summary()

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.runner import KarSimulation
-from repro.sim.monitors import LinkMonitor, NetworkMonitor
+from repro.sim.monitors import InvariantSampler, LinkMonitor, NetworkMonitor
 from repro.topology import PARTIAL, fifteen_node
 
 
@@ -85,3 +85,27 @@ class TestLinkMonitor:
         m = monitor.monitor("SW43", "SW47")
         assert m.peak_mbps() == 0.0
         assert m.peak_queue() == 0
+
+
+class TestInvariantSampler:
+    def test_validation(self):
+        ks = KarSimulation(fifteen_node(), seed=0, invariants=True)
+        with pytest.raises(ValueError):
+            InvariantSampler(ks.network, ks.invariants, interval_s=0)
+
+    def test_samples_track_chaos_and_health(self):
+        ks = KarSimulation(fifteen_node(), deflection="nip",
+                           protection=PARTIAL, seed=42, invariants=True)
+        ks.add_chaos("mtbf", until=2.0, mtbf_s=0.5, mttr_s=0.3)
+        sampler = InvariantSampler(ks.network, ks.invariants,
+                                   interval_s=0.25)
+        sampler.start()
+        src, sink = ks.add_udp_probe(rate_pps=200, duration_s=2.0)
+        src.start(at=0.1)
+        ks.run(until=4.0)
+        assert sampler.samples
+        assert sampler.peak_links_down() >= 1
+        assert sampler.peak_in_flight() >= 0
+        last = sampler.samples[-1]
+        assert last.injected == src.sent
+        assert last.delivered + last.dropped + last.in_flight == last.injected

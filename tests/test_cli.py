@@ -52,6 +52,55 @@ class TestFastCommands:
             assert main(["topo", name]) == 0
 
 
+class TestChaosParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["chaos"])
+        assert args.scenario == "fifteen_node"
+        assert args.deflection == "nip"
+        assert args.mode == "mtbf"
+        assert args.seed == 42
+        assert args.duration == 4.0
+        assert not args.sweep
+        assert not args.ctrl_outage
+
+    def test_mode_literal_matches_registry(self):
+        # The CLI keeps a literal copy so the parser builds without
+        # importing the sim; it must never drift from the registry.
+        from repro.cli import _CHAOS_MODES
+        from repro.sim.chaos import CHAOS_MODES
+
+        assert sorted(_CHAOS_MODES) == sorted(CHAOS_MODES)
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["chaos", "--mode", "entropy"])
+
+
+class TestChaosCommand:
+    def test_single_run_reports_invariants(self, capsys):
+        rc = main(["chaos", "--seed", "42", "--duration", "1.0"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "digest" in out
+        assert "invariant violations: none" in out
+
+    def test_export_writes_rows(self, tmp_path, capsys):
+        path = tmp_path / "chaos.csv"
+        rc = main(["chaos", "--seed", "42", "--duration", "1.0",
+                   "--export", str(path)])
+        assert rc == 0
+        text = path.read_text()
+        assert text.splitlines()[0].startswith("scenario,technique,mode")
+        assert "fifteen_node,nip,mtbf,42" in text
+
+    def test_runs_are_bit_reproducible(self, capsys):
+        assert main(["chaos", "--seed", "42", "--duration", "1.0"]) == 0
+        first = capsys.readouterr().out
+        assert main(["chaos", "--seed", "42", "--duration", "1.0"]) == 0
+        second = capsys.readouterr().out
+        assert first == second
+
+
 class TestRunCommand:
     def test_short_custom_run(self, capsys):
         rc = main([
