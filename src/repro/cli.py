@@ -10,6 +10,15 @@ runner:
 * ``run`` — one custom iperf-under-failure run with full knobs.
 * ``chaos`` — seeded generative fault injection with runtime invariant
   checking; ``--sweep`` maps delivery ratio vs. failure rate.
+* ``farm bench`` — measure the farm's parallel/cache speedups.
+
+The experiment commands (``fig4``/``fig5``/``fig7``/``fig8``/
+``report``/``chaos``) all run on the job farm (:mod:`repro.farm`) and
+share its flags: ``--jobs N`` for worker processes, ``--cache-dir``
+(on by default at ``.repro-cache``; results are content-addressed, so
+a rerun is free), ``--no-cache``/``--refresh`` escape hatches,
+``--resume`` to pick up a killed sweep, and ``--progress`` /
+``--no-progress`` to force the live reporter on or off.
 """
 
 from __future__ import annotations
@@ -28,6 +37,46 @@ _SCENARIOS = ("six_node", "fifteen_node", "rnp28", "redundant_path")
 #: listed literally so the parser builds without importing the sim.
 _CHAOS_MODES = ("adversarial", "flap", "mtbf", "regional", "srlg")
 
+#: Default on-disk result cache for the experiment commands.
+_DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def _add_farm_args(parser: argparse.ArgumentParser) -> None:
+    """The shared farm flags (--jobs/--cache-dir/--resume/...)."""
+    group = parser.add_argument_group("farm")
+    group.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker processes (default: %(default)s; >1 "
+                            "uses a spawn-context process pool)")
+    group.add_argument("--cache-dir", default=_DEFAULT_CACHE_DIR,
+                       metavar="DIR",
+                       help="content-addressed result cache "
+                            "(default: %(default)s)")
+    group.add_argument("--no-cache", action="store_true",
+                       help="neither read nor write the result cache")
+    group.add_argument("--refresh", action="store_true",
+                       help="re-run every job and overwrite cached results")
+    group.add_argument("--resume", action="store_true",
+                       help="resume a partially completed sweep from the "
+                            "cache checkpoint")
+    group.add_argument("--progress", action=argparse.BooleanOptionalAction,
+                       default=None,
+                       help="live progress on stderr (default: auto when "
+                            "stderr is a terminal)")
+
+
+def _farm_options(args: argparse.Namespace, label: str):
+    from repro.farm.executor import FarmOptions
+
+    return FarmOptions(
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        no_cache=args.no_cache,
+        refresh=args.refresh,
+        resume=args.resume,
+        progress=args.progress,
+        label=label,
+    )
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -42,14 +91,19 @@ def build_parser() -> argparse.ArgumentParser:
     fig4.add_argument("--seed", type=int, default=1)
     fig4.add_argument("--export", metavar="PATH.csv|PATH.json",
                       help="also write the raw series")
+    _add_farm_args(fig4)
     fig5 = sub.add_parser("fig5", help="protection/technique/location grid")
     fig5.add_argument("--export", metavar="PATH.csv|PATH.json")
+    _add_farm_args(fig5)
     fig7 = sub.add_parser("fig7", help="RNP backbone failures")
     fig7.add_argument("--export", metavar="PATH.csv|PATH.json")
-    sub.add_parser("fig8", help="redundant-path worst case")
+    _add_farm_args(fig7)
+    fig8 = sub.add_parser("fig8", help="redundant-path worst case")
+    _add_farm_args(fig8)
 
     report = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
     report.add_argument("path", nargs="?", default="EXPERIMENTS.md")
+    _add_farm_args(report)
 
     topo = sub.add_parser("topo", help="describe a scenario topology")
     topo.add_argument("scenario", choices=_SCENARIOS)
@@ -93,6 +147,30 @@ def build_parser() -> argparse.ArgumentParser:
                             "sweep (HP/AVP/NIP) instead of a single run")
     chaos.add_argument("--export", metavar="PATH.csv|PATH.json",
                        help="also write the sweep/run rows")
+    _add_farm_args(chaos)
+
+    farm = sub.add_parser(
+        "farm",
+        help="the experiment job farm (parallel runs + result cache)",
+    )
+    farm_sub = farm.add_subparsers(dest="farm_command", required=True)
+    bench = farm_sub.add_parser(
+        "bench",
+        help="measure sequential vs parallel vs warm-cache wall clock",
+    )
+    bench.add_argument("--jobs", type=int, default=4, metavar="N",
+                       help="worker processes for the parallel phase "
+                            "(default: %(default)s)")
+    bench.add_argument("--seeds", type=int, default=4, metavar="K",
+                       help="seeds per technique (default: %(default)s; "
+                            "2 techniques => 2*K jobs)")
+    bench.add_argument("--out", default="BENCH_farm.json",
+                       help="result file (default: %(default)s)")
+    bench.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="cache for the parallel/warm phases "
+                            "(default: a fresh temp dir)")
+    bench.add_argument("--progress", action=argparse.BooleanOptionalAction,
+                       default=None)
     return parser
 
 
@@ -110,55 +188,56 @@ def _cmd_table2() -> int:
     return 0
 
 
-def _cmd_fig4(seed: int, export: Optional[str]) -> int:
+def _cmd_fig4(args: argparse.Namespace) -> int:
     from repro.experiments.export import figure4_rows, write_rows
     from repro.experiments.figure4 import render_figure4, run_figure4
 
-    series = run_figure4(seed=seed)
+    series = run_figure4(seed=args.seed, farm=_farm_options(args, "fig4"))
     print(render_figure4(series))
-    if export:
-        write_rows(figure4_rows(series), export)
-        print(f"wrote {export}")
+    if args.export:
+        write_rows(figure4_rows(series), args.export)
+        print(f"wrote {args.export}")
     return 0
 
 
-def _cmd_fig5(export: Optional[str]) -> int:
+def _cmd_fig5(args: argparse.Namespace) -> int:
     from repro.experiments.export import figure5_rows, write_rows
     from repro.experiments.figure5 import render_figure5, run_figure5
 
-    cells = run_figure5()
+    cells = run_figure5(farm=_farm_options(args, "fig5"))
     print(render_figure5(cells))
-    if export:
-        write_rows(figure5_rows(cells), export)
-        print(f"wrote {export}")
+    if args.export:
+        write_rows(figure5_rows(cells), args.export)
+        print(f"wrote {args.export}")
     return 0
 
 
-def _cmd_fig7(export: Optional[str]) -> int:
+def _cmd_fig7(args: argparse.Namespace) -> int:
     from repro.experiments.export import figure7_rows, write_rows
     from repro.experiments.figure7 import render_figure7, run_figure7
 
-    points = run_figure7()
+    points = run_figure7(farm=_farm_options(args, "fig7"))
     print(render_figure7(points))
-    if export:
-        write_rows(figure7_rows(points), export)
-        print(f"wrote {export}")
+    if args.export:
+        write_rows(figure7_rows(points), args.export)
+        print(f"wrote {args.export}")
     return 0
 
 
-def _cmd_fig8() -> int:
+def _cmd_fig8(args: argparse.Namespace) -> int:
     from repro.experiments.figure8 import render_figure8, run_figure8
 
-    print(render_figure8(run_figure8()))
+    print(render_figure8(run_figure8(farm=_farm_options(args, "fig8"))))
     return 0
 
 
-def _cmd_report(path: str) -> int:
+def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.report import build_report
 
-    with open(path, "w", encoding="utf-8") as f:
-        f.write(build_report())
-    print(f"wrote {path}")
+    report = build_report(farm=_farm_options(args, "report"))
+    with open(args.path, "w", encoding="utf-8") as f:
+        f.write(report)
+    print(f"wrote {args.path}")
     return 0
 
 
@@ -236,25 +315,31 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.experiments.chaos_sweep import (
         render_chaos_run,
         render_chaos_sweep,
-        run_chaos_once,
         run_chaos_sweep,
     )
+    from repro.farm.jobs import chaos_spec
+    from repro.farm.sweep import run_chaos_specs
 
     if args.sweep:
-        runs = run_chaos_sweep(scenario_name=args.scenario, seed=args.seed)
+        runs = run_chaos_sweep(
+            scenario_name=args.scenario,
+            seed=args.seed,
+            farm=_farm_options(args, "chaos-sweep"),
+        )
         print(render_chaos_sweep(runs))
     else:
-        runs = [
-            run_chaos_once(
-                scenario_name=args.scenario,
-                technique=args.deflection,
-                mode=args.mode,
-                seed=args.seed,
-                chaos_kwargs=_chaos_kwargs(args),
-                ctrl_outage=args.ctrl_outage,
-                traffic_s=args.duration,
-            )
-        ]
+        spec = chaos_spec(
+            args.scenario,
+            args.deflection,
+            args.mode,
+            args.seed,
+            chaos_kwargs=_chaos_kwargs(args),
+            ctrl_outage=args.ctrl_outage,
+            traffic_s=args.duration,
+        )
+        runs = run_chaos_specs(
+            [spec], _farm_options(args, "chaos"), label="chaos"
+        )
         print(render_chaos_run(runs[0]))
     if args.export:
         from repro.experiments.export import chaos_rows, write_rows
@@ -264,6 +349,23 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_farm(args: argparse.Namespace) -> int:
+    from repro.farm.bench import render_bench, run_bench
+
+    if args.farm_command == "bench":
+        result = run_bench(
+            jobs=args.jobs,
+            seeds=list(range(1, args.seeds + 1)),
+            out=args.out,
+            cache_dir=args.cache_dir,
+            progress=args.progress,
+        )
+        print(render_bench(result))
+        print(f"wrote {args.out}")
+        return 0
+    raise AssertionError(f"unhandled farm command {args.farm_command!r}")
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "table1":
@@ -271,21 +373,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "table2":
         return _cmd_table2()
     if args.command == "fig4":
-        return _cmd_fig4(args.seed, args.export)
+        return _cmd_fig4(args)
     if args.command == "fig5":
-        return _cmd_fig5(args.export)
+        return _cmd_fig5(args)
     if args.command == "fig7":
-        return _cmd_fig7(args.export)
+        return _cmd_fig7(args)
     if args.command == "fig8":
-        return _cmd_fig8()
+        return _cmd_fig8(args)
     if args.command == "report":
-        return _cmd_report(args.path)
+        return _cmd_report(args)
     if args.command == "topo":
         return _cmd_topo(args.scenario, args.dot)
     if args.command == "run":
         return _cmd_run(args)
     if args.command == "chaos":
         return _cmd_chaos(args)
+    if args.command == "farm":
+        return _cmd_farm(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -13,6 +13,7 @@ from repro.experiments.common import (
     DEFAULT_TIMELINE,
     RunOutcome,
     Timeline,
+    resolve_seeds,
     run_failure_experiment,
     scenario_factory,
     seeds_from_env,
@@ -25,4 +26,5 @@ __all__ = [
     "run_failure_experiment",
     "scenario_factory",
     "seeds_from_env",
+    "resolve_seeds",
 ]

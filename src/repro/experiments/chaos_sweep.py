@@ -19,9 +19,12 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.common import scenario_factory
+
+if TYPE_CHECKING:  # lazy at runtime: the farm imports this module back
+    from repro.farm.executor import FarmOptions
 from repro.runner import KarSimulation
 from repro.sim.monitors import InvariantSampler
 from repro.topology.topologies import PARTIAL
@@ -151,6 +154,7 @@ def run_chaos_sweep(
     mtbfs: Sequence[float] = SWEEP_MTBFS,
     mttr_s: float = 0.4,
     seed: int = 42,
+    farm: "FarmOptions | None" = None,
 ) -> List[ChaosRun]:
     """Delivery ratio per technique as per-link MTBF shrinks.
 
@@ -158,20 +162,27 @@ def run_chaos_sweep(
     link, so every technique faces the *identical* failure trajectory
     at a given MTBF level — a paired comparison, like the paper's
     matched-seed figures.
+
+    Cells run on the farm (:mod:`repro.farm`): ``farm=None`` keeps the
+    sequential cacheless default; pass :class:`FarmOptions` for worker
+    parallelism, result caching and resumable sweeps.
     """
-    runs: List[ChaosRun] = []
-    for mtbf_s in mtbfs:
-        for technique in techniques:
-            runs.append(
-                run_chaos_once(
-                    scenario_name=scenario_name,
-                    technique=technique,
-                    mode="mtbf",
-                    seed=seed,
-                    chaos_kwargs={"mtbf_s": mtbf_s, "mttr_s": mttr_s},
-                )
-            )
-    return runs
+    from repro.farm.jobs import chaos_spec
+    from repro.farm.sweep import run_chaos_specs
+
+    specs = [
+        chaos_spec(
+            scenario_name,
+            technique,
+            "mtbf",
+            seed,
+            chaos_kwargs={"mtbf_s": mtbf_s, "mttr_s": mttr_s},
+            traffic_s=TRAFFIC_S,
+        )
+        for mtbf_s in mtbfs
+        for technique in techniques
+    ]
+    return run_chaos_specs(specs, farm, label="chaos-sweep")
 
 
 def render_chaos_run(run: ChaosRun) -> str:

@@ -37,6 +37,7 @@ __all__ = [
     "run_failure_experiment",
     "ratio_ci",
     "seeds_from_env",
+    "resolve_seeds",
     "scenario_factory",
     "SCENARIO_RATE_MBPS",
     "SCENARIO_DELAY_S",
@@ -103,6 +104,18 @@ def seeds_from_env(default: int = 3) -> List[int]:
     if count < 1:
         raise ValueError(f"REPRO_SEEDS must be >= 1, got {count}")
     return list(range(1, count + 1))
+
+
+def resolve_seeds(
+    seeds: Optional[Sequence[int]] = None, default: int = 3
+) -> List[int]:
+    """The experiments' shared seed-list default.
+
+    An explicit ``seeds`` argument wins (copied to a list); otherwise
+    fall back to :func:`seeds_from_env`.  Every multi-seed figure
+    module resolves its argument through here.
+    """
+    return list(seeds) if seeds is not None else seeds_from_env(default)
 
 
 @dataclass(frozen=True)

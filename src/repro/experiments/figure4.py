@@ -10,15 +10,12 @@ drops to zero for the failure's duration.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, Optional, Tuple
 
-from repro.experiments.common import (
-    DEFAULT_TIMELINE,
-    RunOutcome,
-    Timeline,
-    run_failure_experiment,
-    scenario_factory,
-)
+from repro.experiments.common import DEFAULT_TIMELINE, Timeline
+from repro.farm.executor import FarmOptions
+from repro.farm.jobs import failure_spec
+from repro.farm.sweep import run_failure_specs
 from repro.topology.topologies import PARTIAL
 
 __all__ = ["Figure4Series", "run_figure4", "render_figure4", "TECHNIQUES"]
@@ -45,20 +42,24 @@ class Figure4Series:
 
 
 def run_figure4(
-    seed: int = 1, timeline: Timeline = DEFAULT_TIMELINE
+    seed: int = 1,
+    timeline: Timeline = DEFAULT_TIMELINE,
+    farm: Optional[FarmOptions] = None,
 ) -> Dict[str, Figure4Series]:
     """Run the four curves; returns technique -> series."""
-    build = scenario_factory("fifteen_node")
+    specs = [
+        failure_spec("fifteen_node", technique, PARTIAL, FAILURE, seed,
+                     timeline)
+        for technique in TECHNIQUES
+    ]
+    results = run_failure_specs(specs, farm, label="fig4")
     out: Dict[str, Figure4Series] = {}
-    for technique in TECHNIQUES:
-        outcome = run_failure_experiment(
-            build(), technique, PARTIAL, FAILURE, seed, timeline
-        )
+    for technique, result in zip(TECHNIQUES, results):
         out[technique] = Figure4Series(
             technique=technique,
-            intervals=tuple(outcome.iperf.intervals),
-            baseline_mbps=outcome.baseline_mbps,
-            failure_mbps=outcome.failure_mbps,
+            intervals=result.intervals,
+            baseline_mbps=result.baseline_mbps,
+            failure_mbps=result.failure_mbps,
         )
     return out
 

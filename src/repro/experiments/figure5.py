@@ -23,10 +23,11 @@ from repro.analysis.stats import MeanCI, mean_ci
 from repro.experiments.common import (
     DEFAULT_TIMELINE,
     Timeline,
-    run_failure_experiment,
-    scenario_factory,
-    seeds_from_env,
+    resolve_seeds,
 )
+from repro.farm.executor import FarmOptions
+from repro.farm.jobs import failure_spec
+from repro.farm.sweep import run_failure_specs
 from repro.topology.topologies import FULL, PARTIAL, UNPROTECTED
 
 __all__ = ["Figure5Cell", "run_figure5", "render_figure5",
@@ -53,31 +54,35 @@ class Figure5Cell:
 def run_figure5(
     seeds: Sequence[int] | None = None,
     timeline: Timeline = DEFAULT_TIMELINE,
+    farm: FarmOptions | None = None,
 ) -> List[Figure5Cell]:
     """Run the full grid; one cell per (technique, protection, failure)."""
-    seeds = list(seeds) if seeds is not None else seeds_from_env()
-    build = scenario_factory("fifteen_node")
+    seeds = resolve_seeds(seeds)
+    grid = [
+        (technique, protection, failure)
+        for technique in TECHNIQUES
+        for protection in PROTECTIONS
+        for failure in FAILURES
+    ]
+    specs = [
+        failure_spec("fifteen_node", technique, protection, failure, seed,
+                     timeline)
+        for technique, protection, failure in grid
+        for seed in seeds
+    ]
+    results = run_failure_specs(specs, farm, label="fig5")
     cells: List[Figure5Cell] = []
-    for technique in TECHNIQUES:
-        for protection in PROTECTIONS:
-            for failure in FAILURES:
-                outcomes = [
-                    run_failure_experiment(
-                        build(), technique, protection, failure, seed, timeline
-                    )
-                    for seed in seeds
-                ]
-                cells.append(
-                    Figure5Cell(
-                        technique=technique,
-                        protection=protection,
-                        failure=failure,
-                        throughput_mbps=mean_ci(
-                            [o.failure_mbps for o in outcomes]
-                        ),
-                        ratio=mean_ci([o.ratio for o in outcomes]),
-                    )
-                )
+    for i, (technique, protection, failure) in enumerate(grid):
+        chunk = results[i * len(seeds):(i + 1) * len(seeds)]
+        cells.append(
+            Figure5Cell(
+                technique=technique,
+                protection=protection,
+                failure=failure,
+                throughput_mbps=mean_ci([r.failure_mbps for r in chunk]),
+                ratio=mean_ci([r.ratio for r in chunk]),
+            )
+        )
     return cells
 
 

@@ -22,10 +22,11 @@ from repro.analysis.stats import MeanCI, mean_ci
 from repro.experiments.common import (
     DEFAULT_TIMELINE,
     Timeline,
-    run_failure_experiment,
-    scenario_factory,
-    seeds_from_env,
+    resolve_seeds,
 )
+from repro.farm.executor import FarmOptions
+from repro.farm.jobs import failure_spec
+from repro.farm.sweep import run_failure_specs
 from repro.topology.topologies import PARTIAL
 
 __all__ = ["Figure7Point", "run_figure7", "render_figure7", "CASES"]
@@ -52,22 +53,23 @@ class Figure7Point:
 def run_figure7(
     seeds: Sequence[int] | None = None,
     timeline: Timeline = DEFAULT_TIMELINE,
+    farm: FarmOptions | None = None,
 ) -> List[Figure7Point]:
-    seeds = list(seeds) if seeds is not None else seeds_from_env()
-    build = scenario_factory("rnp28")
+    seeds = resolve_seeds(seeds)
+    specs = [
+        failure_spec("rnp28", "nip", PARTIAL, failure, seed, timeline)
+        for failure in CASES
+        for seed in seeds
+    ]
+    results = run_failure_specs(specs, farm, label="fig7")
     points: List[Figure7Point] = []
-    for failure in CASES:
-        outcomes = [
-            run_failure_experiment(
-                build(), "nip", PARTIAL, failure, seed, timeline
-            )
-            for seed in seeds
-        ]
+    for i, failure in enumerate(CASES):
+        chunk = results[i * len(seeds):(i + 1) * len(seeds)]
         points.append(
             Figure7Point(
                 failure=failure,
-                throughput_mbps=mean_ci([o.failure_mbps for o in outcomes]),
-                ratio=mean_ci([o.ratio for o in outcomes]),
+                throughput_mbps=mean_ci([r.failure_mbps for r in chunk]),
+                ratio=mean_ci([r.ratio for r in chunk]),
             )
         )
     return points

@@ -21,10 +21,11 @@ from repro.analysis.walk import GeometricRetryModel, geometric_retry
 from repro.experiments.common import (
     DEFAULT_TIMELINE,
     Timeline,
-    run_failure_experiment,
-    scenario_factory,
-    seeds_from_env,
+    resolve_seeds,
 )
+from repro.farm.executor import FarmOptions
+from repro.farm.jobs import failure_spec
+from repro.farm.sweep import run_failure_specs
 from repro.topology.topologies import PARTIAL
 
 __all__ = ["Figure8Result", "run_figure8", "render_figure8", "PAPER_RATIO"]
@@ -59,18 +60,18 @@ def analytical_model() -> GeometricRetryModel:
 def run_figure8(
     seeds: Sequence[int] | None = None,
     timeline: Timeline = DEFAULT_TIMELINE,
+    farm: FarmOptions | None = None,
 ) -> Figure8Result:
-    seeds = list(seeds) if seeds is not None else seeds_from_env()
-    build = scenario_factory("redundant_path")
-    outcomes = [
-        run_failure_experiment(
-            build(), "nip", PARTIAL, FAILURE, seed, timeline
-        )
+    seeds = resolve_seeds(seeds)
+    specs = [
+        failure_spec("redundant_path", "nip", PARTIAL, FAILURE, seed,
+                     timeline)
         for seed in seeds
     ]
+    results = run_failure_specs(specs, farm, label="fig8")
     return Figure8Result(
-        ratio=mean_ci([o.ratio for o in outcomes]),
-        throughput_mbps=mean_ci([o.failure_mbps for o in outcomes]),
+        ratio=mean_ci([r.ratio for r in results]),
+        throughput_mbps=mean_ci([r.failure_mbps for r in results]),
         model=analytical_model(),
     )
 

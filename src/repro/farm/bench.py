@@ -1,0 +1,149 @@
+"""``repro farm bench`` — measure what the farm buys.
+
+Three phases over the same multi-seed job set (a Fig. 5-shaped grid on
+the 15-node scenario with a shortened timeline):
+
+1. **sequential** — ``jobs=1``, cache disabled: the pre-farm baseline;
+2. **parallel** — ``jobs=N`` into a cold cache; digests are checked
+   against phase 1, so the speedup number is only reported for
+   bit-identical results;
+3. **warm cache** — same jobs again: every job must be a hit.
+
+The result lands in ``BENCH_farm.json`` to seed the perf trajectory
+across PRs.  ``cpu_count`` is recorded because the parallel speedup is
+meaningless without it — a single-core CI box will honestly report
+~1×, while the cache speedup holds anywhere.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.experiments.common import Timeline
+from repro.farm.executor import Farm, FarmOptions
+from repro.farm.jobs import failure_spec
+from repro.farm.spec import RunSpec
+from repro.topology.topologies import PARTIAL
+
+__all__ = ["BENCH_TIMELINE", "bench_specs", "run_bench"]
+
+#: Shortened timeline: same shape as the figures' default, ~6x faster.
+BENCH_TIMELINE = Timeline(
+    flow_start=0.1,
+    fail_at=1.2,
+    repair_at=2.8,
+    end=3.6,
+    baseline_window=(0.6, 1.2),
+    failure_window=(1.7, 2.8),
+    sample_interval_s=0.2,
+)
+
+_TECHNIQUES = ("nip", "avp")
+_FAILURE = ("SW7", "SW13")
+
+
+def bench_specs(seeds: Sequence[int]) -> List[RunSpec]:
+    """The benchmark job set: technique x seed on the 15-node net."""
+    return [
+        failure_spec(
+            "fifteen_node", technique, PARTIAL, _FAILURE, seed,
+            BENCH_TIMELINE,
+        )
+        for technique in _TECHNIQUES
+        for seed in seeds
+    ]
+
+
+def _timed(farm: Farm, specs: Sequence[RunSpec], label: str):
+    start = time.monotonic()
+    records = farm.run(specs, label=label)
+    return time.monotonic() - start, records
+
+
+def run_bench(
+    jobs: int = 4,
+    seeds: Optional[Sequence[int]] = None,
+    out: Optional[str] = "BENCH_farm.json",
+    cache_dir: Optional[str] = None,
+    progress: Optional[bool] = None,
+) -> Dict[str, Any]:
+    """Run the three phases and (optionally) write ``out``."""
+    seeds = list(seeds) if seeds is not None else [1, 2, 3, 4]
+    specs = bench_specs(seeds)
+    cleanup: Optional[tempfile.TemporaryDirectory] = None
+    if cache_dir is None:
+        cleanup = tempfile.TemporaryDirectory(prefix="repro-farm-bench-")
+        cache_dir = cleanup.name
+    try:
+        sequential_s, seq_records = _timed(
+            Farm(FarmOptions(jobs=1, progress=progress, label="bench-seq")),
+            specs, "bench-seq",
+        )
+        parallel_farm = Farm(FarmOptions(
+            jobs=jobs, cache_dir=cache_dir, progress=progress,
+            label="bench-par",
+        ))
+        parallel_s, par_records = _timed(parallel_farm, specs, "bench-par")
+        warm_farm = Farm(FarmOptions(
+            jobs=jobs, cache_dir=cache_dir, progress=progress,
+            label="bench-warm",
+        ))
+        warm_s, warm_records = _timed(warm_farm, specs, "bench-warm")
+    finally:
+        if cleanup is not None:
+            cleanup.cleanup()
+
+    seq_digests = [r["digest"] for r in seq_records]
+    result: Dict[str, Any] = {
+        "bench": "repro.farm",
+        "n_jobs": len(specs),
+        "workers": jobs,
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "sequential_s": round(sequential_s, 3),
+        "parallel_s": round(parallel_s, 3),
+        "parallel_speedup": round(sequential_s / parallel_s, 3)
+        if parallel_s > 0 else None,
+        "warm_cache_s": round(warm_s, 3),
+        "cache_speedup": round(sequential_s / warm_s, 3)
+        if warm_s > 0 else None,
+        "cache_hit_ratio": warm_farm.stats.cached / len(specs),
+        "digests_match_sequential": (
+            seq_digests == [r["digest"] for r in par_records]
+            and seq_digests == [r["digest"] for r in warm_records]
+        ),
+        "timestamp": time.time(),
+    }
+    if out:
+        with open(out, "w", encoding="utf-8") as f:
+            json.dump(result, f, indent=2, sort_keys=True)
+            f.write("\n")
+    return result
+
+
+def render_bench(result: Dict[str, Any]) -> str:
+    lines = [
+        f"farm bench — {result['n_jobs']} jobs, {result['workers']} "
+        f"workers on {result['cpu_count']} CPU(s)",
+        f"  sequential (jobs=1, no cache): {result['sequential_s']:.1f}s",
+        f"  parallel   (cold cache):       {result['parallel_s']:.1f}s  "
+        f"({result['parallel_speedup']}x)",
+        f"  warm cache:                    {result['warm_cache_s']:.1f}s  "
+        f"({result['cache_speedup']}x, "
+        f"{100 * result['cache_hit_ratio']:.0f}% hits)",
+        f"  digests identical across all phases: "
+        f"{result['digests_match_sequential']}",
+    ]
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(render_bench(run_bench(progress=True)))
+    sys.exit(0)

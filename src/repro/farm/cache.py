@@ -1,0 +1,124 @@
+"""Content-addressed on-disk result cache.
+
+Layout (two-level sharding keeps any one directory small)::
+
+    <root>/
+      ab/
+        ab3f…e2.json     # full content key + ".json"
+      sweeps/
+        <name>.json      # sweep checkpoints (repro.farm.sweep)
+
+Each record file holds the format version, the content key, the full
+RunSpec (so a cache directory is self-describing and debuggable with
+``jq``), and the result record.  Reads validate all three; anything
+malformed — truncated JSON, a record whose embedded key disagrees with
+its filename, a missing result digest — counts as an **invalidation**
+and is treated as a miss, never as an error: the farm just re-runs the
+job and overwrites the bad record.
+
+Writes go through a temp file + ``os.replace`` so a killed process
+never leaves a half-written record behind (the resume path depends on
+this).  All writes happen in the farm's parent process, so there is no
+cross-process write race to guard against.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro.farm.spec import FORMAT_VERSION, RunSpec
+
+__all__ = ["CacheStats", "ResultCache"]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    invalidated: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def describe(self) -> str:
+        return (
+            f"{self.hits} hits / {self.lookups} lookups "
+            f"({100 * self.hit_ratio:.0f}%), {self.stores} stores, "
+            f"{self.invalidated} invalidated"
+        )
+
+
+class ResultCache:
+    """JSON result records keyed by :meth:`RunSpec.content_key`."""
+
+    def __init__(self, root: "str | os.PathLike[str]"):
+        self.root = Path(root)
+        self.stats = CacheStats()
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, spec: RunSpec) -> Optional[Dict[str, Any]]:
+        """The cached result record for ``spec``, or None on a miss.
+
+        Corrupt or mismatched records are deleted (best-effort),
+        counted in ``stats.invalidated`` and reported as a miss.
+        """
+        key = spec.content_key()
+        path = self.path_for(key)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            self.stats.misses += 1
+            return None
+        try:
+            record = json.loads(text)
+            if not isinstance(record, dict):
+                raise ValueError("record is not an object")
+            if record.get("format") != FORMAT_VERSION:
+                raise ValueError("format version mismatch")
+            if record.get("key") != key:
+                raise ValueError("embedded key mismatch")
+            result = record["result"]
+            if not isinstance(result, dict) or "digest" not in result:
+                raise ValueError("malformed result")
+        except (ValueError, KeyError, TypeError):
+            self.stats.invalidated += 1
+            self.stats.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.stats.hits += 1
+        return result
+
+    def put(self, spec: RunSpec, result: Dict[str, Any]) -> None:
+        """Store ``result`` for ``spec`` (atomic rename)."""
+        key = spec.content_key()
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        record = {
+            "format": FORMAT_VERSION,
+            "key": key,
+            "spec": spec.to_record(),
+            "result": result,
+        }
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(
+            json.dumps(record, sort_keys=True, indent=1), encoding="utf-8"
+        )
+        os.replace(tmp, path)
+        self.stats.stores += 1

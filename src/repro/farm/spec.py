@@ -1,0 +1,116 @@
+"""The farm's job model: a run as pure data.
+
+PR 1 made every experiment run a pure function of (scenario, config,
+seed); a :class:`RunSpec` is exactly that tuple, written down.  Hashing
+its canonical JSON form gives a stable **content key** — the address of
+the run's result in the on-disk cache, and the identity the sweep
+driver checkpoints against.  Two RunSpecs with the same key are the
+same experiment, no matter which process, platform or session builds
+them.
+
+Keys are versioned: bump :data:`FORMAT_VERSION` whenever the meaning
+of a spec or the shape of a result record changes, and every old cache
+entry silently becomes a miss instead of a stale hit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional
+
+__all__ = ["FORMAT_VERSION", "RunSpec", "canonical_json"]
+
+#: Version of the spec/record format baked into every content key.
+FORMAT_VERSION = 1
+
+
+def canonical_json(value: Any) -> str:
+    """Deterministic JSON: sorted keys, no whitespace, no NaN.
+
+    Floats serialize via ``repr`` (shortest round-trip form), so equal
+    floats always produce equal text and the hash is exact, not
+    approximate.
+    """
+    return json.dumps(
+        value, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One executable experiment run, as pure data.
+
+    Attributes:
+        kind: registered job kind (see :mod:`repro.farm.jobs`).
+        scenario: scenario factory name (``fifteen_node``, ...).
+        seed: the run's RNG seed.
+        params_json: canonical-JSON string of all other parameters.
+            Stored as a string so the spec stays hashable and the
+            canonical form is fixed at construction time.
+    """
+
+    kind: str
+    scenario: str
+    seed: int
+    params_json: str = "{}"
+
+    @classmethod
+    def make(
+        cls,
+        kind: str,
+        scenario: str,
+        seed: int,
+        params: Optional[Mapping[str, Any]] = None,
+    ) -> "RunSpec":
+        """Build a spec, canonicalizing ``params`` (any JSON-able map)."""
+        return cls(
+            kind=kind,
+            scenario=scenario,
+            seed=int(seed),
+            params_json=canonical_json(dict(params or {})),
+        )
+
+    @property
+    def params(self) -> Dict[str, Any]:
+        """The parameter map (a fresh dict; mutating it is harmless)."""
+        return json.loads(self.params_json)
+
+    def content_key(self) -> str:
+        """Stable sha256 hex key addressing this run's cached result."""
+        payload = {
+            "format": FORMAT_VERSION,
+            "kind": self.kind,
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "params": json.loads(self.params_json),
+        }
+        digest = hashlib.sha256(canonical_json(payload).encode("utf-8"))
+        return digest.hexdigest()
+
+    def label(self) -> str:
+        """Short human-readable identity for logs and errors."""
+        return (
+            f"{self.kind}:{self.scenario}:seed={self.seed}"
+            f":{self.content_key()[:12]}"
+        )
+
+    def to_record(self) -> Dict[str, Any]:
+        """JSON-able form (for cache records and worker hand-off)."""
+        return {
+            "kind": self.kind,
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "params": json.loads(self.params_json),
+        }
+
+    @classmethod
+    def from_record(cls, record: Mapping[str, Any]) -> "RunSpec":
+        """Inverse of :meth:`to_record` (key-preserving)."""
+        return cls.make(
+            kind=record["kind"],
+            scenario=record["scenario"],
+            seed=record["seed"],
+            params=record.get("params") or {},
+        )

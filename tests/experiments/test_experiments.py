@@ -48,6 +48,17 @@ class TestCommon:
         with pytest.raises(ValueError):
             common.seeds_from_env()
 
+    def test_resolve_seeds(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SEEDS", raising=False)
+        # Explicit argument wins and is copied to a fresh list.
+        given = (5, 9)
+        assert common.resolve_seeds(given) == [5, 9]
+        # No argument falls back to the environment default.
+        assert common.resolve_seeds(default=2) == [1, 2]
+        monkeypatch.setenv("REPRO_SEEDS", "4")
+        assert common.resolve_seeds() == [1, 2, 3, 4]
+        assert common.resolve_seeds([7]) == [7]  # env ignored if given
+
     def test_run_outcome_ratio(self):
         class FakeIperf:
             pass

@@ -52,6 +52,54 @@ class TestFastCommands:
             assert main(["topo", name]) == 0
 
 
+class TestFarmParser:
+    def test_figure_commands_grow_farm_flags(self):
+        for command in ("fig4", "fig5", "fig7", "fig8", "report",
+                        "chaos"):
+            args = build_parser().parse_args([command])
+            assert args.jobs == 1, command  # sequential by default
+            assert args.cache_dir == ".repro-cache", command
+            assert not args.no_cache and not args.refresh, command
+            assert not args.resume, command
+            assert args.progress is None, command  # auto on a tty
+
+    def test_farm_flags_parse(self):
+        args = build_parser().parse_args([
+            "fig5", "--jobs", "4", "--cache-dir", "/tmp/c",
+            "--refresh", "--resume", "--no-progress",
+        ])
+        assert args.jobs == 4
+        assert args.cache_dir == "/tmp/c"
+        assert args.refresh and args.resume
+        assert args.progress is False
+
+    def test_farm_bench_defaults(self):
+        args = build_parser().parse_args(["farm", "bench"])
+        assert args.farm_command == "bench"
+        assert args.jobs == 4
+        assert args.seeds == 4
+        assert args.out == "BENCH_farm.json"
+        assert args.cache_dir is None  # bench defaults to a temp dir
+
+    def test_farm_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["farm"])
+
+
+class TestFarmCachedCommands:
+    def test_second_chaos_run_is_served_from_cache(self, tmp_path,
+                                                   capsys):
+        base = ["chaos", "--seed", "42", "--duration", "1.0",
+                "--cache-dir", str(tmp_path / "c"), "--progress"]
+        assert main(base) == 0
+        first = capsys.readouterr()
+        assert main(base) == 0
+        second = capsys.readouterr()
+        assert second.out == first.out  # identical rendered results
+        assert "1 executed, 0 cached" in first.err
+        assert "0 executed, 1 cached" in second.err
+
+
 class TestChaosParser:
     def test_defaults(self):
         args = build_parser().parse_args(["chaos"])
