@@ -87,6 +87,7 @@ class ControllerRepair:
                 modulus=route.modulus,
                 out_port=scn.graph.port_of(src_edge, node_path[1]),
                 ttl=self.ks.controller.default_ttl,
+                residues=route.residue_map(),
             ),
         )
         self.repairs_installed += 1

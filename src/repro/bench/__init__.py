@@ -1,0 +1,17 @@
+"""Performance benchmarks for the simulator datapath.
+
+* :mod:`repro.bench.simbench` — ``repro bench sim``: reference vs fast
+  datapath, measured in the same process, digest-checked before any
+  speedup is reported (writes ``BENCH_sim.json``).
+* :mod:`repro.bench.profiler` — the ``--profile N`` CLI wrapper:
+  cProfile around any experiment command, top-N cumulative dump.
+
+The farm-level benchmark (parallelism across runs, result cache) lives
+separately in :mod:`repro.farm.bench`; this package measures the inside
+of a single run.
+"""
+
+from repro.bench.profiler import profile_call
+from repro.bench.simbench import render_sim_bench, run_sim_bench
+
+__all__ = ["run_sim_bench", "render_sim_bench", "profile_call"]

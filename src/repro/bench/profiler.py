@@ -1,0 +1,37 @@
+"""cProfile wrapper behind the CLI's ``--profile N`` flag.
+
+``python -m repro --profile 25 fig4`` runs the command unchanged and
+then dumps the top 25 functions by cumulative time to stderr — stdout
+stays clean, so exports and JSON output are unaffected.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+import sys
+from typing import Any, Callable, Optional, TextIO
+
+__all__ = ["profile_call"]
+
+
+def profile_call(
+    fn: Callable[[], Any],
+    top: int = 25,
+    stream: Optional[TextIO] = None,
+) -> Any:
+    """Run ``fn()`` under cProfile; print the top-*top* cumulative report.
+
+    Returns whatever ``fn`` returns (the profile goes to *stream*,
+    default stderr).
+    """
+    if top <= 0:
+        raise ValueError(f"top must be positive, got {top}")
+    out = stream if stream is not None else sys.stderr
+    profile = cProfile.Profile()
+    try:
+        result = profile.runcall(fn)
+    finally:
+        stats = pstats.Stats(profile, stream=out)
+        stats.strip_dirs().sort_stats("cumulative").print_stats(top)
+    return result

@@ -1,0 +1,331 @@
+"""``repro bench sim`` — reference vs fast datapath, same process.
+
+For each (topology size, deflection strategy) cell the benchmark runs
+the *same* seeded simulation twice — once with the datapath built in
+reference mode (:func:`repro.sim.fastpath.use_fastpath`), once fast —
+and compares full outcome digests (per-switch counters, drop reasons,
+event count, final RNG fingerprints) before reporting any speedup: a
+speedup over a run that computed something different is meaningless.
+
+The workload is deliberately hop-heavy: a random connected core with a
+UDP probe flow and a mid-run failure on the primary path, so every
+strategy exercises its deflection fallback (where the reference path
+rebuilds ``healthy_ports()`` per decision) as well as the steady state
+(where the reference path pays the per-hop big-int modulo and a
+``Decision`` allocation).
+
+A separate microbenchmark times raw CRT encodes of the primary route
+(``crt_encodes_per_sec``) — the controller-side cost that incremental
+re-encoding (PR 1) and the farm (PR 2) care about.
+
+Results land in ``BENCH_sim.json``; CI runs ``--quick`` and asserts
+only ``digests_match_reference`` (never wall-clock — shared runners
+make absolute thresholds flaky).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import platform
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.controller.protection import ProtectionPlanner
+from repro.farm.jobs import record_digest
+from repro.rns.encoder import Hop, RouteEncoder
+from repro.runner import KarSimulation
+from repro.sim.fastpath import use_fastpath
+from repro.switches.core import KarSwitch
+from repro.switches.deflection import STRATEGY_NAMES
+from repro.topology import (
+    NodeKind,
+    Scenario,
+    attach_host_pair,
+    random_connected,
+    shortest_path,
+)
+
+__all__ = ["SIZES", "run_sim_bench", "render_sim_bench"]
+
+#: Topology size presets.  ``min_switch_id`` scales with size so larger
+#: nets also mean larger route IDs (more big-int work on the reference
+#: path, like a real deployment's wider coprime pool).
+SIZES: Dict[str, Dict[str, Any]] = {
+    "small": dict(num_switches=8, extra_links=3, min_switch_id=29,
+                  rate_pps=500, traffic_s=1.2),
+    "medium": dict(num_switches=32, extra_links=8, min_switch_id=211,
+                   rate_pps=500, traffic_s=1.6),
+    "large": dict(num_switches=64, extra_links=16, min_switch_id=557,
+                  rate_pps=500, traffic_s=1.6),
+}
+
+#: Simulated drain time after the probe stops (lets deflected packets
+#: finish wandering so conservation-style digests are stable).
+_DRAIN_S = 1.0
+
+
+def _far_apart(graph) -> Tuple[str, str]:
+    """Approximate diameter endpoints (double-BFS heuristic).
+
+    Hop-heavy routes keep the benchmark honest: the per-hop datapath
+    cost must dominate the fixed per-packet edge/host cost, or the
+    numbers measure transport plumbing instead.
+    """
+    names = sorted(graph.node_names())
+
+    def farthest(origin: str) -> str:
+        best, best_len = origin, -1
+        for name in names:
+            if name == origin:
+                continue
+            length = len(shortest_path(graph, origin, name))
+            if length > best_len:
+                best, best_len = name, length
+        return best
+
+    u = farthest(names[0])
+    return u, farthest(u)
+
+
+def _bench_scenario(size: str, seed: int) -> Scenario:
+    cfg = SIZES[size]
+    graph = random_connected(
+        cfg["num_switches"],
+        extra_links=cfg["extra_links"],
+        seed=seed,
+        min_switch_id=cfg["min_switch_id"],
+        rate_mbps=100.0,
+        delay_s=0.0002,
+    )
+    src_sw, dst_sw = _far_apart(graph)
+    src_host, dst_host = attach_host_pair(
+        graph, src_sw, dst_sw, rate_mbps=100.0, delay_s=0.0002
+    )
+    route = shortest_path(graph, src_sw, dst_sw)
+    plan = ProtectionPlanner(graph).full(route)
+    return Scenario(
+        name=f"bench-{size}-{seed}",
+        graph=graph,
+        primary_route=tuple(route),
+        src_host=src_host,
+        dst_host=dst_host,
+        protection={"full": tuple(plan.segments), "none": ()},
+    )
+
+
+def _outcome_record(ks: KarSimulation, src, sink) -> Dict[str, Any]:
+    """Canonical, digestable outcome of one run.
+
+    Includes the engine's event count and a fingerprint of every
+    switch's final RNG state, so two runs digest equal only if they
+    processed the same events in the same order and made the same
+    random draws — the bit-identical contract, not just equal totals.
+    """
+    switches: Dict[str, List[int]] = {}
+    rng_fp = hashlib.sha256()
+    for info in sorted(ks.scenario.graph.nodes(NodeKind.CORE),
+                       key=lambda i: i.name):
+        sw = ks.network.node(info.name)
+        assert isinstance(sw, KarSwitch)
+        switches[info.name] = [sw.forwarded, sw.deflections, sw.drops]
+        rng_fp.update(repr(sw._rng.getstate()).encode("utf-8"))
+    record: Dict[str, Any] = {
+        "sent": src.sent,
+        "received": sink.received,
+        "events": ks.sim.events_processed,
+        "drop_reasons": dict(sorted(ks.tracer.drop_reasons.items())),
+        "switches": switches,
+        "rng_fingerprint": rng_fp.hexdigest()[:16],
+    }
+    record["digest"] = record_digest(record)
+    return record
+
+
+def _run_once(
+    scenario: Scenario, strategy: str, seed: int, size: str
+) -> Tuple[float, Dict[str, Any]]:
+    """One seeded run; returns (wall seconds, outcome record)."""
+    cfg = SIZES[size]
+    traffic_s = cfg["traffic_s"]
+    route = scenario.primary_route
+    fail_a, fail_b = route[len(route) // 2 - 1], route[len(route) // 2]
+    ks = KarSimulation(
+        scenario, deflection=strategy, protection="none",
+        seed=seed, ttl=96,
+    )
+    src, sink = ks.add_udp_probe(
+        rate_pps=cfg["rate_pps"], duration_s=traffic_s
+    )
+    src.start(at=0.05)
+    ks.schedule_failure(
+        fail_a, fail_b, at=traffic_s / 3, repair_at=2 * traffic_s / 3
+    )
+    # Time only the event loop: this is a datapath benchmark, and
+    # topology/route construction is identical in both modes.
+    start = time.perf_counter()
+    ks.run(until=traffic_s + _DRAIN_S)
+    elapsed = time.perf_counter() - start
+    return elapsed, _outcome_record(ks, src, sink)
+
+
+def _crt_bench(scenario: Scenario, repeats: int) -> Dict[str, Any]:
+    """Encodes/sec for the primary route's CRT (controller-side cost)."""
+    graph = scenario.graph
+    hops = [Hop(graph.switch_id(n), 1) for n in scenario.primary_route]
+    encoder = RouteEncoder()
+    start = time.perf_counter()
+    for _ in range(repeats):
+        route = encoder.encode(hops)
+    elapsed = time.perf_counter() - start
+    return {
+        "encodes": repeats,
+        "route_hops": len(hops),
+        "route_bits": route.bit_length,
+        "wall_s": round(elapsed, 4),
+        "encodes_per_sec": round(repeats / elapsed) if elapsed > 0 else None,
+    }
+
+
+def run_sim_bench(
+    sizes: Optional[Sequence[str]] = None,
+    strategies: Optional[Sequence[str]] = None,
+    seed: int = 1,
+    quick: bool = False,
+    repeats: Optional[int] = None,
+    out: Optional[str] = "BENCH_sim.json",
+) -> Dict[str, Any]:
+    """Run the reference-vs-fast matrix; optionally write *out*.
+
+    ``quick`` trims the matrix for CI smoke runs (small+medium, the
+    digest check still covers every cell).
+
+    Each cell runs ``repeats`` times per mode (interleaved
+    ref/fast/ref/fast, so OS scheduling drift hits both modes alike)
+    and reports the **minimum** wall time per mode — the standard
+    estimator for wall-clock microbenchmarks, since noise on a quiet
+    deterministic workload is strictly additive.  Every repeat must
+    produce the same digest (the simulation is seeded), which doubles
+    as a determinism check.
+    """
+    if sizes is None:
+        sizes = ("small", "medium") if quick else ("small", "medium", "large")
+    if strategies is None:
+        strategies = STRATEGY_NAMES
+    for size in sizes:
+        if size not in SIZES:
+            raise ValueError(f"unknown size {size!r}; choose from {sorted(SIZES)}")
+    if repeats is None:
+        repeats = 2 if quick else 3
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    crt_repeats = 300 if quick else 2000
+
+    runs: List[Dict[str, Any]] = []
+    crt: Dict[str, Any] = {}
+    for size in sizes:
+        scenario = _bench_scenario(size, seed)
+        crt[size] = _crt_bench(scenario, crt_repeats)
+        for strategy in strategies:
+            ref_times: List[float] = []
+            fast_times: List[float] = []
+            ref_record: Optional[Dict[str, Any]] = None
+            fast_record: Optional[Dict[str, Any]] = None
+            for _ in range(repeats):
+                with use_fastpath(False):
+                    wall, record = _run_once(scenario, strategy, seed, size)
+                ref_times.append(wall)
+                if ref_record is not None and record["digest"] != ref_record["digest"]:
+                    raise RuntimeError(
+                        f"non-deterministic reference run: {size}/{strategy}"
+                    )
+                ref_record = record
+                with use_fastpath(True):
+                    wall, record = _run_once(scenario, strategy, seed, size)
+                fast_times.append(wall)
+                if fast_record is not None and record["digest"] != fast_record["digest"]:
+                    raise RuntimeError(
+                        f"non-deterministic fast run: {size}/{strategy}"
+                    )
+                fast_record = record
+            ref_s, fast_s = min(ref_times), min(fast_times)
+            packets = ref_record["sent"]
+            runs.append({
+                "size": size,
+                "strategy": strategy,
+                "packets": packets,
+                "events": ref_record["events"],
+                "reference": {
+                    "wall_s": round(ref_s, 4),
+                    "packets_per_sec": round(packets / ref_s),
+                    "events_per_sec": round(ref_record["events"] / ref_s),
+                },
+                "fast": {
+                    "wall_s": round(fast_s, 4),
+                    "packets_per_sec": round(packets / fast_s),
+                    "events_per_sec": round(fast_record["events"] / fast_s),
+                },
+                "speedup": round(ref_s / fast_s, 3) if fast_s > 0 else None,
+                "digest_reference": ref_record["digest"],
+                "digest_fast": fast_record["digest"],
+                "digests_match": ref_record["digest"] == fast_record["digest"],
+            })
+
+    def _aggregate(size: str) -> Optional[float]:
+        cells = [r for r in runs if r["size"] == size]
+        if not cells:
+            return None
+        ref = sum(c["reference"]["wall_s"] for c in cells)
+        fast = sum(c["fast"]["wall_s"] for c in cells)
+        return round(ref / fast, 3) if fast > 0 else None
+
+    result: Dict[str, Any] = {
+        "bench": "repro.sim",
+        "quick": quick,
+        "repeats": repeats,
+        "seed": seed,
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "sizes": {s: SIZES[s] for s in sizes},
+        "runs": runs,
+        "crt": crt,
+        "speedup_by_size": {s: _aggregate(s) for s in sizes},
+        "digests_match_reference": all(r["digests_match"] for r in runs),
+        "timestamp": time.time(),
+    }
+    if out:
+        with open(out, "w", encoding="utf-8") as f:
+            json.dump(result, f, indent=2, sort_keys=True)
+            f.write("\n")
+    return result
+
+
+def render_sim_bench(result: Dict[str, Any]) -> str:
+    lines = [
+        f"sim bench — fast path vs in-process reference "
+        f"(seed {result['seed']}, {result['cpu_count']} CPU(s))",
+        f"  {'size':<8} {'strategy':<9} {'pkts/s ref':>11} "
+        f"{'pkts/s fast':>12} {'speedup':>8}  digests",
+    ]
+    for r in result["runs"]:
+        lines.append(
+            f"  {r['size']:<8} {r['strategy']:<9} "
+            f"{r['reference']['packets_per_sec']:>11} "
+            f"{r['fast']['packets_per_sec']:>12} "
+            f"{r['speedup']:>7}x  "
+            f"{'match' if r['digests_match'] else 'MISMATCH'}"
+        )
+    for size, agg in result["speedup_by_size"].items():
+        crt = result["crt"][size]
+        lines.append(
+            f"  {size}: aggregate speedup {agg}x, CRT "
+            f"{crt['encodes_per_sec']} encodes/s "
+            f"({crt['route_hops']} hops, {crt['route_bits']} bits)"
+        )
+    lines.append(
+        "  digests match reference: "
+        f"{result['digests_match_reference']}"
+    )
+    return "\n".join(lines)

@@ -11,6 +11,12 @@ runner:
 * ``chaos`` — seeded generative fault injection with runtime invariant
   checking; ``--sweep`` maps delivery ratio vs. failure rate.
 * ``farm bench`` — measure the farm's parallel/cache speedups.
+* ``bench sim`` — fast-datapath vs reference benchmark (packets/sec,
+  events/sec, CRT encodes/sec), with bit-identical digest checking.
+
+The global ``--profile N`` flag (before the subcommand: ``repro
+--profile 25 fig4``) wraps any command in :mod:`cProfile` and dumps the
+top N functions by cumulative time to stderr.
 
 The experiment commands (``fig4``/``fig5``/``fig7``/``fig8``/
 ``report``/``chaos``) all run on the job farm (:mod:`repro.farm`) and
@@ -39,6 +45,10 @@ _CHAOS_MODES = ("adversarial", "flap", "mtbf", "regional", "srlg")
 
 #: Default on-disk result cache for the experiment commands.
 _DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: Kept in sync with repro.bench.simbench.SIZES (asserted by tests);
+#: listed literally so the parser builds without importing the bench.
+_BENCH_SIZES = ("small", "medium", "large")
 
 
 def _add_farm_args(parser: argparse.ArgumentParser) -> None:
@@ -82,6 +92,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="KAR (Key-for-Any-Route) reproduction toolkit",
+    )
+    parser.add_argument(
+        "--profile", type=int, default=None, metavar="N",
+        help="run the command under cProfile and print the top N "
+             "functions by cumulative time to stderr; goes before the "
+             "subcommand: repro --profile 25 fig4",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -171,6 +187,33 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default: a fresh temp dir)")
     bench.add_argument("--progress", action=argparse.BooleanOptionalAction,
                        default=None)
+
+    perf = sub.add_parser(
+        "bench",
+        help="performance benchmarks (datapath fast path vs reference)",
+    )
+    perf_sub = perf.add_subparsers(dest="bench_command", required=True)
+    sim = perf_sub.add_parser(
+        "sim",
+        help="packets/sec + events/sec + CRT encodes/sec, fast vs "
+             "reference datapath, with bit-identical digest checks",
+    )
+    sim.add_argument("--quick", action="store_true",
+                     help="CI smoke matrix (small+medium, fewer repeats)")
+    sim.add_argument("--sizes", nargs="+", choices=_BENCH_SIZES,
+                     default=None, metavar="SIZE",
+                     help="topology sizes to run "
+                          f"(choices: {', '.join(_BENCH_SIZES)})")
+    sim.add_argument("--strategies", nargs="+", choices=STRATEGY_NAMES,
+                     default=None, metavar="STRAT",
+                     help="deflection strategies "
+                          f"(choices: {', '.join(STRATEGY_NAMES)})")
+    sim.add_argument("--seed", type=int, default=1)
+    sim.add_argument("--repeats", type=int, default=None, metavar="K",
+                     help="timing repeats per mode, min is reported "
+                          "(default: 2 quick, 3 full)")
+    sim.add_argument("--out", default="BENCH_sim.json",
+                     help="result file (default: %(default)s)")
     return parser
 
 
@@ -366,8 +409,26 @@ def _cmd_farm(args: argparse.Namespace) -> int:
     raise AssertionError(f"unhandled farm command {args.farm_command!r}")
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench.simbench import render_sim_bench, run_sim_bench
+
+    if args.bench_command == "sim":
+        result = run_sim_bench(
+            sizes=args.sizes,
+            strategies=args.strategies,
+            seed=args.seed,
+            quick=args.quick,
+            repeats=args.repeats,
+            out=args.out,
+        )
+        print(render_sim_bench(result))
+        if args.out:
+            print(f"wrote {args.out}")
+        return 0 if result["digests_match_reference"] else 1
+    raise AssertionError(f"unhandled bench command {args.bench_command!r}")
+
+
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "table1":
         return _cmd_table1()
     if args.command == "table2":
@@ -390,7 +451,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_chaos(args)
     if args.command == "farm":
         return _cmd_farm(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     raise AssertionError(f"unhandled command {args.command!r}")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.profile is not None:
+        from repro.bench.profiler import profile_call
+
+        return profile_call(lambda: _dispatch(args), top=args.profile)
+    return _dispatch(args)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -114,6 +114,7 @@ class KarController:
             modulus=route.modulus,
             out_port=out_port,
             ttl=self.default_ttl,
+            residues=route.residue_map(),
         )
 
     # ------------------------------------------------------------------
@@ -192,5 +193,6 @@ class KarController:
                 modulus=route.modulus,
                 out_port=self.graph.port_of(edge_name, first_switch),
                 ttl=self.default_ttl,
+                residues=route.residue_map(),
             ),
         )

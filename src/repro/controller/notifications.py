@@ -170,6 +170,7 @@ class NotificationService:
                     modulus=route.modulus,
                     out_port=self.graph.port_of(flow.src_edge, node_path[1]),
                     ttl=self.default_ttl,
+                    residues=route.residue_map(),
                 ),
             )
             if self.down_links:

@@ -114,7 +114,8 @@ class MultipathEdgeNode(EdgeNode):
             self._drop(packet, "multipath-all-paths-down")
             return
         packet.kar = KarHeader(
-            route_id=entry.route_id, modulus=entry.modulus, ttl=entry.ttl
+            route_id=entry.route_id, modulus=entry.modulus, ttl=entry.ttl,
+            residues=entry.residues,
         )
         self.encapsulated += 1
         self.send(entry.out_port, packet)

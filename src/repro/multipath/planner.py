@@ -100,12 +100,14 @@ def install_multipath_flow(
             IngressEntry(
                 route_id=fwd.route_id, modulus=fwd.modulus,
                 out_port=graph.port_of(src_edge, path[1]), ttl=ttl,
+                residues=fwd.residue_map(),
             )
         )
         rev_entries.append(
             IngressEntry(
                 route_id=rev.route_id, modulus=rev.modulus,
                 out_port=graph.port_of(dst_edge, path[-2]), ttl=ttl,
+                residues=rev.residue_map(),
             )
         )
     ingress.install_multipath(dst_host, fwd_entries, policy=policy)

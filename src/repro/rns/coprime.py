@@ -103,7 +103,7 @@ def greedy_coprime_pool(count: int, min_value: int = 2) -> List[int]:
     pool of the same size.
 
     >>> greedy_coprime_pool(6)
-    [2, 3, 5, 7, 9, 11]
+    [2, 3, 5, 7, 11, 13]
     >>> greedy_coprime_pool(4, min_value=4)
     [4, 5, 7, 9]
     """

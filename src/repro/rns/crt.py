@@ -65,9 +65,9 @@ def egcd(a: int, b: int) -> Tuple[int, int, int]:
     (no recursion-depth limits).
 
     >>> egcd(44, 7)
-    (1, -1, 7)
-    >>> 44 * -1 + 7 * 7
-    5
+    (1, -3, 19)
+    >>> 44 * -3 + 7 * 19
+    1
     """
     old_r, r = a, b
     old_x, x = 1, 0

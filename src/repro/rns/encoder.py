@@ -17,8 +17,8 @@ switch into an existing route ID in O(1) CRT steps.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.rns.crt import CrtError, crt, modular_inverse
 
@@ -74,6 +74,11 @@ class EncodedRoute:
     route_id: int
     modulus: int
     hops: Tuple[Hop, ...]
+    # Memo for residue_map(); excluded from ==/hash/repr so routes still
+    # compare by (route_id, modulus, hops) alone.
+    _residues: Optional[Dict[int, int]] = field(
+        default=None, compare=False, repr=False
+    )
 
     def port_at(self, switch_id: int) -> int:
         """The forwarding decision a switch makes: ``route_id mod switch_id``.
@@ -100,8 +105,20 @@ class EncodedRoute:
         return any(h.switch_id == switch_id for h in self.hops)
 
     def residue_map(self) -> Dict[int, int]:
-        """Mapping ``switch_id -> encoded output port``."""
-        return {h.switch_id: h.port for h in self.hops}
+        """Mapping ``switch_id -> encoded output port``.
+
+        Precomputed at first use and memoized: for every encoded switch,
+        ``residue_map()[s] == route_id % s`` by CRT construction, so the
+        controller can hand this dict to the edge as a per-packet residue
+        hint and switches skip the big-int modulo entirely.  Treat the
+        returned dict as read-only — it is shared by every packet on the
+        route.
+        """
+        residues = self._residues
+        if residues is None:
+            residues = {h.switch_id: h.port for h in self.hops}
+            object.__setattr__(self, "_residues", residues)
+        return residues
 
     def __contains__(self, switch_id: int) -> bool:
         return self.encodes(switch_id)
@@ -124,15 +141,18 @@ class RouteEncoder:
             CrtError: if a port is out of range for its switch ID.
         """
         hop_list = list(hops)
-        seen = set()
+        residues: Dict[int, int] = {}
         for h in hop_list:
-            if h.switch_id in seen:
+            if h.switch_id in residues:
                 raise DuplicateSwitchError(h.switch_id)
-            seen.add(h.switch_id)
+            residues[h.switch_id] = h.port
         route_id, modulus = crt(
             [h.port for h in hop_list], [h.switch_id for h in hop_list]
         )
-        return EncodedRoute(route_id=route_id, modulus=modulus, hops=tuple(hop_list))
+        return EncodedRoute(
+            route_id=route_id, modulus=modulus, hops=tuple(hop_list),
+            _residues=residues,
+        )
 
     def encode_path(
         self, switch_ids: Sequence[int], ports: Sequence[int]
@@ -182,7 +202,8 @@ class RouteEncoder:
         t = ((hop.port - route.route_id) * inv) % s
         new_id = route.route_id + M * t
         return EncodedRoute(
-            route_id=new_id, modulus=M * s, hops=route.hops + (hop,)
+            route_id=new_id, modulus=M * s, hops=route.hops + (hop,),
+            _residues={**route.residue_map(), hop.switch_id: hop.port},
         )
 
     def without_switch(self, route: EncodedRoute, switch_id: int) -> EncodedRoute:
@@ -203,4 +224,5 @@ class RouteEncoder:
             route_id=route.route_id % new_modulus,
             modulus=new_modulus,
             hops=new_hops,
+            _residues={h.switch_id: h.port for h in new_hops},
         )

@@ -1,0 +1,63 @@
+"""The datapath fast-path switch: one flag, two cost profiles.
+
+KAR's premise is that the per-hop operation — ``R mod switch_id`` — is
+trivially cheap in hardware.  The emulation should have the same cost
+profile, so the hot datapath keeps two implementations:
+
+* the **reference path** — the original, straight-line code: a big-int
+  modulo per hop, a fresh healthy-ports list per deflection decision, a
+  ``Decision`` object per packet;
+* the **fast path** — residue hints/caches, a cached healthy-ports
+  tuple invalidated on link flips, and an allocation-free happy path.
+
+Both are *bit-identical* by construction: same event order, same RNG
+draws, same run digests.  The equivalence suite
+(``tests/integration/test_fastpath_equivalence.py``) enforces this on
+random topologies, and ``repro bench sim`` re-checks digests on every
+benchmark run before reporting a speedup.
+
+The flag is sampled once per object at construction time (switches and
+nodes snapshot it), so toggling mid-run never leaves a simulation half
+switched.  Use the context manager to build a reference-mode run::
+
+    from repro.sim.fastpath import use_fastpath
+
+    with use_fastpath(False):
+        ks = KarSimulation(scenario, ...)   # reference datapath
+    ks.run(until=...)                       # mode already baked in
+
+The fast path is ON by default — it is the production datapath; the
+reference path is retained for benchmarking and equivalence testing.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["fastpath_enabled", "set_fastpath", "use_fastpath"]
+
+_enabled = True
+
+
+def fastpath_enabled() -> bool:
+    """Whether newly built datapath objects use the fast path."""
+    return _enabled
+
+
+def set_fastpath(enabled: bool) -> bool:
+    """Set the global flag; returns the previous value."""
+    global _enabled
+    previous = _enabled
+    _enabled = bool(enabled)
+    return previous
+
+
+@contextmanager
+def use_fastpath(enabled: bool) -> Iterator[None]:
+    """Temporarily force the flag (build-time scope, see module docs)."""
+    previous = set_fastpath(enabled)
+    try:
+        yield
+    finally:
+        set_fastpath(previous)

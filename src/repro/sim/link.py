@@ -17,10 +17,11 @@ A :class:`Link` joins two node ports and owns two independent
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, List, Optional, Tuple
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Deque, Optional
 
-from repro.sim.engine import EventHandle, Simulator
+from repro.sim.engine import Simulator
 from repro.sim.packet import Packet
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -29,9 +30,9 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = ["Link", "Channel", "ChannelStats"]
 
 
-@dataclass
+@dataclass(slots=True)
 class ChannelStats:
-    """Per-direction counters."""
+    """Per-direction counters (slotted: bumped on every transmission)."""
 
     tx_packets: int = 0
     tx_bytes: int = 0
@@ -53,16 +54,20 @@ class Channel:
         drop_hook: Optional[Callable[[Packet, str], None]] = None,
     ):
         self._sim = sim
+        self._post = sim.post  # bound once: called twice per packet
         self._rate_bps = rate_mbps * 1e6
+        self._tx_s_per_byte = 8 / self._rate_bps
         self._delay_s = delay_s
         self._capacity = queue_packets
         self._deliver = deliver
         self._drop_hook = drop_hook
-        self._queue: List[Packet] = []
+        self._queue: Deque[Packet] = deque()
         self._busy = False
         self._up = True
         self._transmitting: Optional[Packet] = None
-        self._in_flight: List[Tuple[EventHandle, Packet]] = []
+        # Packets on the wire, oldest first (propagation delay is
+        # constant per channel, so the pipe is strictly FIFO).
+        self._in_flight: Deque[Packet] = deque()
         self.stats = ChannelStats()
 
     # -- state ---------------------------------------------------------
@@ -86,8 +91,7 @@ class Channel:
                 self._drop(self._transmitting, "link-down")
                 self.stats.failure_drops += 1
                 self._transmitting = None
-            for handle, pkt in self._in_flight:
-                handle.cancel()
+            for pkt in self._in_flight:
                 self._drop(pkt, "link-down")
                 self.stats.failure_drops += 1
             self._in_flight.clear()
@@ -122,10 +126,14 @@ class Channel:
     def _transmit(self, packet: Packet) -> None:
         self._busy = True
         self._transmitting = packet
-        tx_time = packet.size_bytes * 8 / self._rate_bps
-        self.stats.tx_packets += 1
-        self.stats.tx_bytes += packet.size_bytes
-        self._sim.schedule(tx_time, self._tx_done, packet)
+        size = packet.size_bytes
+        stats = self.stats
+        stats.tx_packets += 1
+        stats.tx_bytes += size
+        # Serializer completions are never cancelled (link-down is
+        # handled by the identity check in _tx_done), so they take the
+        # engine's no-allocation post() path.
+        self._post(size * self._tx_s_per_byte, self._tx_done, packet)
 
     def _tx_done(self, packet: Packet) -> None:
         if packet is not self._transmitting:
@@ -135,20 +143,23 @@ class Channel:
             # resumes.
             return
         self._transmitting = None
-        handle = self._sim.schedule(self._delay_s, self._arrive, packet)
-        self._in_flight.append((handle, packet))
+        # Arrival events are posted handle-free; a link-down empties the
+        # pipe (dropping and accounting every casualty), and the
+        # identity check in _arrive ignores the stale events.
+        self._post(self._delay_s, self._arrive, packet)
+        self._in_flight.append(packet)
         if self._queue:
-            self._transmit(self._queue.pop(0))
+            self._transmit(self._queue.popleft())
         else:
             self._busy = False
 
     def _arrive(self, packet: Packet) -> None:
-        # Drop completed handles lazily; the list stays short (one entry
-        # per packet in the propagation pipe).
-        self._in_flight = [
-            (h, p) for h, p in self._in_flight
-            if not h.cancelled and h.time > self._sim.now
-        ]
+        pipe = self._in_flight
+        if not pipe or pipe[0] is not packet:
+            # Stale: this packet was dropped (and accounted) by set_up
+            # while it was on the wire.
+            return
+        pipe.popleft()
         self.stats.delivered_packets += 1
         self._deliver(packet)
 
@@ -200,6 +211,12 @@ class Link:
         self._up = up
         self._ab.set_up(up)
         self._ba.set_up(up)
+        # Invalidate cached port state *before* the hooks run: a hook
+        # (or anything it schedules) may query healthy_ports(), and
+        # instance-level on_link_state overrides (the notification
+        # service installs one) must not bypass invalidation.
+        self.node_a.ports_changed()
+        self.node_b.ports_changed()
         self.node_a.on_link_state(self.port_a, up)
         self.node_b.on_link_state(self.port_b, up)
 

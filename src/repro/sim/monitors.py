@@ -56,7 +56,7 @@ class LinkMonitor:
         self._last_bytes = (
             self.link.stats_ab.tx_bytes, self.link.stats_ba.tx_bytes
         )
-        sim.schedule(self.interval_s, self._tick)
+        sim.post(self.interval_s, self._tick)
 
     def _tick(self) -> None:
         ab, ba = self.link.stats_ab, self.link.stats_ba
@@ -74,7 +74,7 @@ class LinkMonitor:
                 drops_ba=ba.queue_drops,
             )
         )
-        self._sim.schedule(self.interval_s, self._tick)
+        self._sim.post(self.interval_s, self._tick)
 
     # -- queries ---------------------------------------------------------
     def peak_mbps(self) -> float:
@@ -172,7 +172,7 @@ class InvariantSampler:
         self.samples: List[HealthSample] = []
 
     def start(self) -> None:
-        self.network.sim.schedule(self.interval_s, self._tick)
+        self.network.sim.post(self.interval_s, self._tick)
 
     def _tick(self) -> None:
         inv = self.invariants
@@ -187,7 +187,7 @@ class InvariantSampler:
                 violations=sum(inv.violation_counts.values()),
             )
         )
-        self.network.sim.schedule(self.interval_s, self._tick)
+        self.network.sim.post(self.interval_s, self._tick)
 
     def peak_links_down(self) -> int:
         if not self.samples:

@@ -8,10 +8,11 @@ links attached to them.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.sim.engine import Simulator
-from repro.sim.link import Link
+from repro.sim.fastpath import fastpath_enabled
+from repro.sim.link import Channel, Link
 from repro.sim.packet import Packet
 
 __all__ = ["Node", "NodeError"]
@@ -34,6 +35,15 @@ class Node:
         self.name = name
         self.sim = sim
         self._links: List[Optional[Link]] = [None] * num_ports
+        # Per-port outbound channel, resolved once at attach time so
+        # the datapath send is a single table lookup.
+        self._channels: List[Optional[Channel]] = [None] * num_ports
+        # Fast path: the healthy-ports tuple is cached and invalidated
+        # by attach()/link flips (Link.set_up calls ports_changed()
+        # directly, so instance-level on_link_state overrides cannot
+        # break invalidation).  Reference mode recomputes per call.
+        self._fastpath = fastpath_enabled()
+        self._healthy_cache: Optional[Tuple[int, ...]] = None
 
     # -- wiring ---------------------------------------------------------
     @property
@@ -48,6 +58,8 @@ class Node:
         if self._links[port] is not None:
             raise NodeError(f"{self.name}: port {port} already attached")
         self._links[port] = link
+        self._channels[port] = link.channel_from(self)
+        self._healthy_cache = None
 
     def link_on(self, port: int) -> Optional[Link]:
         if not 0 <= port < self.num_ports:
@@ -64,8 +76,26 @@ class Node:
         link = self.link_on(port)
         return link is not None and link.up
 
-    def healthy_ports(self) -> List[int]:
-        return [p for p in range(self.num_ports) if self.port_up(p)]
+    def healthy_ports(self) -> Tuple[int, ...]:
+        """Ports that exist, are cabled, and whose link is up.
+
+        On the fast path the tuple is cached until a link attaches or
+        flips state; the reference path rebuilds it per call (the
+        original cost profile, retained for benchmarking).
+        """
+        if self._fastpath:
+            cached = self._healthy_cache
+            if cached is None:
+                cached = tuple(
+                    p for p in range(len(self._links)) if self.port_up(p)
+                )
+                self._healthy_cache = cached
+            return cached
+        return tuple(p for p in range(self.num_ports) if self.port_up(p))
+
+    def ports_changed(self) -> None:
+        """Invalidate cached port state (called by the attached links)."""
+        self._healthy_cache = None
 
     def peer_name(self, port: int) -> Optional[str]:
         link = self.link_on(port)
@@ -76,10 +106,11 @@ class Node:
     # -- datapath --------------------------------------------------------
     def send(self, port: int, packet: Packet) -> bool:
         """Transmit *packet* out of *port*; False if unsendable/dropped."""
-        link = self.link_on(port)
-        if link is None:
-            return False
-        return link.channel_from(self).send(packet)
+        if 0 <= port < len(self._channels):
+            channel = self._channels[port]
+            if channel is not None:
+                return channel.send(packet)
+        return False
 
     def receive(self, packet: Packet, in_port: int) -> None:
         raise NotImplementedError

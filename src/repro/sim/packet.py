@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any, Mapping, Optional
 
 __all__ = ["KarHeader", "Packet", "DEFAULT_TTL"]
 
@@ -28,7 +28,7 @@ DEFAULT_TTL = 64
 _uid_counter = itertools.count(1)
 
 
-@dataclass
+@dataclass(slots=True)
 class KarHeader:
     """The KAR shim header.
 
@@ -40,12 +40,19 @@ class KarHeader:
         deflected: set by the first deflection; Hot-Potato switches treat
             flagged packets as pure random-walkers.
         ttl: remaining hop budget; decremented per core switch.
+        residues: optional ``switch_id -> residue`` hint precomputed at
+            encode time.  Not on the wire either — in hardware the
+            modulo is free, so the emulation is allowed to remember
+            ``R mod s_i`` instead of redoing big-int arithmetic per
+            hop.  Purely an acceleration: ``residues[s] == route_id % s``
+            for every encoded switch, so behaviour is bit-identical.
     """
 
     route_id: int
     modulus: int = 0
     deflected: bool = False
     ttl: int = DEFAULT_TTL
+    residues: Optional[Mapping[int, int]] = None
 
     @property
     def header_bits(self) -> int:
@@ -57,7 +64,7 @@ class KarHeader:
         return route_id_bit_length(self.modulus)
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """One simulated packet.
 

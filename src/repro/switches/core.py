@@ -20,13 +20,20 @@ import random
 from typing import Optional
 
 from repro.sim.engine import Simulator
+from repro.sim.fastpath import fastpath_enabled
 from repro.sim.invariants import InvariantChecker
 from repro.sim.node import Node
 from repro.sim.packet import Packet
 from repro.sim.trace import PacketTracer
 from repro.switches.deflection import DeflectionStrategy
 
-__all__ = ["KarSwitch"]
+__all__ = ["KarSwitch", "RESIDUE_CACHE_SIZE"]
+
+#: Bound on the per-switch residue cache (distinct route IDs seen).  A
+#: switch on a steady path sees a handful of route IDs; the bound only
+#: matters under heavy re-encode churn, where a full cache is simply
+#: cleared (the next packet repopulates it).
+RESIDUE_CACHE_SIZE = 256
 
 
 class KarSwitch(Node):
@@ -68,40 +75,98 @@ class KarSwitch(Node):
         self.forwarded = 0
         self.deflections = 0
         self.drops = 0
+        # Fast path (snapshotted at build time, see repro.sim.fastpath):
+        # residues of recently seen route IDs, keyed by id() of the
+        # route-ID int.  Packets of a flow share the one int object
+        # installed in the edge's ingress entry, so the key is stable —
+        # and the cached entry holds a strong reference to that object,
+        # so a key can never be silently reused while it is in the
+        # cache.  Values are (route_id, residue) pairs; a hit requires
+        # the stored object to be identical (`is`) to the packet's.
+        self._fastpath = fastpath_enabled()
+        self._residue_cache: dict = {}
+        self.residue_hits = 0
+        self.residue_misses = 0
+        # Bound once: the strategy dispatch is per-hop.
+        self._fast_port = strategy.fast_port
+        self._fast_fallback = strategy.fast_fallback
 
     def receive(self, packet: Packet, in_port: int) -> None:
-        if packet.kar is None:
+        kar = packet.kar
+        if kar is None:
             self._drop(packet, "no-kar-header")
             return
-        if packet.kar.ttl <= 0:
+        if kar.ttl <= 0:
             self._drop(packet, "ttl-expired")
             return
-        packet.kar.ttl -= 1
+        kar.ttl -= 1
         packet.hops += 1
 
-        computed = packet.kar.route_id % self.switch_id
-        decision = self.strategy.select_port(
-            self, packet, in_port, computed, self._rng
-        )
-        if decision.port is None:
+        sid = self.switch_id
+        if self._fastpath:
+            # Residue lookup: encode-time hint, then per-switch cache,
+            # then the big-int modulo (each step exact, so the result
+            # is bit-identical to the reference path's `R mod s`).
+            computed = None
+            residues = kar.residues
+            if residues is not None:
+                computed = residues.get(sid)
+            if computed is None:
+                rid = kar.route_id
+                cached = self._residue_cache.get(id(rid))
+                if cached is not None and cached[0] is rid:
+                    computed = cached[1]
+                    self.residue_hits += 1
+                else:
+                    computed = rid % sid
+                    cache = self._residue_cache
+                    if len(cache) >= RESIDUE_CACHE_SIZE:
+                        cache.clear()
+                    cache[id(rid)] = (rid, computed)
+                    self.residue_misses += 1
+            port = self._fast_port(self, packet, in_port, computed)
+            if port is not None:
+                # Allocation-free happy path: forward on the computed
+                # port, not deflected.
+                self.forwarded += 1
+                if self.invariants is not None:
+                    self.invariants.on_switch_forward(
+                        self.sim.now, self, packet, in_port, port
+                    )
+                if self.tracer is not None:
+                    self.tracer.on_forward(
+                        self.sim.now, self.name, packet, in_port, port, False
+                    )
+                self.send(port, packet)
+                return
+            out_port, deflected = self._fast_fallback(
+                self, packet, in_port, computed, self._rng
+            )
+        else:
+            computed = kar.route_id % sid
+            decision = self.strategy.select_port(
+                self, packet, in_port, computed, self._rng
+            )
+            out_port, deflected = decision.port, decision.deflected
+        if out_port is None:
             self._drop(packet, f"no-usable-port({self.strategy.name})")
             return
-        if decision.deflected:
-            packet.kar.deflected = True
+        if deflected:
+            kar.deflected = True
             self.deflections += 1
         self.forwarded += 1
         if self.invariants is not None:
             # Decision and transmission are one atomic event, so the
             # checker sees exactly the port state the strategy saw.
             self.invariants.on_switch_forward(
-                self.sim.now, self, packet, in_port, decision.port
+                self.sim.now, self, packet, in_port, out_port
             )
         if self.tracer is not None:
             self.tracer.on_forward(
                 self.sim.now, self.name, packet, in_port,
-                decision.port, decision.deflected,
+                out_port, deflected,
             )
-        self.send(decision.port, packet)
+        self.send(out_port, packet)
 
     def _drop(self, packet: Packet, reason: str) -> None:
         self.drops += 1

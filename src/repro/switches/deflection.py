@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List, Optional, Protocol, Sequence, Tuple
+from typing import Optional, Protocol, Sequence, Tuple
 
 from repro.sim.packet import Packet
 
@@ -50,10 +50,10 @@ class PortView(Protocol):
 
     def port_up(self, port: int) -> bool: ...
 
-    def healthy_ports(self) -> List[int]: ...
+    def healthy_ports(self) -> Sequence[int]: ...
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Decision:
     """A strategy's verdict for one packet.
 
@@ -72,7 +72,29 @@ class Decision:
 
 
 class DeflectionStrategy:
-    """Base class; subclasses implement :meth:`select_port`."""
+    """Base class; subclasses implement :meth:`select_port`.
+
+    :meth:`select_port` is the **reference path**: one call, one
+    :class:`Decision`.  The fast datapath splits the same semantics in
+    two so the steady state allocates nothing:
+
+    * :meth:`fast_port` — the happy path: return the output port when
+      the packet forwards on the computed port *without* deflection
+      (no ``Decision``, no RNG), or None to fall back;
+    * :meth:`fast_fallback` — the slow path, returning a plain
+      ``(port, deflected)`` pair (``port`` None to drop) with
+      **exactly** the RNG draws :meth:`select_port` would make.  A
+      tuple, not a ``Decision``: HP random-walks take this path on
+      almost every hop, so even the slotted dataclass (whose frozen
+      ``__init__`` costs two ``object.__setattr__`` calls) showed up
+      in profiles.
+
+    The defaults make any custom strategy correct automatically (always
+    fall back to ``select_port``); the built-ins override both.  The
+    equivalence contract — same ports, same deflected flags, same RNG
+    stream consumption — is enforced by the fast-path equivalence test
+    suite.
+    """
 
     #: short name used in configs, reports and benchmark tables.
     name = "abstract"
@@ -87,6 +109,29 @@ class DeflectionStrategy:
     ) -> Decision:
         raise NotImplementedError
 
+    def fast_port(
+        self,
+        switch: PortView,
+        packet: Packet,
+        in_port: int,
+        computed_port: int,
+    ) -> Optional[int]:
+        """Happy path: the non-deflected output port, or None to fall back."""
+        return None
+
+    def fast_fallback(
+        self,
+        switch: PortView,
+        packet: Packet,
+        in_port: int,
+        computed_port: int,
+        rng: random.Random,
+    ) -> Tuple[Optional[int], bool]:
+        """Slow path after a :meth:`fast_port` miss; RNG-identical to
+        :meth:`select_port`.  Returns ``(port, deflected)``."""
+        decision = self.select_port(switch, packet, in_port, computed_port, rng)
+        return decision.port, decision.deflected
+
     @staticmethod
     def _computed_usable(switch: PortView, computed_port: int) -> bool:
         return computed_port < switch.num_ports and switch.port_up(computed_port)
@@ -96,6 +141,18 @@ class DeflectionStrategy:
         if not candidates:
             return Decision.drop()
         return Decision(port=rng.choice(list(candidates)), deflected=True)
+
+    @staticmethod
+    def _random_from_seq(
+        candidates: Sequence[int], rng: random.Random
+    ) -> Tuple[Optional[int], bool]:
+        # Copy-free twin of _random_from: random.choice(seq) is exactly
+        # seq[rng._randbelow(len(seq))], so indexing directly makes the
+        # same draw (same RNG stream position) for a cached tuple as
+        # choice() makes for a fresh list copy of the same ports.
+        if not candidates:
+            return None, False
+        return candidates[rng._randbelow(len(candidates))], True
 
     def __repr__(self) -> str:
         return f"<{type(self).__name__} ({self.name})>"
@@ -111,6 +168,13 @@ class NoDeflection(DeflectionStrategy):
             return Decision(port=computed_port)
         return Decision.drop()
 
+    def fast_port(self, switch, packet, in_port, computed_port):
+        # Membership in the cached healthy tuple is exactly the
+        # "exists, cabled, up" predicate — no port_up property chain.
+        if computed_port in switch.healthy_ports():
+            return computed_port
+        return None
+
 
 class HotPotato(DeflectionStrategy):
     """HP: after the first deflection the packet random-walks forever."""
@@ -125,6 +189,17 @@ class HotPotato(DeflectionStrategy):
             return Decision(port=computed_port)
         return self._random_from(switch.healthy_ports(), rng)
 
+    def fast_port(self, switch, packet, in_port, computed_port):
+        kar = packet.kar
+        if kar is not None and kar.deflected:
+            return None  # random walk: needs the RNG
+        if computed_port in switch.healthy_ports():
+            return computed_port
+        return None
+
+    def fast_fallback(self, switch, packet, in_port, computed_port, rng):
+        return self._random_from_seq(switch.healthy_ports(), rng)
+
 
 class AnyValidPort(DeflectionStrategy):
     """AVP: modulo result when usable, else a random healthy port."""
@@ -135,6 +210,14 @@ class AnyValidPort(DeflectionStrategy):
         if self._computed_usable(switch, computed_port):
             return Decision(port=computed_port)
         return self._random_from(switch.healthy_ports(), rng)
+
+    def fast_port(self, switch, packet, in_port, computed_port):
+        if computed_port in switch.healthy_ports():
+            return computed_port
+        return None
+
+    def fast_fallback(self, switch, packet, in_port, computed_port, rng):
+        return self._random_from_seq(switch.healthy_ports(), rng)
 
 
 class NotInputPort(DeflectionStrategy):
@@ -154,6 +237,18 @@ class NotInputPort(DeflectionStrategy):
             return Decision(port=computed_port)
         candidates = [p for p in switch.healthy_ports() if p != in_port]
         return self._random_from(candidates, rng)
+
+    def fast_port(self, switch, packet, in_port, computed_port):
+        if (
+            computed_port != in_port
+            and computed_port in switch.healthy_ports()
+        ):
+            return computed_port
+        return None
+
+    def fast_fallback(self, switch, packet, in_port, computed_port, rng):
+        candidates = [p for p in switch.healthy_ports() if p != in_port]
+        return self._random_from_seq(candidates, rng)
 
 
 _REGISTRY = {

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, Optional, Protocol
+from typing import TYPE_CHECKING, Dict, Mapping, Optional, Protocol
 
 from repro.sim.engine import Simulator
 from repro.sim.invariants import InvariantChecker
@@ -43,12 +43,18 @@ class IngressEntry:
             size accounting only).
         out_port: this edge's port toward the route's first core switch.
         ttl: initial hop budget for packets on this route.
+        residues: optional encode-time residue hint
+            (``switch_id -> route_id % switch_id`` for every encoded
+            switch), stamped into each packet's KAR header so core
+            switches on the primary path skip the big-int modulo.
+            Emulator-local; not part of the on-wire header.
     """
 
     route_id: int
     modulus: int
     out_port: int
     ttl: int = 64
+    residues: Optional[Mapping[int, int]] = None
 
 
 class ReencodeService(Protocol):
@@ -151,7 +157,8 @@ class EdgeNode(Node):
             self._drop(packet, "no-ingress-route")
             return
         packet.kar = KarHeader(
-            route_id=entry.route_id, modulus=entry.modulus, ttl=entry.ttl
+            route_id=entry.route_id, modulus=entry.modulus, ttl=entry.ttl,
+            residues=entry.residues,
         )
         self.encapsulated += 1
         if self.invariants is not None:
@@ -257,6 +264,7 @@ class EdgeNode(Node):
             route_id=entry.route_id,
             modulus=entry.modulus,
             ttl=packet.kar.ttl,
+            residues=entry.residues,
         )
         if self.invariants is not None:
             self.invariants.on_reencode(self.sim.now, self.name, packet)

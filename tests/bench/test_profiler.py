@@ -1,0 +1,34 @@
+"""Tests for the cProfile wrapper behind ``repro --profile``."""
+
+import io
+
+import pytest
+
+from repro.bench.profiler import profile_call
+
+
+class TestProfileCall:
+    def test_returns_the_functions_result(self):
+        buf = io.StringIO()
+        assert profile_call(lambda: sum(range(100)), top=5, stream=buf) == 4950
+
+    def test_writes_cumulative_stats(self):
+        buf = io.StringIO()
+        profile_call(lambda: sorted(range(50)), top=3, stream=buf)
+        text = buf.getvalue()
+        assert "cumulative" in text
+        assert "function calls" in text
+
+    def test_stats_dumped_even_when_fn_raises(self):
+        buf = io.StringIO()
+
+        def boom():
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError, match="boom"):
+            profile_call(boom, top=3, stream=buf)
+        assert "cumulative" in buf.getvalue()
+
+    def test_bad_top_rejected(self):
+        with pytest.raises(ValueError):
+            profile_call(lambda: None, top=0)

@@ -1,0 +1,59 @@
+"""Tests for the ``repro bench sim`` harness (small cells only)."""
+
+import json
+
+import pytest
+
+from repro.bench.simbench import SIZES, render_sim_bench, run_sim_bench
+
+
+class TestRunSimBench:
+    @pytest.fixture(scope="class")
+    def result(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("bench") / "BENCH_sim.json"
+        res = run_sim_bench(
+            sizes=["small"], strategies=["none", "nip"],
+            repeats=1, out=str(out),
+        )
+        return res, out
+
+    def test_digests_match_in_every_cell(self, result):
+        res, _ = result
+        assert res["digests_match_reference"] is True
+        assert [r["strategy"] for r in res["runs"]] == ["none", "nip"]
+        for run in res["runs"]:
+            assert run["digests_match"], run
+            assert run["digest_reference"] == run["digest_fast"]
+
+    def test_throughput_fields_populated(self, result):
+        res, _ = result
+        for run in res["runs"]:
+            for mode in ("reference", "fast"):
+                assert run[mode]["wall_s"] > 0
+                assert run[mode]["packets_per_sec"] > 0
+                assert run[mode]["events_per_sec"] > 0
+            assert run["packets"] > 0 and run["events"] > 0
+        assert res["speedup_by_size"]["small"] is not None
+        assert res["crt"]["small"]["encodes_per_sec"] > 0
+
+    def test_json_written_and_round_trips(self, result):
+        res, out = result
+        data = json.loads(out.read_text())
+        assert data["digests_match_reference"] is True
+        assert data["repeats"] == 1
+        assert data["sizes"]["small"] == SIZES["small"]
+
+    def test_render_mentions_every_cell(self, result):
+        res, _ = result
+        text = render_sim_bench(res)
+        assert "none" in text and "nip" in text
+        assert "digests match reference: True" in text
+        assert "MISMATCH" not in text
+
+    def test_unknown_size_rejected(self):
+        with pytest.raises(ValueError, match="unknown size"):
+            run_sim_bench(sizes=["galactic"], out=None)
+
+    def test_bad_repeats_rejected(self):
+        with pytest.raises(ValueError, match="repeats"):
+            run_sim_bench(sizes=["small"], repeats=0, out=None)

@@ -1,0 +1,164 @@
+"""Fast datapath vs reference datapath: bit-identical, property-style.
+
+The fast path (residue hints and caching, membership port checks,
+tuple fallbacks, handle-free scheduling) must not change behaviour by
+even one RNG draw.  Each test here runs the same seeded workload twice
+— once per datapath — on a random topology with a random failure
+schedule, and requires identical hop-by-hop traces and identical
+outcome digests (counters, drop reasons, event count, final RNG
+states).
+"""
+
+import hashlib
+import random
+
+import pytest
+
+from repro.controller.protection import ProtectionPlanner
+from repro.farm.jobs import record_digest
+from repro.runner import KarSimulation
+from repro.sim.fastpath import fastpath_enabled, use_fastpath
+from repro.switches.core import KarSwitch
+from repro.switches.deflection import STRATEGY_NAMES
+from repro.topology import (
+    NodeKind,
+    Scenario,
+    attach_host_pair,
+    random_connected,
+    shortest_path,
+)
+
+_TRAFFIC_S = 0.8
+
+
+def _make_scenario(seed: int, num_switches: int, extra_links: int) -> Scenario:
+    graph = random_connected(
+        num_switches, extra_links=extra_links, seed=seed,
+        min_switch_id=79, rate_mbps=50.0, delay_s=0.0002,
+    )
+    names = sorted(graph.node_names())
+    src_sw, dst_sw = names[0], names[-1]
+    src_host, dst_host = attach_host_pair(
+        graph, src_sw, dst_sw, rate_mbps=50.0, delay_s=0.0002
+    )
+    route = shortest_path(graph, src_sw, dst_sw)
+    plan = ProtectionPlanner(graph).full(route)
+    return Scenario(
+        name=f"fastpath-eq-{seed}",
+        graph=graph,
+        primary_route=tuple(route),
+        src_host=src_host,
+        dst_host=dst_host,
+        protection={"full": tuple(plan.segments), "none": ()},
+    )
+
+
+def _random_failures(scenario: Scenario, seed: int, k: int = 3):
+    """A random schedule of core-link failures (some repaired)."""
+    rng = random.Random(seed * 9176 + 11)
+    core = set(scenario.graph.node_names(NodeKind.CORE))
+    candidates = [
+        link for link in scenario.graph.links()
+        if link.a in core and link.b in core
+    ]
+    rng.shuffle(candidates)
+    events = []
+    for link in candidates[:k]:
+        at = round(rng.uniform(0.1, _TRAFFIC_S * 0.6), 4)
+        repair = (
+            round(at + rng.uniform(0.1, _TRAFFIC_S * 0.4), 4)
+            if rng.random() < 0.7 else None
+        )
+        events.append((link.a, link.b, at, repair))
+    return events
+
+
+def _run(scenario: Scenario, strategy: str, seed: int, failures):
+    ks = KarSimulation(
+        scenario, deflection=strategy, protection="none",
+        seed=seed, ttl=64, trace_paths=True,
+    )
+    src, sink = ks.add_udp_probe(rate_pps=200, duration_s=_TRAFFIC_S)
+    src.start(at=0.05)
+    for a, b, at, repair in failures:
+        ks.schedule_failure(a, b, at=at, repair_at=repair)
+    ks.run(until=_TRAFFIC_S + 1.0)
+    return ks, src, sink
+
+
+def _outcome(ks: KarSimulation, src, sink) -> dict:
+    """Digestable run outcome; deliberately mirrors the bit-identical
+    contract (counters + event order + RNG stream positions)."""
+    switches = {}
+    rng_fp = hashlib.sha256()
+    for info in sorted(ks.scenario.graph.nodes(NodeKind.CORE),
+                       key=lambda i: i.name):
+        sw = ks.network.node(info.name)
+        assert isinstance(sw, KarSwitch)
+        switches[info.name] = [sw.forwarded, sw.deflections, sw.drops]
+        rng_fp.update(repr(sw._rng.getstate()).encode("utf-8"))
+    record = {
+        "sent": src.sent,
+        "received": sink.received,
+        "events": ks.sim.events_processed,
+        "drop_reasons": dict(sorted(ks.tracer.drop_reasons.items())),
+        "switches": switches,
+        "rng_fingerprint": rng_fp.hexdigest()[:16],
+    }
+    record["digest"] = record_digest(record)
+    return record
+
+
+class TestFastPathEquivalence:
+    @pytest.mark.parametrize("strategy", STRATEGY_NAMES)
+    @pytest.mark.parametrize("seed", [3, 23, 77])
+    def test_bit_identical_on_random_topology(self, seed, strategy):
+        scenario = _make_scenario(
+            seed, num_switches=12, extra_links=2 + seed % 5
+        )
+        failures = _random_failures(scenario, seed)
+        with use_fastpath(False):
+            ks_ref, src, sink = _run(scenario, strategy, seed, failures)
+            ref = _outcome(ks_ref, src, sink)
+        ref_paths = ks_ref.tracer._paths
+        with use_fastpath(True):
+            ks_fast, src, sink = _run(scenario, strategy, seed, failures)
+            fast = _outcome(ks_fast, src, sink)
+        fast_paths = ks_fast.tracer._paths
+        assert fast == ref  # counters, drop reasons, events, RNG states
+        assert fast["digest"] == ref["digest"]
+        # Hop-by-hop: every packet took the same ports with the same
+        # deflection flags at the same times.  Packet uids are a
+        # process-global counter, so compare traces in uid order, not
+        # by raw uid.
+        assert len(fast_paths) == len(ref_paths)
+        for ref_hops, fast_hops in zip(
+            (ref_paths[k] for k in sorted(ref_paths)),
+            (fast_paths[k] for k in sorted(fast_paths)),
+        ):
+            assert fast_hops == ref_hops
+
+    def test_default_build_is_fast(self):
+        assert fastpath_enabled() is True
+
+    def test_use_fastpath_restores_flag(self):
+        before = fastpath_enabled()
+        with use_fastpath(not before):
+            assert fastpath_enabled() is not before
+        assert fastpath_enabled() is before
+
+    def test_residue_machinery_engages_on_fast_runs(self):
+        scenario = _make_scenario(11, num_switches=12, extra_links=4)
+        with use_fastpath(True):
+            ks, src, sink = _run(scenario, "nip", 11,
+                                 _random_failures(scenario, 11))
+        hints = misses = 0
+        for info in ks.scenario.graph.nodes(NodeKind.CORE):
+            sw = ks.network.node(info.name)
+            hints += sw.forwarded
+            misses += sw.residue_misses
+        # On-route forwarding resolves via encode-time hints, so cache
+        # misses (which each pay one real modulo) are rare relative to
+        # forwards even under deflection churn.
+        assert hints > 0
+        assert misses < hints

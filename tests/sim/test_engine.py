@@ -104,6 +104,68 @@ class TestRunUntil:
         sim.run_until(2.0)
 
 
+class TestPostFastPath:
+    """post()/post_at(): the handle-free path for uncancellable events."""
+
+    def test_post_fires_with_args(self):
+        sim = Simulator()
+        seen = []
+        sim.post(1.0, seen.append, "a")
+        sim.post(0.5, seen.append, "b")
+        sim.run()
+        assert seen == ["b", "a"]
+        assert sim.now == 1.0
+
+    def test_post_at_absolute(self):
+        sim = Simulator()
+        seen = []
+        sim.post_at(5.0, lambda: seen.append(sim.now))
+        sim.run_until(10.0)
+        assert seen == [5.0]
+
+    def test_post_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimError):
+            sim.post(-0.1, lambda: None)
+
+    def test_post_at_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimError):
+            sim.post_at(0.5, lambda: None)
+
+    def test_post_and_schedule_interleave_fifo(self):
+        # Both paths consume one sequence number per call, so mixing
+        # them preserves scheduling order among same-time events — the
+        # property that makes post() digest-neutral.
+        sim = Simulator()
+        order = []
+        sim.schedule(1.0, order.append, "s1")
+        sim.post(1.0, order.append, "p1")
+        sim.schedule(1.0, order.append, "s2")
+        sim.post(1.0, order.append, "p2")
+        sim.run()
+        assert order == ["s1", "p1", "s2", "p2"]
+
+    def test_post_counts_in_pending_and_processed(self):
+        sim = Simulator()
+        sim.post(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        assert sim.pending() == 2
+        sim.run()
+        assert sim.pending() == 0
+        assert sim.events_processed == 2
+
+    def test_cancelled_events_not_counted_as_processed(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(1.5, lambda: None).cancel()
+        sim.post(2.0, lambda: None)
+        sim.run()
+        assert sim.events_processed == 2
+
+
 class TestCancellation:
     def test_cancelled_event_does_not_fire(self):
         sim = Simulator()

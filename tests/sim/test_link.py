@@ -127,7 +127,7 @@ class TestFailure:
         assert a.port_up(0)
         link.set_up(False)
         assert not a.port_up(0)
-        assert a.healthy_ports() == []
+        assert a.healthy_ports() == ()
 
     def test_set_up_idempotent(self, pair):
         sim, a, b, link = pair

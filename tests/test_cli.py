@@ -86,6 +86,57 @@ class TestFarmParser:
             build_parser().parse_args(["farm"])
 
 
+class TestBenchParser:
+    def test_bench_sim_defaults(self):
+        args = build_parser().parse_args(["bench", "sim"])
+        assert args.bench_command == "sim"
+        assert args.out == "BENCH_sim.json"
+        assert args.sizes is None and args.strategies is None
+        assert args.seed == 1 and args.repeats is None
+        assert not args.quick
+
+    def test_bench_sim_flags_parse(self):
+        args = build_parser().parse_args([
+            "bench", "sim", "--quick", "--sizes", "small", "medium",
+            "--strategies", "hp", "nip", "--repeats", "5",
+        ])
+        assert args.quick
+        assert args.sizes == ["small", "medium"]
+        assert args.strategies == ["hp", "nip"]
+        assert args.repeats == 5
+
+    def test_bench_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench"])
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "sim", "--sizes", "huge"])
+
+    def test_sizes_literal_matches_bench_registry(self):
+        # Same pattern as _CHAOS_MODES: the CLI keeps a literal copy so
+        # the parser builds without importing the bench.
+        from repro.bench.simbench import SIZES
+        from repro.cli import _BENCH_SIZES
+
+        assert sorted(_BENCH_SIZES) == sorted(SIZES)
+
+
+class TestProfileFlag:
+    def test_off_by_default(self):
+        assert build_parser().parse_args(["table1"]).profile is None
+
+    def test_parses_before_subcommand(self):
+        args = build_parser().parse_args(["--profile", "10", "table1"])
+        assert args.profile == 10
+
+    def test_profiled_command_runs_and_dumps_stats(self, capsys):
+        assert main(["--profile", "5", "table2"]) == 0
+        captured = capsys.readouterr()
+        assert "KAR" in captured.out          # command output intact
+        assert "cumulative" in captured.err   # profile on stderr
+
+
 class TestFarmCachedCommands:
     def test_second_chaos_run_is_served_from_cache(self, tmp_path,
                                                    capsys):
