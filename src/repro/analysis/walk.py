@@ -1,6 +1,6 @@
 """Random-walk analysis of deflected packets.
 
-Two exact (non-simulated) models:
+Three exact (non-simulated) models:
 
 * :func:`hot_potato_hitting_time` — a Hot-Potato packet performs a
   uniform random walk on the core graph; the expected number of hops
@@ -12,12 +12,26 @@ Two exact (non-simulated) models:
   fixed loop detour.  Expected extra hops follow the geometric series
   the paper describes qualitatively ("this protection loop will
   continue until SW109 is probabilistically chosen").
+* :func:`deterministic_route_walk` — the no-deflection dataplane as a
+  pure graph walk: hop by hop ``R mod s``, TTL bookkeeping, drops, and
+  edge misdelivery re-encodes, with no event engine, queues, or clocks
+  involved.  The differential verifier (:mod:`repro.verify`) diffs its
+  verdicts against the real simulator's packet traces.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import (
+    Callable,
+    Collection,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
@@ -28,6 +42,9 @@ __all__ = [
     "absorption_probability",
     "geometric_retry",
     "GeometricRetryModel",
+    "WalkHop",
+    "WalkVerdict",
+    "deterministic_route_walk",
 ]
 
 
@@ -179,3 +196,120 @@ def geometric_retry(
     return GeometricRetryModel(
         p_success=p_success, direct_hops=direct_hops, loop_hops=loop_hops
     )
+
+
+# ---------------------------------------------------------------------------
+# Deterministic dataplane walk (the verifier's graph-only oracle)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class WalkHop:
+    """One core-switch forwarding step of the modeled packet."""
+
+    node: str
+    in_port: int
+    out_port: int
+
+
+@dataclass(frozen=True)
+class WalkVerdict:
+    """The predicted fate of a packet under no-deflection forwarding.
+
+    Attributes:
+        outcome: ``"delivered"`` or ``"dropped"``.
+        node: the delivering host (delivered) or the dropping node.
+        reason: the drop reason (matches the dataplane's strings), or
+            ``""`` when delivered.
+        hops: every core-switch forwarding step, in order.
+    """
+
+    outcome: str
+    node: str
+    reason: str
+    hops: Tuple[WalkHop, ...]
+
+    @property
+    def delivered(self) -> bool:
+        return self.outcome == "delivered"
+
+
+#: re-encode hook: ``(edge_name, dst_host) -> (route_id, out_port)`` or
+#: None when the controller knows no route from that edge.
+ReencodeFn = Callable[[str, str], Optional[Tuple[int, int]]]
+
+
+def deterministic_route_walk(
+    graph: PortGraph,
+    route_id: int,
+    ttl: int,
+    ingress_edge: str,
+    out_port: int,
+    dst_host: str,
+    down_links: Collection[Tuple[str, str]] = (),
+    reencode: Optional[ReencodeFn] = None,
+) -> WalkVerdict:
+    """Predict one packet's path and fate without running the simulator.
+
+    Replays the dataplane's per-hop rules as pure graph arithmetic: a
+    core switch drops a packet arriving with TTL <= 0, else decrements
+    the TTL and forwards on ``route_id mod switch_id`` when that port
+    exists and its link is not in *down_links* (no-deflection
+    semantics: otherwise the packet is dropped).  An edge serving the
+    destination delivers; any other edge re-encodes via *reencode*
+    (keeping the packet's remaining TTL) or drops.  TTL strictly
+    decreases across core hops, so the walk always terminates — a
+    wandering (fuzzed) route ID ends in a ``ttl-expired`` verdict,
+    which is exactly the loop verdict the verifier diffs.
+
+    The drop-reason strings deliberately match the dataplane's so
+    verdicts are directly comparable.
+    """
+    hops: List[WalkHop] = []
+
+    def dropped(node: str, reason: str) -> WalkVerdict:
+        return WalkVerdict("dropped", node, reason, tuple(hops))
+
+    down = {tuple(sorted(key)) for key in down_links}
+    rid = route_id
+    current = graph.neighbor_on_port(ingress_edge, out_port)
+    in_port = graph.port_of(current, ingress_edge)
+    while True:
+        kind = graph.node(current).kind
+        if kind == NodeKind.CORE:
+            if ttl <= 0:
+                return dropped(current, "ttl-expired")
+            ttl -= 1
+            computed = rid % graph.switch_id(current)
+            if computed >= graph.degree(current):
+                return dropped(current, "no-usable-port(none)")
+            neighbor = graph.neighbor_on_port(current, computed)
+            if tuple(sorted((current, neighbor))) in down:
+                return dropped(current, "no-usable-port(none)")
+            hops.append(WalkHop(current, in_port, computed))
+            in_port = graph.port_of(neighbor, current)
+            current = neighbor
+            continue
+        if kind == NodeKind.EDGE:
+            if dst_host in graph.hosts_of_edge(current):
+                return WalkVerdict(
+                    "delivered", dst_host, "", tuple(hops)
+                )
+            # Misdelivered: the edge asks for a fresh route ID.  The
+            # dataplane checks reachability/route first and TTL only at
+            # re-injection time, so the order here matters.
+            if reencode is None:
+                return dropped(current, "misdelivered-no-controller")
+            entry = reencode(current, dst_host)
+            if entry is None:
+                return dropped(current, "misdelivered-no-route")
+            if ttl <= 0:
+                return dropped(current, "ttl-expired")
+            rid, port = entry
+            neighbor = graph.neighbor_on_port(current, port)
+            in_port = graph.port_of(neighbor, current)
+            current = neighbor
+            continue
+        raise TopologyError(
+            f"walk reached {current!r} of kind {kind!r}; core routes "
+            f"never point at hosts"
+        )

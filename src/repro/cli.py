@@ -10,6 +10,10 @@ runner:
 * ``run`` — one custom iperf-under-failure run with full knobs.
 * ``chaos`` — seeded generative fault injection with runtime invariant
   checking; ``--sweep`` maps delivery ratio vs. failure rate.
+* ``verify`` — differential cross-oracle fuzzing: datapaths,
+  strategies vs paper pseudocode, wire codec, and the graph walk
+  model; ``--shrink`` minimizes divergent cases, ``--replay`` reruns
+  a saved divergence artifact.
 * ``farm bench`` — measure the farm's parallel/cache speedups.
 * ``bench sim`` — fast-datapath vs reference benchmark (packets/sec,
   events/sec, CRT encodes/sec), with bit-identical digest checking.
@@ -50,14 +54,28 @@ _DEFAULT_CACHE_DIR = ".repro-cache"
 #: listed literally so the parser builds without importing the bench.
 _BENCH_SIZES = ("small", "medium", "large")
 
+#: Kept in sync with repro.verify.oracles.ORACLE_NAMES (asserted by
+#: tests); listed literally so the parser builds without importing the
+#: verifier (which pulls in the whole sim stack).
+_ORACLE_NAMES = ("datapath", "strategy", "walk", "wire")
 
-def _add_farm_args(parser: argparse.ArgumentParser) -> None:
-    """The shared farm flags (--jobs/--cache-dir/--resume/...)."""
+
+def _add_farm_args(
+    parser: argparse.ArgumentParser,
+    cache_default: Optional[str] = _DEFAULT_CACHE_DIR,
+) -> None:
+    """The shared farm flags (--jobs/--cache-dir/--resume/...).
+
+    ``cache_default=None`` disables the result cache unless the user
+    opts in — the verify command uses this, since a cache key covers
+    the spec but not the code under test, and a stale "no divergence"
+    would defeat the whole point.
+    """
     group = parser.add_argument_group("farm")
     group.add_argument("--jobs", type=int, default=1, metavar="N",
                        help="worker processes (default: %(default)s; >1 "
                             "uses a spawn-context process pool)")
-    group.add_argument("--cache-dir", default=_DEFAULT_CACHE_DIR,
+    group.add_argument("--cache-dir", default=cache_default,
                        metavar="DIR",
                        help="content-addressed result cache "
                             "(default: %(default)s)")
@@ -164,6 +182,34 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--export", metavar="PATH.csv|PATH.json",
                        help="also write the sweep/run rows")
     _add_farm_args(chaos)
+
+    verify = sub.add_parser(
+        "verify",
+        help="differential cross-oracle fuzzing (datapaths, strategies, "
+             "wire codec, walk model)",
+    )
+    verify.add_argument("--trials", type=int, default=50, metavar="N",
+                        help="fuzz cases to run (default: %(default)s)")
+    verify.add_argument("--seed", type=int, default=0,
+                        help="root seed; trial i uses a seed derived "
+                             "from (seed, i) (default: %(default)s)")
+    verify.add_argument("--oracles", nargs="+", choices=_ORACLE_NAMES,
+                        default=None, metavar="ORACLE",
+                        help="oracle subset to run "
+                             f"(choices: {', '.join(_ORACLE_NAMES)}; "
+                             "default: all)")
+    verify.add_argument("--shrink", action="store_true",
+                        help="shrink each divergent case to a minimal "
+                             "repro before writing its artifact")
+    verify.add_argument("--artifact-dir", default="verify-artifacts",
+                        metavar="DIR",
+                        help="where divergence repros are written "
+                             "(default: %(default)s; only created on "
+                             "divergence)")
+    verify.add_argument("--replay", metavar="PATH", default=None,
+                        help="re-run one saved divergence artifact "
+                             "instead of fuzzing")
+    _add_farm_args(verify, cache_default=None)
 
     farm = sub.add_parser(
         "farm",
@@ -392,6 +438,34 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.verify.artifact import load_artifact, replay_artifact
+    from repro.verify.harness import render_verify, run_verify
+
+    if args.replay:
+        record = load_artifact(args.replay)
+        result = replay_artifact(record)
+        print(f"replayed [{record['oracle']}] on case seed "
+              f"{record['case']['seed']}: {result.checks} checks, "
+              f"{len(result.divergences)} divergences")
+        for d in result.divergences[:5]:
+            print(f"  {d.detail}")
+        if result.ok:
+            print("divergence no longer reproduces (fixed?)")
+            return 0
+        return 1
+    outcome = run_verify(
+        trials=args.trials,
+        seed=args.seed,
+        oracles=args.oracles,
+        shrink=args.shrink,
+        artifact_dir=args.artifact_dir,
+        farm=_farm_options(args, "verify"),
+    )
+    print(render_verify(outcome))
+    return 0 if outcome.ok else 1
+
+
 def _cmd_farm(args: argparse.Namespace) -> int:
     from repro.farm.bench import render_bench, run_bench
 
@@ -449,6 +523,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_run(args)
     if args.command == "chaos":
         return _cmd_chaos(args)
+    if args.command == "verify":
+        return _cmd_verify(args)
     if args.command == "farm":
         return _cmd_farm(args)
     if args.command == "bench":

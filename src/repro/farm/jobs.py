@@ -18,6 +18,8 @@ Built-in kinds:
   (:func:`repro.experiments.common.run_failure_experiment`);
 * ``chaos`` — one seeded chaos run
   (:func:`repro.experiments.chaos_sweep.run_chaos_once`);
+* ``verify`` — one differential-verification trial
+  (:func:`repro.verify.harness.run_trial_record`);
 * ``echo`` — the farm's self-test job (sleep / crash-once knobs for
   exercising timeouts and worker-crash retry without real workloads).
 
@@ -48,6 +50,7 @@ __all__ = [
     "FailureResult",
     "chaos_spec",
     "chaos_run_from_record",
+    "verify_spec",
     "echo_spec",
 ]
 
@@ -278,6 +281,34 @@ def _run_chaos(spec: RunSpec) -> Dict[str, Any]:
     # injector event digest) which must not collide with the farm's
     # record digest.
     return {"chaos": asdict(run)}
+
+
+# ---------------------------------------------------------------------------
+# "verify" — one differential-verification trial
+# ---------------------------------------------------------------------------
+
+def verify_spec(
+    trial_seed: int,
+    oracles: Optional[Sequence[str]] = None,
+) -> RunSpec:
+    """Spec for one :func:`run_trial_record` call.
+
+    ``oracles`` (None means all) is part of the content key: a trial
+    over two oracles is a different result than one over four.
+    """
+    return RunSpec.make(
+        "verify",
+        "fuzz",
+        trial_seed,
+        {"oracles": sorted(oracles) if oracles else None},
+    )
+
+
+@job_kind("verify")
+def _run_verify(spec: RunSpec) -> Dict[str, Any]:
+    from repro.verify.harness import run_trial_record
+
+    return run_trial_record(spec.seed, spec.params.get("oracles"))
 
 
 # ---------------------------------------------------------------------------

@@ -15,9 +15,19 @@ codec:
     |                  route ID  (L bytes, big endian)              |
     +---------------------------------------------------------------+
 
-Flags: bit 0 = deflected.  The route-ID field is sized per packet to
-``ceil(bits/8)`` of the route's modulus, so short routes pay only a few
-bytes — the property the paper's partial protection exists to preserve.
+Flags: bit 0 = deflected.  The route-ID field carries the route ID in
+its **canonical** (minimal big-endian) byte form, so short routes pay
+only a few bytes — the property the paper's partial protection exists
+to preserve.  :func:`header_wire_size` gives the per-route worst case
+(every route ID under the route's modulus fits), which is the figure
+the header-overhead accounting uses.
+
+The codec is a proven inverse pair: ``decode(encode(h))`` recovers
+every wire-carried field of ``h`` exactly, and ``encode(decode(b)[0])
+== b`` for every byte string ``decode`` accepts.  To make the second
+direction hold, decode *rejects* non-canonical encodings — a length
+field padding the route ID with leading zero bytes — instead of
+silently accepting bytes the encoder can never produce.
 """
 
 from __future__ import annotations
@@ -52,8 +62,16 @@ class WireError(ValueError):
     """Raised on malformed header bytes or unencodable values."""
 
 
+#: Upper bound on the route-ID field (the length field is 16 bits).
+MAX_ROUTE_ID_BYTES = 0xFFFF
+
+
 def header_wire_size(modulus: int) -> int:
-    """Total shim bytes for a route with the given modulus.
+    """Worst-case total shim bytes for a route with the given modulus.
+
+    Every route ID under *modulus* fits in this many bytes; the actual
+    canonical encoding of a specific (small) route ID may be shorter.
+    This is the per-route accounting figure (Eq. 9 rounded to bytes).
 
     >>> header_wire_size(308)     # 9-bit route ID -> 2 bytes payload
     6
@@ -69,24 +87,27 @@ def header_wire_size(modulus: int) -> int:
 def encode_header(header: KarHeader) -> bytes:
     """Serialize a :class:`~repro.sim.packet.KarHeader` to bytes.
 
-    The route-ID field length comes from the header's modulus when
-    known (controller-stamped headers), else from the route ID's own
-    magnitude.
+    The route-ID field uses the canonical (minimal big-endian) length
+    for the route ID's magnitude, never zero-padded — the unique byte
+    form :func:`decode_header` accepts, making the codec an inverse
+    pair.  A header's modulus, when known, only *validates* the route
+    ID; it never pads the field.
     """
     if header.route_id < 0:
         raise WireError(f"route ID must be non-negative: {header.route_id}")
     if not 0 <= header.ttl <= 255:
         raise WireError(f"ttl must fit one byte, got {header.ttl}")
-    if header.modulus >= 2:
-        bits = route_id_bit_length(header.modulus)
-        if header.route_id >= header.modulus:
-            raise WireError(
-                f"route ID {header.route_id} out of range for modulus "
-                f"{header.modulus}"
-            )
-    else:
-        bits = max(1, header.route_id.bit_length())
-    length = (bits + 7) // 8
+    if header.modulus >= 2 and header.route_id >= header.modulus:
+        raise WireError(
+            f"route ID {header.route_id} out of range for modulus "
+            f"{header.modulus}"
+        )
+    length = max(1, (header.route_id.bit_length() + 7) // 8)
+    if length > MAX_ROUTE_ID_BYTES:
+        raise WireError(
+            f"route ID needs {length} bytes; the 16-bit length field "
+            f"caps it at {MAX_ROUTE_ID_BYTES}"
+        )
     flags = _FLAG_DEFLECTED if header.deflected else 0
     first = (WIRE_VERSION << 4) | flags
     return _FIXED.pack(first, header.ttl, length) + header.route_id.to_bytes(
@@ -102,7 +123,9 @@ def decode_header(data: bytes) -> Tuple[KarHeader, int]:
         is 0 (the wire does not carry it; switches never need it).
 
     Raises:
-        WireError: on truncation, bad version, or zero-length route ID.
+        WireError: on truncation, bad version, zero-length route ID, or
+            a non-canonical (leading-zero-padded) route-ID field —
+            bytes :func:`encode_header` can never produce.
     """
     if len(data) < FIXED_HEADER_BYTES:
         raise WireError(
@@ -112,12 +135,23 @@ def decode_header(data: bytes) -> Tuple[KarHeader, int]:
     version = first >> 4
     if version != WIRE_VERSION:
         raise WireError(f"unsupported KAR header version {version}")
+    flags = first & 0x0F
+    if flags & ~_FLAG_DEFLECTED:
+        raise WireError(
+            f"unknown flag bits 0x{flags & ~_FLAG_DEFLECTED:x} in a "
+            f"version-{WIRE_VERSION} header"
+        )
     if length == 0:
         raise WireError("zero-length route-ID field")
     end = FIXED_HEADER_BYTES + length
     if len(data) < end:
         raise WireError(
             f"truncated route ID: need {end} bytes, have {len(data)}"
+        )
+    if length > 1 and data[FIXED_HEADER_BYTES] == 0:
+        raise WireError(
+            "non-canonical route-ID field: leading zero byte in a "
+            f"{length}-byte field"
         )
     route_id = int.from_bytes(data[FIXED_HEADER_BYTES:end], "big")
     header = KarHeader(

@@ -26,15 +26,30 @@ __all__ = [
 
 @dataclass(frozen=True)
 class LinkSample:
-    """One sampling interval on one link direction."""
+    """One sampling interval on one link direction.
+
+    All rate-like fields are **per-interval**: ``mbps_*`` are the bytes
+    moved during this interval, and ``drops_ab``/``drops_ba`` are the
+    queue drops that happened during this interval (so a drop plot sums
+    to the true total instead of double-counting).  The running totals
+    up to and including this sample are carried alongside as
+    ``cum_drops_*``.
+    """
 
     time: float
     mbps_ab: float
     mbps_ba: float
     queue_ab: int
     queue_ba: int
-    drops_ab: int   # cumulative queue drops, a->b
+    drops_ab: int   # queue drops during this interval, a->b
     drops_ba: int
+    cum_drops_ab: int = 0   # cumulative queue drops up to this sample
+    cum_drops_ba: int = 0
+
+    @property
+    def cum_drops(self) -> int:
+        """Cumulative queue drops, both directions."""
+        return self.cum_drops_ab + self.cum_drops_ba
 
 
 class LinkMonitor:
@@ -49,6 +64,7 @@ class LinkMonitor:
         self.interval_s = interval_s
         self.samples: List[LinkSample] = []
         self._last_bytes = (0, 0)
+        self._last_drops = (0, 0)
         self._sim = None
 
     def start(self, sim) -> None:
@@ -56,12 +72,17 @@ class LinkMonitor:
         self._last_bytes = (
             self.link.stats_ab.tx_bytes, self.link.stats_ba.tx_bytes
         )
+        self._last_drops = (
+            self.link.stats_ab.queue_drops, self.link.stats_ba.queue_drops
+        )
         sim.post(self.interval_s, self._tick)
 
     def _tick(self) -> None:
         ab, ba = self.link.stats_ab, self.link.stats_ba
         prev_ab, prev_ba = self._last_bytes
+        drop_ab0, drop_ba0 = self._last_drops
         self._last_bytes = (ab.tx_bytes, ba.tx_bytes)
+        self._last_drops = (ab.queue_drops, ba.queue_drops)
         scale = 8 / self.interval_s / 1e6
         self.samples.append(
             LinkSample(
@@ -70,8 +91,10 @@ class LinkMonitor:
                 mbps_ba=(ba.tx_bytes - prev_ba) * scale,
                 queue_ab=self.link.channel_from(self.link.node_a).queue_depth,
                 queue_ba=self.link.channel_from(self.link.node_b).queue_depth,
-                drops_ab=ab.queue_drops,
-                drops_ba=ba.queue_drops,
+                drops_ab=ab.queue_drops - drop_ab0,
+                drops_ba=ba.queue_drops - drop_ba0,
+                cum_drops_ab=ab.queue_drops,
+                cum_drops_ba=ba.queue_drops,
             )
         )
         self._sim.post(self.interval_s, self._tick)
@@ -93,6 +116,13 @@ class LinkMonitor:
         if not self.samples:
             return 0
         return max(max(s.queue_ab, s.queue_ba) for s in self.samples)
+
+    def cumulative_drops(self) -> Tuple[int, int]:
+        """Total queue drops observed so far, as ``(ab, ba)``."""
+        if not self.samples:
+            return (0, 0)
+        last = self.samples[-1]
+        return (last.cum_drops_ab, last.cum_drops_ba)
 
 
 class NetworkMonitor:
@@ -129,9 +159,8 @@ class NetworkMonitor:
     def total_queue_drops(self) -> int:
         total = 0
         for monitor in self.monitors.values():
-            if monitor.samples:
-                last = monitor.samples[-1]
-                total += last.drops_ab + last.drops_ba
+            ab, ba = monitor.cumulative_drops()
+            total += ab + ba
         return total
 
 

@@ -42,6 +42,34 @@ __all__ = [
 ]
 
 
+def _randbelow_matches_choice() -> bool:
+    """Import-time probe: is ``seq[rng._randbelow(len(seq))]`` the exact
+    draw ``rng.choice(seq)`` would make?
+
+    ``_randbelow`` is a private CPython detail — alternative
+    ``random.Random`` implementations may not have it, and nothing
+    guarantees ``choice()`` keeps delegating to it.  The fast path may
+    only index through it when this probe confirms both the values and
+    the stream positions agree; otherwise every caller falls back to
+    the reference ``choice(list(...))`` form.
+    """
+    try:
+        a = random.Random(0x5EED)
+        b = random.Random(0x5EED)
+        seq = tuple(range(1, 8))
+        for _ in range(16):
+            if seq[a._randbelow(len(seq))] != b.choice(list(seq)):
+                return False
+        return a.getstate() == b.getstate()
+    except Exception:
+        return False
+
+
+#: True when indexing via ``rng._randbelow`` is provably equivalent to
+#: ``rng.choice`` on this interpreter (always the case on CPython).
+_RANDBELOW_IS_CHOICE = _randbelow_matches_choice()
+
+
 class PortView(Protocol):
     """The slice of a switch a strategy may look at."""
 
@@ -146,13 +174,22 @@ class DeflectionStrategy:
     def _random_from_seq(
         candidates: Sequence[int], rng: random.Random
     ) -> Tuple[Optional[int], bool]:
-        # Copy-free twin of _random_from: random.choice(seq) is exactly
-        # seq[rng._randbelow(len(seq))], so indexing directly makes the
-        # same draw (same RNG stream position) for a cached tuple as
-        # choice() makes for a fresh list copy of the same ports.
+        # Copy-free twin of _random_from: on CPython random.choice(seq)
+        # is exactly seq[rng._randbelow(len(seq))], so indexing directly
+        # makes the same draw (same RNG stream position) for a cached
+        # tuple as choice() makes for a fresh list copy of the same
+        # ports.  The indexing shortcut is gated on the import-time
+        # equivalence probe AND on the rng actually exposing the private
+        # API, so alternative Random implementations/subclasses get the
+        # reference choice(list(...)) semantics instead of an
+        # AttributeError.
         if not candidates:
             return None, False
-        return candidates[rng._randbelow(len(candidates))], True
+        if _RANDBELOW_IS_CHOICE:
+            randbelow = getattr(rng, "_randbelow", None)
+            if randbelow is not None:
+                return candidates[randbelow(len(candidates))], True
+        return rng.choice(list(candidates)), True
 
     def __repr__(self) -> str:
         return f"<{type(self).__name__} ({self.name})>"

@@ -1,0 +1,90 @@
+"""Replayable divergence artifacts.
+
+A divergence artifact is a small canonical-JSON file holding the
+(usually shrunk) fuzz case, the oracle that disagreed, and the
+recorded details.  It is self-contained: ``repro verify --replay
+FILE`` (or :func:`replay_artifact` programmatically) rebuilds the
+scenario from the case record and reruns the named oracle, so a
+counterexample found in CI reproduces on any checkout.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, Mapping, Optional
+
+from repro.farm.spec import canonical_json
+from repro.switches.deflection import DeflectionStrategy
+from repro.verify.cases import FuzzCase
+from repro.verify.oracles import OracleResult, run_oracle
+
+__all__ = [
+    "ARTIFACT_FORMAT",
+    "artifact_record",
+    "write_artifact",
+    "load_artifact",
+    "replay_artifact",
+]
+
+ARTIFACT_FORMAT = 1
+
+
+def artifact_record(
+    oracle: str,
+    case: FuzzCase,
+    details: list,
+    original_case: Optional[FuzzCase] = None,
+) -> Dict[str, Any]:
+    """Build the JSON-able artifact payload for one divergence."""
+    record: Dict[str, Any] = {
+        "format": ARTIFACT_FORMAT,
+        "oracle": oracle,
+        "case": case.to_record(),
+        "details": list(details),
+        "replay": "python -m repro verify --replay <this-file>",
+    }
+    if original_case is not None and original_case != case:
+        record["unshrunk_case"] = original_case.to_record()
+    return record
+
+
+def write_artifact(path: str, record: Mapping[str, Any]) -> str:
+    """Write an artifact file (creating parent directories)."""
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(canonical_json(dict(record)))
+        f.write("\n")
+    return path
+
+
+def load_artifact(path: str) -> Dict[str, Any]:
+    """Load and validate an artifact file."""
+    import json
+
+    with open(path, "r", encoding="utf-8") as f:
+        record = json.load(f)
+    if record.get("format") != ARTIFACT_FORMAT:
+        raise ValueError(
+            f"{path}: unsupported artifact format "
+            f"{record.get('format')!r} (expected {ARTIFACT_FORMAT})"
+        )
+    for key in ("oracle", "case"):
+        if key not in record:
+            raise ValueError(f"{path}: artifact missing {key!r}")
+    return record
+
+
+def replay_artifact(
+    record: Mapping[str, Any],
+    strategy: Optional[DeflectionStrategy] = None,
+) -> OracleResult:
+    """Rerun an artifact's oracle on its stored case.
+
+    Returns the fresh :class:`OracleResult`: divergences present means
+    the bug still reproduces; an empty list means it is fixed (or the
+    strategy mutation that produced it is not injected).
+    """
+    case = FuzzCase.from_record(record["case"])
+    return run_oracle(record["oracle"], case, strategy=strategy)

@@ -1,0 +1,185 @@
+"""Fuzz-case generation for the differential verifier.
+
+A :class:`FuzzCase` is the complete, JSON-able description of one
+randomized scenario: topology shape, coprime ID pool, deflection
+strategy, traffic profile, and a failure schedule.  Everything the
+oracles need is derived deterministically from the case, so a case
+record **is** a repro: load it, rebuild the scenario, rerun the oracle.
+
+Cases are deliberately plain data (no graph objects) so the shrinker
+can mutate them field-by-field and the farm can ship them between
+processes as canonical JSON.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.switches.deflection import STRATEGY_NAMES
+from repro.topology import (
+    NodeKind,
+    Scenario,
+    attach_host_pair,
+    random_connected,
+    shortest_path,
+)
+from repro.topology.graph import PortGraph
+
+__all__ = ["FuzzCase", "generate_case", "build_graph", "build_scenario",
+           "case_is_buildable"]
+
+#: (a, b, fail_at, repair_at-or-None) — a core-link failure event.
+FailureEvent = Tuple[str, str, float, Optional[float]]
+
+#: Link parameters shared by every fuzz topology: fast links and short
+#: delays keep wall-clock per trial low without changing the logic
+#: under test.
+_RATE_MBPS = 50.0
+_DELAY_S = 0.0002
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One randomized verification scenario, as pure data."""
+
+    seed: int
+    num_switches: int
+    extra_links: int
+    min_switch_id: int
+    id_strategy: str
+    strategy: str
+    ttl: int
+    rate_pps: float
+    traffic_s: float
+    failures: Tuple[FailureEvent, ...] = ()
+
+    def to_record(self) -> Dict[str, Any]:
+        """JSON-able form (artifact files, farm results)."""
+        return {
+            "seed": self.seed,
+            "num_switches": self.num_switches,
+            "extra_links": self.extra_links,
+            "min_switch_id": self.min_switch_id,
+            "id_strategy": self.id_strategy,
+            "strategy": self.strategy,
+            "ttl": self.ttl,
+            "rate_pps": self.rate_pps,
+            "traffic_s": self.traffic_s,
+            "failures": [list(f) for f in self.failures],
+        }
+
+    @classmethod
+    def from_record(cls, record: Mapping[str, Any]) -> "FuzzCase":
+        return cls(
+            seed=record["seed"],
+            num_switches=record["num_switches"],
+            extra_links=record["extra_links"],
+            min_switch_id=record["min_switch_id"],
+            id_strategy=record["id_strategy"],
+            strategy=record["strategy"],
+            ttl=record["ttl"],
+            rate_pps=record["rate_pps"],
+            traffic_s=record["traffic_s"],
+            failures=tuple(
+                (a, b, at, repair)
+                for a, b, at, repair in record.get("failures", ())
+            ),
+        )
+
+    def with_(self, **changes: Any) -> "FuzzCase":
+        """A copy with some fields replaced (shrinker convenience)."""
+        return replace(self, **changes)
+
+
+def build_graph(case: FuzzCase) -> PortGraph:
+    """The case's core graph + host pair (deterministic in the case)."""
+    graph = random_connected(
+        case.num_switches,
+        extra_links=case.extra_links,
+        seed=case.seed,
+        id_strategy=case.id_strategy,
+        min_switch_id=case.min_switch_id,
+        rate_mbps=_RATE_MBPS,
+        delay_s=_DELAY_S,
+    )
+    names = sorted(graph.node_names())
+    attach_host_pair(graph, names[0], names[-1],
+                     rate_mbps=_RATE_MBPS, delay_s=_DELAY_S)
+    return graph
+
+
+def build_scenario(case: FuzzCase) -> Scenario:
+    """Rebuild the runnable scenario a case describes.
+
+    Raises ValueError when the case is not buildable (e.g. a shrink
+    step pushed a node's degree past its coprime ID, or a stored
+    failure link no longer exists in the regenerated topology).
+    """
+    graph = build_graph(case)
+    core = sorted(graph.node_names(NodeKind.CORE))
+    for a, b, _, _ in case.failures:
+        if not graph.has_link(a, b):
+            raise ValueError(f"failure link {a}-{b} not in topology")
+    route = shortest_path(graph, core[0], core[-1])
+    return Scenario(
+        name=f"verify-{case.seed}",
+        graph=graph,
+        primary_route=tuple(route),
+        src_host="H-SRC",
+        dst_host="H-DST",
+        protection={"none": ()},
+    )
+
+
+def case_is_buildable(case: FuzzCase) -> bool:
+    """Whether :func:`build_scenario` would succeed (shrinker guard)."""
+    try:
+        build_scenario(case)
+        return True
+    except ValueError:
+        return False
+
+
+def generate_case(trial_seed: int) -> FuzzCase:
+    """Draw one random case from a trial seed (pure function).
+
+    The draw covers the space the oracles care about: topology sizes
+    beyond the paper's figures, both coprime pools, every deflection
+    strategy, TTLs small enough that expiry actually happens, and up to
+    three core-link failures (some repaired).
+    """
+    rng = random.Random(f"verify-case-{trial_seed}")
+    num_switches = rng.randrange(6, 15)
+    extra_links = rng.randrange(0, 6)
+    traffic_s = rng.choice((0.3, 0.4, 0.5))
+    case = FuzzCase(
+        seed=trial_seed,
+        num_switches=num_switches,
+        extra_links=extra_links,
+        min_switch_id=rng.choice((23, 41, 79)),
+        id_strategy=rng.choice(("prime", "greedy")),
+        strategy=rng.choice(STRATEGY_NAMES),
+        ttl=rng.choice((8, 16, 32, 64)),
+        rate_pps=float(rng.choice((40, 80, 120))),
+        traffic_s=traffic_s,
+    )
+    # Failures are drawn against the actual generated topology so the
+    # stored link names are guaranteed valid for this case.
+    graph = build_graph(case)
+    core = set(graph.node_names(NodeKind.CORE))
+    candidates = [
+        (link.a, link.b) for link in graph.links()
+        if link.a in core and link.b in core
+    ]
+    rng.shuffle(candidates)
+    failures: List[FailureEvent] = []
+    for a, b in candidates[: rng.randrange(0, 4)]:
+        at = round(rng.uniform(0.05, traffic_s * 0.6), 4)
+        repair = (
+            round(at + rng.uniform(0.05, traffic_s * 0.4), 4)
+            if rng.random() < 0.5 else None
+        )
+        failures.append((a, b, at, repair))
+    return case.with_(failures=tuple(failures))

@@ -1,0 +1,608 @@
+"""The four differential oracles.
+
+Each oracle takes a :class:`~repro.verify.cases.FuzzCase` and replays
+it through two *independent* evaluations of the same semantics, then
+diffs the outcomes:
+
+* ``datapath`` — the reference datapath vs the fast datapath
+  (:mod:`repro.sim.fastpath`): full outcome digest (per-switch
+  counters, drop reasons, event counts, RNG stream positions) plus
+  hop-by-hop per-packet traces.
+* ``strategy`` — each deflection strategy implementation vs the
+  paper-pseudocode transcription (:mod:`repro.verify.pseudocode`),
+  decision by decision, and the ``fast_port``/``fast_fallback`` split
+  vs ``select_port``, including RNG stream identity.
+* ``wire`` — the :mod:`repro.rns.wire` codec vs in-memory
+  :class:`~repro.sim.packet.KarHeader` semantics: round trips, the
+  encode/decode inverse pair on arbitrary bytes, truncation at every
+  offset, and TTL decrement points against the core switch's expiry
+  rule.
+* ``walk`` — the event simulator's per-packet delivery/loop verdicts
+  vs the pure-graph walk model
+  (:func:`repro.analysis.walk.deterministic_route_walk`), for both the
+  controller's real route and a fuzzed route ID that wanders.
+
+Every oracle returns an :class:`OracleResult`; a non-empty
+``divergences`` list means the two sides disagreed, and the attached
+details say exactly where.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.walk import deterministic_route_walk
+from repro.rns.wire import (
+    WireError,
+    decode_header,
+    encode_header,
+    header_wire_size,
+)
+from repro.runner import KarSimulation
+from repro.sim.fastpath import use_fastpath
+from repro.sim.packet import KarHeader, Packet
+from repro.switches.core import KarSwitch
+from repro.switches.deflection import DeflectionStrategy, strategy_by_name
+from repro.switches.edge import IngressEntry
+from repro.topology.graph import NodeKind
+from repro.verify.cases import FuzzCase, build_scenario
+from repro.verify.pseudocode import PSEUDOCODE
+
+__all__ = [
+    "Divergence",
+    "OracleResult",
+    "ORACLE_NAMES",
+    "check_datapaths",
+    "check_strategy",
+    "check_wire",
+    "check_walk",
+    "run_oracle",
+    "run_case",
+]
+
+#: decision-fuzz trials per case in the strategy oracle.
+_STRATEGY_TRIALS = 150
+
+#: random headers per case in the wire oracle.
+_WIRE_TRIALS = 80
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """One disagreement between an oracle's two sides."""
+
+    oracle: str
+    detail: str
+
+    def to_record(self) -> Dict[str, Any]:
+        return {"oracle": self.oracle, "detail": self.detail}
+
+
+@dataclass
+class OracleResult:
+    """Outcome of one oracle over one case."""
+
+    oracle: str
+    checks: int = 0
+    divergences: List[Divergence] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+    def check(self, condition: bool, detail: Callable[[], str]) -> bool:
+        """Count one comparison; record a divergence when it fails.
+
+        *detail* is lazy so passing traces don't pay for formatting.
+        """
+        self.checks += 1
+        if not condition:
+            self.divergences.append(Divergence(self.oracle, detail()))
+        return condition
+
+    def to_record(self) -> Dict[str, Any]:
+        return {
+            "oracle": self.oracle,
+            "checks": self.checks,
+            "divergences": [d.to_record() for d in self.divergences],
+        }
+
+
+# ---------------------------------------------------------------------------
+# (a) reference datapath vs fast datapath
+# ---------------------------------------------------------------------------
+
+def _run_case_sim(
+    case: FuzzCase,
+    scenario,
+    deflection,
+    ttl: int,
+) -> Tuple[KarSimulation, Any, Any]:
+    ks = KarSimulation(
+        scenario, deflection=deflection, protection="none",
+        seed=case.seed, ttl=ttl, trace_paths=True,
+    )
+    src, sink = ks.add_udp_probe(
+        rate_pps=case.rate_pps, duration_s=case.traffic_s
+    )
+    src.start(at=0.02)
+    for a, b, at, repair in case.failures:
+        ks.schedule_failure(a, b, at=at, repair_at=repair)
+    ks.run(until=case.traffic_s + 1.5)
+    return ks, src, sink
+
+
+def _outcome_record(ks: KarSimulation, src, sink) -> Dict[str, Any]:
+    """The full digestable outcome of one run — the bit-identical
+    contract: counters, drop reasons, event order, RNG positions."""
+    switches = {}
+    rng_fp = hashlib.sha256()
+    for info in sorted(ks.scenario.graph.nodes(NodeKind.CORE),
+                       key=lambda i: i.name):
+        sw = ks.network.node(info.name)
+        assert isinstance(sw, KarSwitch)
+        switches[info.name] = (sw.forwarded, sw.deflections, sw.drops)
+        rng_fp.update(repr(sw._rng.getstate()).encode("utf-8"))
+    return {
+        "sent": src.sent,
+        "received": sink.received,
+        "events": ks.sim.events_processed,
+        "drop_reasons": dict(sorted(ks.tracer.drop_reasons.items())),
+        "switches": switches,
+        "rng_fingerprint": rng_fp.hexdigest()[:16],
+    }
+
+
+def check_datapaths(case: FuzzCase) -> OracleResult:
+    """Reference vs fast datapath on the full case (oracle a)."""
+    result = OracleResult("datapath")
+    scenario = build_scenario(case)
+    with use_fastpath(False):
+        ks_ref, src, sink = _run_case_sim(
+            case, scenario, case.strategy, case.ttl
+        )
+        ref = _outcome_record(ks_ref, src, sink)
+    ref_paths = ks_ref.tracer._paths
+    with use_fastpath(True):
+        ks_fast, src, sink = _run_case_sim(
+            case, scenario, case.strategy, case.ttl
+        )
+        fast = _outcome_record(ks_fast, src, sink)
+    fast_paths = ks_fast.tracer._paths
+
+    for key in ref:
+        result.check(
+            fast[key] == ref[key],
+            lambda key=key: (
+                f"outcome[{key}] differs: reference={ref[key]!r} "
+                f"fast={fast[key]!r}"
+            ),
+        )
+    # Hop-by-hop digest: every packet must take the same ports with the
+    # same deflected flags at the same times.  Packet uids come from a
+    # process-global counter, so traces pair up in uid order.
+    if result.check(
+        len(fast_paths) == len(ref_paths),
+        lambda: (
+            f"traced packet count differs: reference={len(ref_paths)} "
+            f"fast={len(fast_paths)}"
+        ),
+    ):
+        for ref_uid, fast_uid in zip(sorted(ref_paths), sorted(fast_paths)):
+            result.check(
+                fast_paths[fast_uid] == ref_paths[ref_uid],
+                lambda r=ref_uid, f=fast_uid: (
+                    f"hop trace differs for packet pair ref#{r}/fast#{f}: "
+                    f"reference={ref_paths[r]!r} fast={fast_paths[f]!r}"
+                ),
+            )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# (b) strategy implementations vs paper pseudocode
+# ---------------------------------------------------------------------------
+
+class _FuzzPortView:
+    """A bare PortView: N ports, a subset of them healthy."""
+
+    __slots__ = ("num_ports", "_up")
+
+    def __init__(self, num_ports: int, up: Sequence[int]):
+        self.num_ports = num_ports
+        self._up = frozenset(up)
+
+    def port_up(self, port: int) -> bool:
+        return port in self._up
+
+    def healthy_ports(self) -> Tuple[int, ...]:
+        return tuple(p for p in range(self.num_ports) if p in self._up)
+
+
+def check_strategy(
+    case: FuzzCase,
+    strategy: Optional[DeflectionStrategy] = None,
+) -> OracleResult:
+    """Implementation vs pseudocode, decision by decision (oracle b).
+
+    *strategy* overrides the case's strategy instance — the hook the
+    harness's self-test uses to prove a mutated strategy is caught.
+    """
+    result = OracleResult("strategy")
+    impl = strategy if strategy is not None else strategy_by_name(case.strategy)
+    spec = PSEUDOCODE[case.strategy]
+    rng = random.Random(f"verify-strategy-{case.seed}")
+    for trial in range(_STRATEGY_TRIALS):
+        num_ports = rng.randrange(2, 9)
+        up = frozenset(
+            p for p in range(num_ports) if rng.random() < 0.75
+        )
+        in_port = rng.randrange(num_ports)
+        # R mod s ranges over the switch ID, which exceeds the degree,
+        # so out-of-range computed ports are legal inputs.
+        computed = rng.randrange(num_ports + 3)
+        already_deflected = rng.random() < 0.5
+        draw_seed = rng.getrandbits(32)
+
+        view = _FuzzPortView(num_ports, up)
+        packet = Packet(
+            src_host="H-SRC", dst_host="H-DST", size_bytes=100,
+            kar=KarHeader(route_id=1, deflected=already_deflected, ttl=32),
+        )
+        state = (
+            f"ports={num_ports} up={sorted(up)} in={in_port} "
+            f"computed={computed} deflected={already_deflected} "
+            f"draw_seed={draw_seed}"
+        )
+
+        rng_spec = random.Random(draw_seed)
+        want = spec(
+            num_ports, up, in_port, computed, already_deflected, rng_spec
+        )
+
+        rng_impl = random.Random(draw_seed)
+        decision = impl.select_port(view, packet, in_port, computed, rng_impl)
+        got = (decision.port, decision.deflected)
+        result.check(
+            got == want,
+            lambda s=state, g=got, w=want: (
+                f"select_port disagrees with pseudocode at {s}: "
+                f"impl={g} paper={w}"
+            ),
+        )
+        result.check(
+            rng_impl.getstate() == rng_spec.getstate(),
+            lambda s=state: (
+                f"select_port consumed a different RNG stream than the "
+                f"pseudocode at {s}"
+            ),
+        )
+
+        # The fast split must compose to the same decision with the
+        # same draws: fast_port (no RNG) or fast_fallback (RNG).
+        rng_fast = random.Random(draw_seed)
+        fast_hit = impl.fast_port(view, packet, in_port, computed)
+        if fast_hit is not None:
+            got_fast = (fast_hit, False)
+        else:
+            got_fast = impl.fast_fallback(
+                view, packet, in_port, computed, rng_fast
+            )
+        result.check(
+            got_fast == want,
+            lambda s=state, g=got_fast, w=want: (
+                f"fast_port/fast_fallback disagrees with pseudocode at "
+                f"{s}: fast={g} paper={w}"
+            ),
+        )
+        result.check(
+            rng_fast.getstate() == rng_spec.getstate(),
+            lambda s=state: (
+                f"fast path consumed a different RNG stream than the "
+                f"pseudocode at {s}"
+            ),
+        )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# (c) wire codec vs in-memory header semantics
+# ---------------------------------------------------------------------------
+
+def _random_header(rng: random.Random) -> KarHeader:
+    bits = rng.randrange(0, 80)
+    route_id = rng.getrandbits(bits) if bits else 0
+    ttl = rng.choice((0, 1, 255, rng.randrange(256)))
+    modulus = 0
+    if rng.random() < 0.5:
+        modulus = route_id + 2 + rng.randrange(1000)
+    return KarHeader(
+        route_id=route_id, modulus=modulus,
+        deflected=rng.random() < 0.5, ttl=ttl,
+    )
+
+
+def check_wire(case: FuzzCase) -> OracleResult:
+    """Wire codec vs in-memory KarHeader semantics (oracle c)."""
+    result = OracleResult("wire")
+    rng = random.Random(f"verify-wire-{case.seed}")
+    for trial in range(_WIRE_TRIALS):
+        header = _random_header(rng)
+        label = (
+            f"rid={header.route_id} mod={header.modulus} "
+            f"ttl={header.ttl} deflected={header.deflected}"
+        )
+        data = encode_header(header)
+
+        # Round trip: every wire-carried field survives, trailing bytes
+        # are untouched, and re-encoding is byte-identical.
+        decoded, consumed = decode_header(data + b"payload")
+        result.check(
+            consumed == len(data)
+            and decoded.route_id == header.route_id
+            and decoded.ttl == header.ttl
+            and decoded.deflected == header.deflected
+            and decoded.modulus == 0,
+            lambda l=label, d=decoded: (
+                f"decode(encode(h)) mangled {l}: got rid={d.route_id} "
+                f"ttl={d.ttl} deflected={d.deflected} mod={d.modulus}"
+            ),
+        )
+        result.check(
+            encode_header(decoded) == data,
+            lambda l=label: f"encode(decode(encode(h))) != encode(h) for {l}",
+        )
+        if header.modulus >= 2:
+            result.check(
+                len(data) <= header_wire_size(header.modulus),
+                lambda l=label, n=len(data): (
+                    f"encoding of {l} is {n} bytes, above the "
+                    f"header_wire_size worst case"
+                ),
+            )
+
+        # Truncation at every byte offset must be detected, never
+        # misparsed as a shorter valid header.
+        truncation_ok = True
+        for cut in range(len(data)):
+            try:
+                decode_header(data[:cut])
+                truncation_ok = False
+                break
+            except WireError:
+                pass
+        result.check(
+            truncation_ok,
+            lambda l=label, c=cut: (
+                f"decode accepted a {c}-byte truncation of {l}"
+            ),
+        )
+
+        # TTL decrement points: walk the header through hops twice — as
+        # wire bytes and as the in-memory header — applying the core
+        # switch's arrival rule (drop when ttl <= 0, else decrement) to
+        # both, and require them to agree at every point.
+        mem = KarHeader(
+            route_id=header.route_id, deflected=header.deflected,
+            ttl=header.ttl,
+        )
+        wire = encode_header(mem)
+        ttl_ok = True
+        for hop in range(min(header.ttl + 2, 12)):
+            dec, _ = decode_header(wire)
+            if dec.ttl != mem.ttl or (dec.ttl <= 0) != (mem.ttl <= 0):
+                ttl_ok = False
+                break
+            if mem.ttl <= 0:
+                break
+            mem.ttl -= 1
+            dec.ttl -= 1
+            wire = encode_header(dec)
+            if encode_header(mem) != wire:
+                ttl_ok = False
+                break
+        result.check(
+            ttl_ok,
+            lambda l=label, h=hop: (
+                f"wire/in-memory TTL semantics diverge at hop {h} for {l}"
+            ),
+        )
+
+        # Inverse pair on arbitrary bytes: decode either rejects a
+        # mutated blob or parses it into a header whose canonical
+        # encoding is exactly the bytes consumed.
+        blob = bytearray(data)
+        blob[rng.randrange(len(blob))] ^= 1 << rng.randrange(8)
+        blob = bytes(blob)
+        try:
+            parsed, used = decode_header(blob)
+        except WireError:
+            result.check(True, lambda: "")
+        else:
+            result.check(
+                encode_header(parsed) == blob[:used],
+                lambda l=label, b=blob.hex(): (
+                    f"decode accepted mutated bytes {b} (from {l}) that "
+                    f"do not re-encode to themselves"
+                ),
+            )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# (d) event simulator vs pure-graph walk model
+# ---------------------------------------------------------------------------
+
+def _fuzz_route_id(case: FuzzCase, graph) -> int:
+    """A CRT-crafted wandering route ID.
+
+    A uniformly random integer is a boring fuzz route: ``R mod s``
+    lands outside the degree at the very first switch almost always
+    (IDs are >= 23, degrees are small), so every packet dies on hop
+    one.  Instead, solve the CRT system over the real switch IDs with
+    per-switch residues drawn *mostly* in port range — the packet then
+    genuinely wanders: misdeliveries, re-encodes, TTL expiry, and the
+    occasional out-of-range drop all get exercised.
+    """
+    from repro.rns.crt import crt
+
+    rng = random.Random(f"verify-walk-{case.seed}")
+    moduli = []
+    residues = []
+    for info in sorted(graph.nodes(NodeKind.CORE), key=lambda i: i.name):
+        moduli.append(info.switch_id)
+        if rng.random() < 0.9:
+            residues.append(rng.randrange(graph.degree(info.name)))
+        else:
+            residues.append(rng.randrange(info.switch_id))
+    route_id, _ = crt(residues, moduli)
+    return route_id
+
+
+def check_walk(case: FuzzCase) -> OracleResult:
+    """Simulator verdicts vs the graph walk model (oracle d).
+
+    Runs the case under no-deflection forwarding with the failures
+    applied *statically* before traffic (the walk model has no clock),
+    in two flavours: the controller's real route, and a fuzzed route ID
+    that makes the packet wander through misdelivery re-encodes until
+    delivery or TTL death.  Every packet's hop-by-hop trace and final
+    verdict must match the model's prediction.
+    """
+    result = OracleResult("walk")
+    scenario = build_scenario(case)
+    graph = scenario.graph
+    ingress_edge = graph.edge_of_host(scenario.src_host)
+    down = tuple({tuple(sorted((a, b))) for a, b, _, _ in case.failures})
+    for flavour in ("routed", "fuzzed"):
+        ks = KarSimulation(
+            scenario, deflection="none", protection="none",
+            seed=case.seed, ttl=case.ttl, trace_paths=True,
+        )
+        edge = ks.network.node(ingress_edge)
+        entry = edge.ingress_entry(scenario.dst_host)
+        assert entry is not None
+        if flavour == "fuzzed":
+            entry = IngressEntry(
+                route_id=_fuzz_route_id(case, graph), modulus=0,
+                out_port=entry.out_port, ttl=case.ttl, residues=None,
+            )
+            edge.install_ingress(scenario.dst_host, entry)
+        for a, b in down:
+            ks.network.link_between(a, b).set_up(False)
+        src, sink = ks.add_udp_probe(
+            rate_pps=case.rate_pps, duration_s=case.traffic_s
+        )
+        src.start(at=0.01)
+        ks.run(until=case.traffic_s + 2.0)
+
+        def reencode(edge_name: str, dst: str):
+            fresh = ks.controller.reencode(edge_name, dst)
+            return None if fresh is None else (fresh.route_id, fresh.out_port)
+
+        verdict = deterministic_route_walk(
+            graph, entry.route_id, entry.ttl, ingress_edge,
+            entry.out_port, scenario.dst_host,
+            down_links=down, reencode=reencode,
+        )
+        expected_hops = [
+            (h.node, h.in_port, h.out_port, False) for h in verdict.hops
+        ]
+
+        tracer = ks.tracer
+        drops_by_uid = {d.packet_uid: d for d in tracer.drops}
+        uids = sorted(
+            set(tracer._paths) | set(drops_by_uid) | set(tracer.deliveries)
+        )
+        result.check(
+            len(uids) == src.sent,
+            lambda f=flavour, n=len(uids), s=src.sent: (
+                f"[{f}] {s} packets sent but {n} accounted for in traces"
+            ),
+        )
+        for uid in uids:
+            got_hops = [
+                (h.node, h.in_port, h.out_port, h.deflected)
+                for h in tracer._paths.get(uid, [])
+            ]
+            result.check(
+                got_hops == expected_hops,
+                lambda f=flavour, u=uid, g=got_hops: (
+                    f"[{f}] packet #{u} hop trace differs from the walk "
+                    f"model: sim={g!r} model={expected_hops!r}"
+                ),
+            )
+            if uid in tracer.deliveries:
+                _, host = tracer.deliveries[uid]
+                result.check(
+                    verdict.delivered and host == verdict.node,
+                    lambda f=flavour, u=uid, h=host: (
+                        f"[{f}] packet #{u} delivered to {h} but the walk "
+                        f"model predicted "
+                        f"{verdict.outcome}({verdict.node}, {verdict.reason})"
+                    ),
+                )
+            else:
+                drop = drops_by_uid.get(uid)
+                result.check(
+                    drop is not None
+                    and not verdict.delivered
+                    and (drop.node, drop.reason)
+                    == (verdict.node, verdict.reason),
+                    lambda f=flavour, u=uid, d=drop: (
+                        f"[{f}] packet #{u} sim fate "
+                        f"{(d.node, d.reason) if d else 'lost'} differs "
+                        f"from walk model "
+                        f"{verdict.outcome}({verdict.node}, "
+                        f"{verdict.reason})"
+                    ),
+                )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# dispatch
+# ---------------------------------------------------------------------------
+
+_ORACLES: Dict[str, Callable[..., OracleResult]] = {
+    "datapath": check_datapaths,
+    "strategy": check_strategy,
+    "wire": check_wire,
+    "walk": check_walk,
+}
+
+#: All oracle names, in stable order.
+ORACLE_NAMES: Tuple[str, ...] = tuple(sorted(_ORACLES))
+
+
+def run_oracle(
+    name: str,
+    case: FuzzCase,
+    strategy: Optional[DeflectionStrategy] = None,
+) -> OracleResult:
+    """Run one oracle over one case.
+
+    *strategy* (strategy oracle only) substitutes the implementation
+    under test — used by the harness self-test to inject mutations.
+    """
+    try:
+        fn = _ORACLES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown oracle {name!r}; choose from {ORACLE_NAMES}"
+        ) from None
+    if name == "strategy":
+        return fn(case, strategy=strategy)
+    return fn(case)
+
+
+def run_case(
+    case: FuzzCase,
+    oracles: Optional[Sequence[str]] = None,
+) -> Dict[str, OracleResult]:
+    """Run a case through the selected (default: all) oracles."""
+    names = tuple(oracles) if oracles else ORACLE_NAMES
+    return {name: run_oracle(name, case) for name in names}

@@ -1,0 +1,106 @@
+"""Greedy scenario shrinking for divergence repros.
+
+When an oracle reports a divergence on a fuzz case, the raw case is
+rarely the story: a 14-switch topology with three timed failures and a
+few hundred packets obscures the two links and one decision that
+actually disagree.  :func:`shrink_case` walks the case toward a local
+minimum — dropping failures, removing chord links, shrinking the
+switch count and the coprime pool, shortening traffic — re-checking
+the divergence after every candidate step and keeping only steps that
+still fail.
+
+The shrinker is oracle-agnostic: it takes a ``still_fails`` predicate
+(usually "rerun the diverging oracle on this case"), so it works the
+same for a datapath mismatch and for an injected strategy mutation.
+Candidates that produce unbuildable cases (a failure link that no
+longer exists after regeneration, a degree exceeding the shrunken
+coprime pool) are skipped, not counted as passes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List
+
+from repro.verify.cases import FuzzCase, case_is_buildable
+
+__all__ = ["shrink_case"]
+
+#: the coprime-pool ladder candidates may descend (mirrors generate_case).
+_MIN_ID_LADDER = (79, 41, 23, 11)
+
+#: hard ceiling on predicate evaluations per shrink (each may rerun a
+#: full oracle, so this bounds shrink cost).
+_DEFAULT_BUDGET = 60
+
+
+def _candidates(case: FuzzCase) -> Iterator[FuzzCase]:
+    """One-step simplifications of *case*, most aggressive first."""
+    # Remove failures one at a time (and all at once when several).
+    if len(case.failures) > 1:
+        yield case.with_(failures=())
+    for i in range(len(case.failures)):
+        yield case.with_(
+            failures=case.failures[:i] + case.failures[i + 1:]
+        )
+    # Make unrepaired failures out of repaired ones (simpler schedule).
+    for i, (a, b, at, repair) in enumerate(case.failures):
+        if repair is not None:
+            yield case.with_(
+                failures=case.failures[:i]
+                + ((a, b, at, None),)
+                + case.failures[i + 1:]
+            )
+    # Smaller topology: fewer chords, then fewer switches.
+    if case.extra_links > 0:
+        yield case.with_(extra_links=case.extra_links // 2)
+        yield case.with_(extra_links=case.extra_links - 1)
+    if case.num_switches > 3:
+        yield case.with_(num_switches=case.num_switches - 1)
+    if case.num_switches > 6:
+        yield case.with_(num_switches=max(3, case.num_switches // 2))
+    # Smaller coprime pool (smaller switch IDs, shorter route IDs).
+    for lower in _MIN_ID_LADDER:
+        if lower < case.min_switch_id:
+            yield case.with_(min_switch_id=lower)
+            break
+    # Less traffic, shorter runs, smaller hop budget.
+    if case.rate_pps > 5:
+        yield case.with_(rate_pps=max(5.0, case.rate_pps / 2))
+    if case.traffic_s > 0.05:
+        yield case.with_(traffic_s=round(max(0.05, case.traffic_s / 2), 3))
+    if case.ttl > 4:
+        yield case.with_(ttl=max(4, case.ttl // 2))
+
+
+def shrink_case(
+    case: FuzzCase,
+    still_fails: Callable[[FuzzCase], bool],
+    budget: int = _DEFAULT_BUDGET,
+) -> FuzzCase:
+    """Greedily minimize *case* while ``still_fails`` holds.
+
+    Returns the smallest failing case found (possibly the input).  The
+    predicate is never called on unbuildable candidates; predicate
+    exceptions are treated as "does not fail" so a shrink step can
+    never turn one bug into a crash loop.
+    """
+    current = case
+    spent = 0
+    improved = True
+    while improved and spent < budget:
+        improved = False
+        for candidate in _candidates(current):
+            if spent >= budget:
+                break
+            if not case_is_buildable(candidate):
+                continue
+            spent += 1
+            try:
+                fails = still_fails(candidate)
+            except Exception:
+                fails = False
+            if fails:
+                current = candidate
+                improved = True
+                break
+    return current

@@ -6,6 +6,7 @@ from hypothesis import strategies as st
 
 from repro.rns.wire import (
     FIXED_HEADER_BYTES,
+    MAX_ROUTE_ID_BYTES,
     WIRE_VERSION,
     WireError,
     decode_header,
@@ -66,12 +67,20 @@ class TestSizing:
         assert header_wire_size(m7) == FIXED_HEADER_BYTES + 4
         assert header_wire_size(m10) == FIXED_HEADER_BYTES + 6
 
-    def test_modulus_sized_field(self):
-        # Small route ID in a big-modulus route still gets the
-        # modulus-sized field (the field width is per-route, not
-        # per-value — switches on the path expect a fixed offset).
+    def test_canonical_minimal_field(self):
+        # A small route ID in a big-modulus route gets the *canonical*
+        # minimal field, not the modulus-sized worst case — the width
+        # is constant along a path anyway (route IDs never change hop
+        # to hop), and canonical width is what makes decode->encode
+        # byte-identical.
         header = KarHeader(route_id=1, modulus=2**40)  # 40-bit route IDs
-        assert len(encode_header(header)) == FIXED_HEADER_BYTES + 5
+        assert len(encode_header(header)) == FIXED_HEADER_BYTES + 1
+
+    @given(route_id=st.integers(0, 2**60 - 1))
+    def test_never_exceeds_worst_case(self, route_id):
+        modulus = 2**60
+        header = KarHeader(route_id=route_id, modulus=modulus)
+        assert len(encode_header(header)) <= header_wire_size(modulus)
 
     def test_invalid_modulus(self):
         with pytest.raises(WireError):
@@ -109,3 +118,98 @@ class TestValidation:
     def test_zero_length_field(self):
         with pytest.raises(WireError, match="zero-length"):
             decode_header(bytes([WIRE_VERSION << 4, 64, 0, 0]))
+
+    def test_truncation_detected_at_every_byte_offset(self):
+        data = encode_header(
+            KarHeader(route_id=0xABCDEF, modulus=0, deflected=True, ttl=7)
+        )
+        for cut in range(len(data)):
+            with pytest.raises(WireError):
+                decode_header(data[:cut])
+
+    def test_unknown_flag_bits_rejected(self):
+        data = bytearray(encode_header(KarHeader(route_id=44, modulus=308)))
+        data[0] |= 0x02  # a flag this version never emits
+        with pytest.raises(WireError, match="unknown flag bits"):
+            decode_header(bytes(data))
+
+    def test_noncanonical_padded_field_rejected(self):
+        # length=2 carrying 0x002c: encode would emit length=1, so a
+        # padded field is bytes the encoder can never produce.
+        data = bytes([WIRE_VERSION << 4, 64, 0, 2, 0x00, 0x2C])
+        with pytest.raises(WireError, match="non-canonical"):
+            decode_header(data)
+
+    def test_zero_route_id_is_one_canonical_zero_byte(self):
+        data = encode_header(KarHeader(route_id=0, modulus=0, ttl=5))
+        assert data[FIXED_HEADER_BYTES - 2:] == b"\x00\x01\x00"
+        decoded, consumed = decode_header(data)
+        assert decoded.route_id == 0
+        assert consumed == FIXED_HEADER_BYTES + 1
+
+
+class TestTtlEdges:
+    @pytest.mark.parametrize("ttl", [0, 1, 255])
+    def test_ttl_survives_round_trip(self, ttl):
+        decoded, _ = decode_header(
+            encode_header(KarHeader(route_id=44, modulus=308, ttl=ttl))
+        )
+        assert decoded.ttl == ttl
+
+    def test_ttl_never_negative_on_wire(self):
+        with pytest.raises(WireError, match="ttl"):
+            encode_header(KarHeader(route_id=1, modulus=0, ttl=-1))
+
+
+class TestModulusLessHeaders:
+    def test_decoded_header_reencodes_without_modulus(self):
+        # Decoded headers have modulus=0 (the wire never carries it);
+        # they must re-encode without any range validation tripping.
+        original = encode_header(KarHeader(route_id=44, modulus=308))
+        decoded, _ = decode_header(original)
+        assert decoded.modulus == 0
+        assert encode_header(decoded) == original
+
+
+class TestLengthCap:
+    def test_max_length_route_id_round_trips(self):
+        route_id = (1 << (8 * MAX_ROUTE_ID_BYTES)) - 1  # all-ones field
+        data = encode_header(KarHeader(route_id=route_id, modulus=0, ttl=1))
+        assert len(data) == FIXED_HEADER_BYTES + MAX_ROUTE_ID_BYTES
+        decoded, consumed = decode_header(data)
+        assert decoded.route_id == route_id
+        assert consumed == len(data)
+
+    def test_oversized_route_id_rejected(self):
+        too_big = 1 << (8 * MAX_ROUTE_ID_BYTES)
+        with pytest.raises(WireError, match="16-bit length"):
+            encode_header(KarHeader(route_id=too_big, modulus=0))
+
+
+class TestInversePair:
+    """decode accepts a byte string iff encode could have produced it,
+    and then encode(decode(b)[0]) == b[:consumed] exactly."""
+
+    @given(
+        route_id=st.integers(0, 2**80 - 1),
+        ttl=st.integers(0, 255),
+        deflected=st.booleans(),
+        trailer=st.binary(max_size=6),
+    )
+    def test_encode_then_decode_then_encode(self, route_id, ttl,
+                                            deflected, trailer):
+        data = encode_header(
+            KarHeader(route_id=route_id, modulus=0,
+                      deflected=deflected, ttl=ttl)
+        )
+        decoded, consumed = decode_header(data + trailer)
+        assert consumed == len(data)
+        assert encode_header(decoded) == data
+
+    @given(data=st.binary(max_size=12))
+    def test_accepted_bytes_always_reencode_to_themselves(self, data):
+        try:
+            header, consumed = decode_header(data)
+        except WireError:
+            return
+        assert encode_header(header) == data[:consumed]

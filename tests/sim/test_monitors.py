@@ -67,6 +67,53 @@ class TestNetworkMonitor:
         assert monitor.total_queue_drops() > 0
         assert sink.received < src.sent
 
+    def test_interval_drop_deltas_sum_to_cumulative(self):
+        # drops_ab/drops_ba are per-interval deltas: summing them over
+        # a monitor's samples must equal the cumulative counters, never
+        # double-count (the bug the per-interval fields replaced), and
+        # the cumulative fields must be non-decreasing.
+        ks = KarSimulation(
+            fifteen_node(rate_mbps=5.0, delay_s=0.0002),
+            deflection="nip", protection=PARTIAL, seed=7,
+        )
+        monitor = NetworkMonitor(ks.network, interval_s=0.25)
+        monitor.start()
+        src, sink = ks.add_udp_probe(rate_pps=1000, duration_s=1.0)
+        src.start()
+        ks.run(until=2.0)
+
+        saw_dropping_link = False
+        for m in monitor.monitors.values():
+            total_ab = sum(s.drops_ab for s in m.samples)
+            total_ba = sum(s.drops_ba for s in m.samples)
+            assert (total_ab, total_ba) == m.cumulative_drops()
+            cum = [s.cum_drops for s in m.samples]
+            assert cum == sorted(cum)
+            assert all(s.drops_ab >= 0 and s.drops_ba >= 0
+                       for s in m.samples)
+            if total_ab + total_ba > 0:
+                saw_dropping_link = True
+                # At least one interval actually localizes the drops.
+                assert any(s.drops_ab > 0 or s.drops_ba > 0
+                           for s in m.samples)
+        assert saw_dropping_link
+
+    def test_link_stats_match_monitor_totals(self):
+        ks = KarSimulation(
+            fifteen_node(rate_mbps=5.0, delay_s=0.0002),
+            deflection="nip", protection=PARTIAL, seed=7,
+        )
+        monitor = NetworkMonitor(ks.network, interval_s=0.25)
+        monitor.start()
+        src, sink = ks.add_udp_probe(rate_pps=1000, duration_s=1.0)
+        src.start()
+        ks.run(until=2.0)
+        truth = 0
+        for a, b in ks.network.links():
+            link = ks.network.link_between(a, b)
+            truth += link.stats_ab.queue_drops + link.stats_ba.queue_drops
+        assert monitor.total_queue_drops() == truth
+
 
 class TestLinkMonitor:
     def test_validation(self):

@@ -88,6 +88,86 @@ class TestModuloForwarding:
         assert tracer.drop_reasons["no-usable-port(none)"] == 1
 
 
+def build_chain(tracer=None):
+    """Two-switch chain: A(id 7) port 2 -> B(id 11) port 1 -> Z.
+
+    Route 44 walks it end to end (44 mod 7 == 2, 44 mod 11 == 0).
+    """
+    sim = Simulator()
+    a = KarSwitch("A", sim, 3, 7, NoDeflection(), random.Random(1),
+                  tracer=tracer)
+    b = KarSwitch("B", sim, 3, 11, NoDeflection(), random.Random(2),
+                  tracer=tracer)
+    Link(sim, a, 2, b, 1, rate_mbps=100.0, delay_s=0.0001)
+    z = Collector("Z", sim)
+    Link(sim, b, 0, z, 0, rate_mbps=100.0, delay_s=0.0001)
+    return sim, a, b, z
+
+
+class TestTtlOffByOne:
+    """Pin the expiry rule: drop when ttl <= 0 *on arrival*, decrement
+    after — so a TTL of N buys exactly N core hops, matching the wire
+    codec's hop semantics (encode carries the post-decrement value)."""
+
+    @pytest.mark.parametrize("ttl,delivered", [
+        (0, False), (1, False), (2, True), (3, True),
+    ])
+    def test_ttl_n_buys_exactly_n_core_hops(self, ttl, delivered):
+        sim, a, b, z = build_chain()
+        a.receive(_pkt(44, ttl=ttl), in_port=0)
+        sim.run()
+        assert bool(z.received) == delivered
+
+    def test_ttl_zero_dies_before_the_first_hop(self):
+        tracer = PacketTracer()
+        sim, a, b, z = build_chain(tracer=tracer)
+        p = _pkt(44, ttl=0)
+        a.receive(p, in_port=0)
+        sim.run()
+        assert (a.drops, a.forwarded) == (1, 0)
+        assert tracer.drop_reasons["ttl-expired"] == 1
+        # Check-then-decrement: an expired packet is not decremented.
+        assert p.kar.ttl == 0
+        assert p.hops == 0
+
+    def test_ttl_one_does_one_hop_then_expires(self):
+        tracer = PacketTracer()
+        sim, a, b, z = build_chain(tracer=tracer)
+        p = _pkt(44, ttl=1)
+        a.receive(p, in_port=0)
+        sim.run()
+        assert a.forwarded == 1       # first hop happens...
+        assert b.drops == 1           # ...expiry is at the *second* switch
+        assert p.kar.ttl == 0
+        assert p.hops == 1
+        assert not z.received
+
+    def test_delivered_ttl_is_initial_minus_hops(self):
+        sim, a, b, z = build_chain()
+        a.receive(_pkt(44, ttl=5), in_port=0)
+        sim.run()
+        [p] = z.received
+        assert p.hops == 2
+        assert p.kar.ttl == 3
+
+    def test_rule_matches_wire_codec_round_trip(self):
+        # A header that just crossed the wire (ttl=1) must behave like
+        # the in-memory one: one more hop, then expiry — and the final
+        # ttl=0 header is still encodable (0 is a legal wire value).
+        from repro.rns.wire import decode_header, encode_header
+
+        decoded, _ = decode_header(
+            encode_header(KarHeader(route_id=44, modulus=0, ttl=1))
+        )
+        sim, a, b, z = build_chain()
+        p = Packet(src_host="s", dst_host="d", size_bytes=100, kar=decoded)
+        a.receive(p, in_port=0)
+        sim.run()
+        assert b.drops == 1 and not z.received
+        assert p.kar.ttl == 0
+        assert encode_header(p.kar)  # ttl=0 still round-trips the wire
+
+
 class TestDeflectionIntegration:
     def test_nip_deflects_and_flags(self):
         tracer = PacketTracer()

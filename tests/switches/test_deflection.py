@@ -137,6 +137,61 @@ class TestNotInputPort:
         assert (d.port, d.deflected) == (2, False)
 
 
+class MinimalRng:
+    """A random.Random stand-in exposing only the documented API.
+
+    No ``_randbelow``: the fast path's indexing shortcut must detect
+    its absence and fall back to ``choice(list(...))`` instead of
+    raising AttributeError (regression test for exactly that bug).
+    """
+
+    def __init__(self, seed):
+        self._inner = random.Random(seed)
+
+    def choice(self, seq):
+        return self._inner.choice(seq)
+
+    def random(self):
+        return self._inner.random()
+
+    def getstate(self):
+        return self._inner.getstate()
+
+
+class TestRandomFromSeqFallback:
+    def test_minimal_rng_uses_choice_fallback(self):
+        sw = FakeSwitch(4, down={2})
+        for seed in range(20):
+            port, deflected = HotPotato().fast_fallback(
+                sw, _pkt(), 0, 2, MinimalRng(seed)
+            )
+            assert deflected and port in {0, 1, 3}
+
+    def test_minimal_rng_is_stream_identical_to_random(self):
+        # The fallback must make the same single draw from the same
+        # candidate list, so a full Random and the minimal wrapper stay
+        # in lockstep — the property the strategy oracle checks.
+        sw = FakeSwitch(5, down={1})
+        for seed in range(20):
+            minimal = MinimalRng(seed)
+            full = random.Random(seed)
+            got = NotInputPort().fast_fallback(sw, _pkt(), 0, 1, minimal)
+            want = NotInputPort().fast_fallback(sw, _pkt(), 0, 1, full)
+            assert got == want
+            assert minimal.getstate() == full.getstate()
+
+    def test_empty_candidates_never_touch_the_rng(self):
+        class ExplodingRng:
+            def __getattr__(self, name):
+                raise AssertionError("RNG consulted for an empty draw")
+
+        sw = FakeSwitch(2, down={0, 1})
+        port, deflected = HotPotato().fast_fallback(
+            sw, _pkt(deflected=True), 0, 0, ExplodingRng()
+        )
+        assert (port, deflected) == (None, False)
+
+
 class TestRegistry:
     def test_names(self):
         assert STRATEGY_NAMES == ("none", "hp", "avp", "nip")

@@ -200,6 +200,69 @@ class TestChaosCommand:
         assert first == second
 
 
+class TestVerifyParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["verify"])
+        assert args.trials == 50
+        assert args.seed == 0
+        assert args.oracles is None
+        assert not args.shrink
+        assert args.artifact_dir == "verify-artifacts"
+        assert args.replay is None
+        # Caching is opt-in for verify: a cache key covers the spec,
+        # not the code under test.
+        assert args.cache_dir is None
+        assert args.jobs == 1
+
+    def test_oracle_subset_parses(self):
+        args = build_parser().parse_args(
+            ["verify", "--oracles", "wire", "strategy", "--shrink"]
+        )
+        assert args.oracles == ["wire", "strategy"]
+        assert args.shrink
+
+    def test_bad_oracle_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["verify", "--oracles", "vibes"])
+
+    def test_oracle_literal_matches_registry(self):
+        # The CLI keeps a literal copy so the parser builds without
+        # importing the verifier; it must never drift from the registry.
+        from repro.cli import _ORACLE_NAMES
+        from repro.verify.oracles import ORACLE_NAMES
+
+        assert _ORACLE_NAMES == ORACLE_NAMES
+
+
+class TestVerifyCommand:
+    def test_smoke_run_is_clean(self, tmp_path, capsys):
+        rc = main([
+            "verify", "--trials", "2", "--seed", "3",
+            "--oracles", "strategy", "wire",
+            "--artifact-dir", str(tmp_path / "artifacts"),
+            "--no-progress",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "2 trials (seed 3)" in out
+        assert "no divergences" in out
+        assert not (tmp_path / "artifacts").exists()
+
+    def test_replay_of_clean_artifact_reports_fixed(self, tmp_path,
+                                                    capsys):
+        from repro.verify.artifact import artifact_record, write_artifact
+        from repro.verify.cases import generate_case
+
+        path = write_artifact(
+            str(tmp_path / "repro.json"),
+            artifact_record("wire", generate_case(1), ["stale detail"]),
+        )
+        assert main(["verify", "--replay", path]) == 0
+        out = capsys.readouterr().out
+        assert "replayed [wire]" in out
+        assert "no longer reproduces" in out
+
+
 class TestRunCommand:
     def test_short_custom_run(self, capsys):
         rc = main([

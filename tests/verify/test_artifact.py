@@ -1,0 +1,126 @@
+"""Divergence artifacts, including the harness's acceptance story:
+an injected strategy mutation is caught, shrunk to a minimal case, and
+the written artifact replays the divergence on a fresh load."""
+
+import json
+
+import pytest
+
+from repro.verify.artifact import (
+    ARTIFACT_FORMAT,
+    artifact_record,
+    load_artifact,
+    replay_artifact,
+    write_artifact,
+)
+from repro.verify.cases import FuzzCase, generate_case
+from repro.verify.oracles import check_strategy
+from repro.verify.shrink import shrink_case
+
+from tests.verify.test_oracles import SMALL_CASE, BrokenNip
+
+
+class TestArtifactRecord:
+    def test_minimal_record(self):
+        case = generate_case(1)
+        rec = artifact_record("wire", case, ["detail-1"])
+        assert rec["format"] == ARTIFACT_FORMAT
+        assert rec["oracle"] == "wire"
+        assert FuzzCase.from_record(rec["case"]) == case
+        assert rec["details"] == ["detail-1"]
+        assert "unshrunk_case" not in rec
+
+    def test_unshrunk_case_included_when_different(self):
+        case = generate_case(1)
+        shrunk = case.with_(ttl=4)
+        rec = artifact_record("wire", shrunk, [], original_case=case)
+        assert FuzzCase.from_record(rec["unshrunk_case"]) == case
+
+    def test_unshrunk_case_omitted_when_identical(self):
+        case = generate_case(1)
+        rec = artifact_record("wire", case, [], original_case=case)
+        assert "unshrunk_case" not in rec
+
+
+class TestReadWrite:
+    def test_round_trip(self, tmp_path):
+        rec = artifact_record("strategy", generate_case(2), ["d"])
+        path = write_artifact(str(tmp_path / "deep" / "a.json"), rec)
+        assert load_artifact(path) == rec
+
+    def test_file_is_canonical_json(self, tmp_path):
+        rec = artifact_record("strategy", generate_case(2), [])
+        path = write_artifact(str(tmp_path / "a.json"), rec)
+        with open(path, "r", encoding="utf-8") as f:
+            text = f.read()
+        assert text.endswith("\n")
+        assert json.loads(text) == rec
+
+    def test_bad_format_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format": 99, "oracle": "wire",
+                                    "case": {}}))
+        with pytest.raises(ValueError, match="unsupported artifact format"):
+            load_artifact(str(path))
+
+    def test_missing_keys_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format": ARTIFACT_FORMAT,
+                                    "oracle": "wire"}))
+        with pytest.raises(ValueError, match="missing 'case'"):
+            load_artifact(str(path))
+
+    def test_replay_clean_case_is_ok(self, tmp_path):
+        rec = artifact_record("strategy", SMALL_CASE, [])
+        path = write_artifact(str(tmp_path / "a.json"), rec)
+        assert replay_artifact(load_artifact(path)).ok
+
+
+class TestInjectedMutationEndToEnd:
+    """ISSUE acceptance: a broken strategy subclass is caught, shrunk
+    to a minimal case, and the JSON artifact replays the divergence."""
+
+    def test_caught_shrunk_archived_and_replayed(self, tmp_path):
+        broken = BrokenNip()
+
+        # 1. The mutation is caught on a stock fuzz case.
+        case = SMALL_CASE
+        first = check_strategy(case, strategy=broken)
+        assert not first.ok
+
+        # 2. Shrinking keeps the divergence while minimizing the case.
+        def still_fails(candidate):
+            return bool(
+                check_strategy(candidate, strategy=broken).divergences
+            )
+
+        shrunk = shrink_case(case, still_fails, budget=120)
+        assert still_fails(shrunk)
+        # The strategy oracle ignores topology/traffic, so the shrinker
+        # must have ground those fields down to their floors.
+        assert shrunk.num_switches < case.num_switches
+        assert shrunk.ttl == 4
+        assert shrunk.rate_pps == 5.0
+
+        # 3. The divergence round-trips through a JSON artifact file.
+        details = [
+            d.detail
+            for d in check_strategy(shrunk, strategy=broken).divergences
+        ]
+        rec = artifact_record("strategy", shrunk, details,
+                              original_case=case)
+        path = write_artifact(str(tmp_path / "repro.json"), rec)
+        loaded = load_artifact(path)
+        assert FuzzCase.from_record(loaded["case"]) == shrunk
+        assert FuzzCase.from_record(loaded["unshrunk_case"]) == case
+        assert loaded["details"]
+
+        # 4. Replaying with the mutation injected still diverges ...
+        replayed = replay_artifact(loaded, strategy=broken)
+        assert not replayed.ok
+        assert any(
+            "disagrees with pseudocode" in d.detail
+            for d in replayed.divergences
+        )
+        # ... and without it (the fixed code) the same artifact is clean.
+        assert replay_artifact(loaded).ok

@@ -1,0 +1,86 @@
+"""Fuzz-case generation: determinism, records, buildability."""
+
+import pytest
+
+from repro.switches.deflection import STRATEGY_NAMES
+from repro.topology import NodeKind
+from repro.verify.cases import (
+    FuzzCase,
+    build_graph,
+    build_scenario,
+    case_is_buildable,
+    generate_case,
+)
+
+
+class TestGenerateCase:
+    def test_deterministic_in_seed(self):
+        assert generate_case(17) == generate_case(17)
+
+    def test_distinct_seeds_differ(self):
+        cases = {generate_case(i) for i in range(20)}
+        assert len(cases) > 1
+
+    def test_fields_in_range(self):
+        for seed in range(30):
+            case = generate_case(seed)
+            assert 6 <= case.num_switches <= 14
+            assert 0 <= case.extra_links <= 5
+            assert case.min_switch_id in (23, 41, 79)
+            assert case.id_strategy in ("prime", "greedy")
+            assert case.strategy in STRATEGY_NAMES
+            assert case.ttl in (8, 16, 32, 64)
+            assert len(case.failures) <= 3
+
+    def test_failures_reference_real_core_links(self):
+        # The draw happens against the generated topology, so every
+        # stored failure link must exist between core switches.
+        for seed in range(30):
+            case = generate_case(seed)
+            graph = build_graph(case)
+            core = set(graph.node_names(NodeKind.CORE))
+            for a, b, at, repair in case.failures:
+                assert graph.has_link(a, b)
+                assert a in core and b in core
+                assert at > 0
+                assert repair is None or repair > at
+
+    def test_every_generated_case_is_buildable(self):
+        for seed in range(30):
+            assert case_is_buildable(generate_case(seed))
+
+
+class TestRecordRoundTrip:
+    def test_round_trip(self):
+        case = generate_case(5)
+        assert FuzzCase.from_record(case.to_record()) == case
+
+    def test_round_trip_through_json(self):
+        import json
+
+        case = generate_case(6)
+        rec = json.loads(json.dumps(case.to_record()))
+        assert FuzzCase.from_record(rec) == case
+
+    def test_with_replaces_fields(self):
+        case = generate_case(7)
+        other = case.with_(ttl=4, failures=())
+        assert other.ttl == 4 and other.failures == ()
+        assert other.num_switches == case.num_switches
+        assert case.ttl != 4 or case.failures != ()  # original intact
+
+
+class TestBuildScenario:
+    def test_scenario_shape(self):
+        scenario = build_scenario(generate_case(3))
+        assert scenario.src_host == "H-SRC"
+        assert scenario.dst_host == "H-DST"
+        assert len(scenario.primary_route) >= 2
+
+    def test_unknown_failure_link_rejected(self):
+        case = generate_case(3).with_(
+            failures=(("SW998", "SW999", 0.1, None),)
+        )
+        with pytest.raises(ValueError, match="not in topology"):
+            build_scenario(case)
+        assert not case_is_buildable(case)

@@ -1,0 +1,142 @@
+"""The four differential oracles: clean on healthy code, bookkeeping,
+and the mutation-detection hook the harness self-test relies on."""
+
+import pytest
+
+from repro.switches.deflection import Decision, NotInputPort
+from repro.verify.cases import FuzzCase, generate_case
+from repro.verify.oracles import (
+    ORACLE_NAMES,
+    Divergence,
+    OracleResult,
+    check_datapaths,
+    check_strategy,
+    check_walk,
+    check_wire,
+    run_case,
+    run_oracle,
+)
+
+#: A small, fast case for the simulation-backed oracles.
+SMALL_CASE = FuzzCase(
+    seed=2, num_switches=6, extra_links=1, min_switch_id=23,
+    id_strategy="prime", strategy="nip", ttl=16, rate_pps=40.0,
+    traffic_s=0.3, failures=(),
+)
+
+
+class BrokenNip(NotInputPort):
+    """Algorithm 1 with line 5 mutated: the input port is *not*
+    excluded from the random fallback candidates — the exact bug NIP
+    exists to prevent.  Used to prove the strategy oracle catches a
+    plausible implementation slip."""
+
+    def select_port(self, switch, packet, in_port, computed_port, rng):
+        if (
+            self._computed_usable(switch, computed_port)
+            and computed_port != in_port
+        ):
+            return Decision(port=computed_port)
+        return self._random_from(switch.healthy_ports(), rng)
+
+    def fast_fallback(self, switch, packet, in_port, computed_port, rng):
+        return self._random_from_seq(switch.healthy_ports(), rng)
+
+
+class TestBookkeeping:
+    def test_check_counts_and_records(self):
+        result = OracleResult("demo")
+        assert result.check(True, lambda: "unused")
+        assert not result.check(False, lambda: "boom")
+        assert result.checks == 2
+        assert not result.ok
+        assert result.divergences == [Divergence("demo", "boom")]
+
+    def test_to_record_round_trips_through_json(self):
+        import json
+
+        result = OracleResult("demo")
+        result.check(False, lambda: "boom")
+        rec = json.loads(json.dumps(result.to_record()))
+        assert rec == {
+            "oracle": "demo",
+            "checks": 1,
+            "divergences": [{"oracle": "demo", "detail": "boom"}],
+        }
+
+
+class TestDispatch:
+    def test_oracle_names(self):
+        assert ORACLE_NAMES == ("datapath", "strategy", "walk", "wire")
+
+    def test_unknown_oracle_rejected(self):
+        with pytest.raises(ValueError, match="unknown oracle"):
+            run_oracle("vibes", SMALL_CASE)
+
+    def test_run_case_subset(self):
+        results = run_case(SMALL_CASE, oracles=("strategy", "wire"))
+        assert sorted(results) == ["strategy", "wire"]
+        assert all(r.ok for r in results.values())
+
+
+class TestOraclesCleanOnHealthyCode:
+    def test_strategy_and_wire(self):
+        for seed in range(4):
+            case = generate_case(seed)
+            assert check_strategy(case).ok, case
+            assert check_wire(case).ok, case
+
+    def test_datapath(self):
+        result = check_datapaths(SMALL_CASE)
+        assert result.ok, result.divergences[:3]
+        assert result.checks > 5
+
+    def test_walk(self):
+        result = check_walk(SMALL_CASE)
+        assert result.ok, result.divergences[:3]
+        assert result.checks > 10
+
+    def test_full_generated_case(self):
+        # One all-oracle pass over a generated case with failures.
+        case = generate_case(0)
+        results = run_case(case)
+        assert all(r.ok for r in results.values()), {
+            name: r.divergences[:2]
+            for name, r in results.items() if not r.ok
+        }
+
+
+class TestMutationDetection:
+    def test_broken_nip_is_caught(self):
+        case = SMALL_CASE  # strategy="nip"
+        result = check_strategy(case, strategy=BrokenNip())
+        assert not result.ok
+        assert any(
+            "disagrees with pseudocode" in d.detail
+            for d in result.divergences
+        )
+
+    def test_broken_nip_caught_through_run_oracle(self):
+        result = run_oracle("strategy", SMALL_CASE, strategy=BrokenNip())
+        assert not result.ok
+
+    def test_strategy_override_ignored_by_other_oracles(self):
+        # Injecting into a non-strategy oracle must not crash it.
+        assert run_oracle("wire", SMALL_CASE, strategy=BrokenNip()).ok
+
+    def test_rng_stream_drift_is_caught(self):
+        class ExtraDraw(NotInputPort):
+            """Right answer, wrong number of RNG draws."""
+
+            def select_port(self, switch, packet, in_port, computed, rng):
+                decision = super().select_port(
+                    switch, packet, in_port, computed, rng
+                )
+                if decision.port is None:
+                    rng.random()  # stray draw desyncs the stream
+                return decision
+
+        result = check_strategy(SMALL_CASE, strategy=ExtraDraw())
+        assert any(
+            "different RNG stream" in d.detail for d in result.divergences
+        )

@@ -1,0 +1,117 @@
+"""Pseudocode transcriptions vs the real strategy implementations.
+
+The strategy oracle samples this space randomly; these tests sweep it
+*exhaustively* for small switches — every up-set, input port, computed
+port (including out-of-range) and deflected flag for 2..4 ports — so
+any semantic gap between :mod:`repro.verify.pseudocode` and
+:mod:`repro.switches.deflection` fails deterministically here.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.sim.packet import KarHeader, Packet
+from repro.switches.deflection import STRATEGY_NAMES, strategy_by_name
+from repro.verify.pseudocode import PSEUDOCODE
+
+
+class PortView:
+    def __init__(self, num_ports, up):
+        self.num_ports = num_ports
+        self._up = frozenset(up)
+
+    def port_up(self, port):
+        return port in self._up
+
+    def healthy_ports(self):
+        return tuple(p for p in range(self.num_ports) if p in self._up)
+
+
+def _pkt(deflected):
+    return Packet(
+        src_host="H-SRC", dst_host="H-DST", size_bytes=100,
+        kar=KarHeader(route_id=1, deflected=deflected, ttl=32),
+    )
+
+
+def _small_states():
+    """Every (num_ports, up, in_port, computed, deflected) for n<=4."""
+    for num_ports in (2, 3, 4):
+        ports = range(num_ports)
+        for r in range(num_ports + 1):
+            for up in itertools.combinations(ports, r):
+                for in_port in ports:
+                    for computed in range(num_ports + 2):
+                        for deflected in (False, True):
+                            yield num_ports, up, in_port, computed, deflected
+
+
+class TestPseudocodeRegistry:
+    def test_covers_every_strategy(self):
+        assert tuple(sorted(PSEUDOCODE)) == tuple(sorted(STRATEGY_NAMES))
+
+
+@pytest.mark.parametrize("name", STRATEGY_NAMES)
+class TestExhaustiveAgreement:
+    def test_select_port_matches_pseudocode(self, name):
+        impl = strategy_by_name(name)
+        spec = PSEUDOCODE[name]
+        for num_ports, up, in_port, computed, deflected in _small_states():
+            rng_spec = random.Random(99)
+            want = spec(
+                num_ports, frozenset(up), in_port, computed, deflected,
+                rng_spec,
+            )
+            rng_impl = random.Random(99)
+            decision = impl.select_port(
+                PortView(num_ports, up), _pkt(deflected), in_port,
+                computed, rng_impl,
+            )
+            state = (num_ports, up, in_port, computed, deflected)
+            assert (decision.port, decision.deflected) == want, state
+            assert rng_impl.getstate() == rng_spec.getstate(), state
+
+    def test_fast_split_matches_pseudocode(self, name):
+        impl = strategy_by_name(name)
+        spec = PSEUDOCODE[name]
+        for num_ports, up, in_port, computed, deflected in _small_states():
+            rng_spec = random.Random(7)
+            want = spec(
+                num_ports, frozenset(up), in_port, computed, deflected,
+                rng_spec,
+            )
+            view = PortView(num_ports, up)
+            packet = _pkt(deflected)
+            rng_fast = random.Random(7)
+            hit = impl.fast_port(view, packet, in_port, computed)
+            if hit is not None:
+                got = (hit, False)
+            else:
+                got = impl.fast_fallback(
+                    view, packet, in_port, computed, rng_fast
+                )
+            state = (num_ports, up, in_port, computed, deflected)
+            assert got == want, state
+            assert rng_fast.getstate() == rng_spec.getstate(), state
+
+
+class TestAlgorithmOneSpecifics:
+    """Pin the Algorithm 1 lines the NIP transcription encodes."""
+
+    def test_computed_equal_input_forces_repick(self):
+        want = PSEUDOCODE["nip"](3, {0, 1, 2}, 2, 2, False, random.Random(1))
+        assert want[1] is True and want[0] != 2
+
+    def test_random_candidates_exclude_input(self):
+        # Only non-input healthy port left: the draw is forced.
+        port, deflected = PSEUDOCODE["nip"](
+            3, {0, 2}, 0, 1, False, random.Random(1)
+        )
+        assert (port, deflected) == (2, True)
+
+    def test_empty_candidate_set_drops(self):
+        assert PSEUDOCODE["nip"](
+            2, {1}, 1, 0, False, random.Random(1)
+        ) == (None, False)
