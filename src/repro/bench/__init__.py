@@ -1,8 +1,14 @@
-"""Performance benchmarks for the simulator datapath.
+"""Performance benchmarks for the simulator and control plane.
 
 * :mod:`repro.bench.simbench` — ``repro bench sim``: reference vs fast
   datapath, measured in the same process, digest-checked before any
   speedup is reported (writes ``BENCH_sim.json``).
+* :mod:`repro.bench.crtbench` — ``repro bench crt``: naive vs pooled vs
+  incremental route encoding, every cell verified bit-identical to the
+  reference :func:`~repro.rns.crt.crt` solver (writes
+  ``BENCH_crt.json``).
+* :mod:`repro.bench.stamp` — dual float/ISO-8601-UTC timestamps for
+  bench artifacts.
 * :mod:`repro.bench.profiler` — the ``--profile N`` CLI wrapper:
   cProfile around any experiment command, top-N cumulative dump.
 
@@ -11,7 +17,17 @@ separately in :mod:`repro.farm.bench`; this package measures the inside
 of a single run.
 """
 
+from repro.bench.crtbench import render_crt_bench, run_crt_bench
 from repro.bench.profiler import profile_call
 from repro.bench.simbench import render_sim_bench, run_sim_bench
+from repro.bench.stamp import timestamp_fields, utc_stamp
 
-__all__ = ["run_sim_bench", "render_sim_bench", "profile_call"]
+__all__ = [
+    "run_sim_bench",
+    "render_sim_bench",
+    "run_crt_bench",
+    "render_crt_bench",
+    "profile_call",
+    "utc_stamp",
+    "timestamp_fields",
+]

@@ -1,0 +1,324 @@
+"""``repro bench crt`` — control-plane encoding cost, three ways.
+
+For each pool size the benchmark times the same batch of routes through
+three encoders:
+
+* **naive** — the reference :func:`~repro.rns.crt.crt` solver exactly as
+  the per-flow controller calls it: every encode re-runs the O(n²)
+  coprime check and re-derives every modular inverse via egcd;
+* **pooled** — :meth:`PoolContext.encode
+  <repro.rns.pool.PoolContext.encode>`: basis weights precomputed once
+  per pool, subset products memoized, so an encode is a dot product.
+  Timed in the amortized regime (contexts warm), which is the regime a
+  batch-provisioning controller lives in;
+* **incremental** — :meth:`ReencodeDelta.apply_id
+  <repro.rns.pool.ReencodeDelta.apply_id>` applying a single-hop port
+  change, against the honest alternative of re-solving the mutated
+  residue system from scratch with :func:`~repro.rns.crt.crt`.
+
+Every timed operation produces the same deliverable on both sides — the
+``(route ID, modulus)`` pair of Eq. 4 (the incremental cell's full
+re-solve produces the same pair for the mutated system) — so the
+speedup compares encoders, not object-construction plumbing.
+
+Honesty rules match ``repro bench sim``: naive/pooled (and
+full/incremental) repeats are interleaved so scheduling drift hits both
+alike, the minimum wall time per mode is reported, and **every cell is
+verified bit-identical to the reference solver before any speedup is
+reported** — each pooled route, each delta ID, and the full
+:class:`~repro.rns.pool.PooledEncoder` route objects are compared
+against fresh :func:`~repro.rns.crt.crt` solves of the same hop lists.
+CI runs ``--quick`` and asserts only the bit-identity flags, never
+wall-clock.
+
+Results land in ``BENCH_crt.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import random
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.bench.stamp import timestamp_fields
+from repro.rns.coprime import greedy_coprime_pool
+from repro.rns.crt import crt
+from repro.rns.encoder import EncodedRoute, Hop, RouteEncoder
+from repro.rns.pool import PoolContext, PooledEncoder, ReencodeDelta
+
+__all__ = ["POOLS", "run_crt_bench", "render_crt_bench"]
+
+#: Pool presets.  ``min_id`` scales with pool size (a larger deployment
+#: needs larger coprime IDs), so bigger pools also mean wider route IDs
+#: — more big-int work per encode, like the sim bench's size ladder.
+POOLS: Dict[str, Dict[str, Any]] = {
+    "small": dict(pool_size=16, min_id=29, path_hops=5),
+    "medium": dict(pool_size=64, min_id=211, path_hops=8),
+    "large": dict(pool_size=256, min_id=557, path_hops=10),
+}
+
+#: Distinct routes per batch.  Small enough that subset contexts stay
+#: cache-resident, large enough that a timed pass is not dominated by
+#: loop overhead.
+_BATCH = 64
+
+
+def _make_batch(
+    pool: Sequence[int], path_hops: int, rng: random.Random
+) -> List[List[Hop]]:
+    """A batch of random paths over the pool (distinct switch sets)."""
+    batch: List[List[Hop]] = []
+    for _ in range(_BATCH):
+        ids = rng.sample(list(pool), path_hops)
+        batch.append([Hop(s, rng.randrange(s)) for s in ids])
+    return batch
+
+
+def _make_mutations(
+    batch: Sequence[Sequence[Hop]], rng: random.Random
+) -> List[Tuple[int, int, int]]:
+    """One non-identity (batch index, switch_id, new_port) per route."""
+    muts: List[Tuple[int, int, int]] = []
+    for i, hops in enumerate(batch):
+        h = rng.choice(list(hops))
+        new_port = rng.randrange(h.switch_id - 1)
+        if new_port >= h.port:
+            new_port += 1  # skip the identity mutation: it times nothing
+        muts.append((i, h.switch_id, new_port))
+    return muts
+
+
+def _verify_cell(
+    pool_ctx: PoolContext,
+    batch: Sequence[Sequence[Hop]],
+    mutations: Sequence[Tuple[int, int, int]],
+) -> bool:
+    """Every pooled encode and every delta must equal a fresh crt()."""
+    encoder = RouteEncoder()
+    pooled = PooledEncoder(pool_ctx)
+    delta = ReencodeDelta(pool_ctx)
+    for hops in batch:
+        ref = crt([h.port for h in hops], [h.switch_id for h in hops])
+        route = pooled.encode(hops)
+        if (route.route_id, route.modulus) != ref:
+            return False
+        if route != encoder.encode(hops):
+            return False
+    for i, sid, new_port in mutations:
+        base = pooled.encode(batch[i])
+        updated = delta.apply(base, sid, new_port)
+        mutated = [
+            Hop(h.switch_id, new_port if h.switch_id == sid else h.port)
+            for h in batch[i]
+        ]
+        ref = crt([h.port for h in mutated], [h.switch_id for h in mutated])
+        if (updated.route_id, updated.modulus) != ref:
+            return False
+        if delta.apply_id(base, sid, new_port) != ref[0]:
+            return False
+        # The identity mutation must be a no-op on the same object.
+        if delta.apply(base, sid, base.residue_map()[sid]) is not base:
+            return False
+    return pooled.fallback_encodes == 0 and delta.full_solves == 0
+
+
+def _residue_batch(
+    batch: Sequence[Sequence[Hop]],
+) -> List[Tuple[List[int], List[int]]]:
+    """(ports, switch_ids) pairs — the raw Eq. 4 inputs per route."""
+    return [
+        ([h.port for h in hops], [h.switch_id for h in hops])
+        for hops in batch
+    ]
+
+
+def _time_naive_encodes(
+    systems: Sequence[Tuple[List[int], List[int]]], iters: int
+) -> float:
+    start = time.perf_counter()
+    for _ in range(iters):
+        for ports, ids in systems:
+            crt(ports, ids)
+    return time.perf_counter() - start
+
+
+def _time_pooled_encodes(
+    ctx: PoolContext,
+    systems: Sequence[Tuple[List[int], List[int]]],
+    iters: int,
+) -> float:
+    encode = ctx.encode
+    start = time.perf_counter()
+    for _ in range(iters):
+        for ports, ids in systems:
+            encode(ports, ids)
+    return time.perf_counter() - start
+
+
+def _time_reencodes_delta(
+    delta: ReencodeDelta,
+    routes: Sequence[EncodedRoute],
+    mutations: Sequence[Tuple[int, int, int]],
+    iters: int,
+) -> float:
+    apply_id = delta.apply_id
+    start = time.perf_counter()
+    for _ in range(iters):
+        for i, sid, new_port in mutations:
+            apply_id(routes[i], sid, new_port)
+    return time.perf_counter() - start
+
+
+def run_crt_bench(
+    pools: Optional[Sequence[str]] = None,
+    seed: int = 1,
+    quick: bool = False,
+    repeats: Optional[int] = None,
+    iters: Optional[int] = None,
+    out: Optional[str] = "BENCH_crt.json",
+) -> Dict[str, Any]:
+    """Run the naive/pooled/incremental matrix; optionally write *out*.
+
+    ``quick`` trims iterations for CI smoke runs; the bit-identity
+    verification still covers every cell at full strength (it is not
+    iteration-scaled).
+    """
+    if pools is None:
+        pools = tuple(POOLS)
+    for name in pools:
+        if name not in POOLS:
+            raise ValueError(f"unknown pool {name!r}; choose from {sorted(POOLS)}")
+    if repeats is None:
+        repeats = 2 if quick else 3
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    if iters is None:
+        iters = 2 if quick else 20
+    if iters < 1:
+        raise ValueError(f"iters must be >= 1, got {iters}")
+
+    cells: List[Dict[str, Any]] = []
+    for name in pools:
+        cfg = POOLS[name]
+        rng = random.Random(seed * 7919 + cfg["pool_size"])
+        pool = greedy_coprime_pool(cfg["pool_size"], cfg["min_id"])
+        batch = _make_batch(pool, cfg["path_hops"], rng)
+        mutations = _make_mutations(batch, rng)
+
+        pool_ctx = PoolContext(pool, validated=True)
+        pooled = PooledEncoder(pool_ctx)
+        delta = ReencodeDelta(pool_ctx)
+
+        # Bit-identity first: a speedup over wrong answers is not a
+        # speedup.  Verified on a fresh context so the timed warm-up
+        # below cannot mask a cold-path bug.
+        bit_identical = _verify_cell(
+            PoolContext(pool, validated=True), batch, mutations
+        )
+
+        # Warm the subset contexts and materialize the routes the delta
+        # timings mutate — the amortized regime under measurement.
+        routes = [pooled.encode(hops) for hops in batch]
+        systems = _residue_batch(batch)
+        mutated_systems = _residue_batch([
+            [
+                Hop(h.switch_id, new_port if h.switch_id == sid else h.port)
+                for h in batch[i]
+            ]
+            for i, sid, new_port in mutations
+        ])
+
+        naive_times: List[float] = []
+        pooled_times: List[float] = []
+        full_times: List[float] = []
+        delta_times: List[float] = []
+        for _ in range(repeats):
+            naive_times.append(_time_naive_encodes(systems, iters))
+            pooled_times.append(
+                _time_pooled_encodes(pool_ctx, systems, iters)
+            )
+            full_times.append(
+                _time_naive_encodes(mutated_systems, iters)
+            )
+            delta_times.append(
+                _time_reencodes_delta(delta, routes, mutations, iters)
+            )
+        naive_s, pooled_s = min(naive_times), min(pooled_times)
+        full_s, delta_s = min(full_times), min(delta_times)
+        ops = _BATCH * iters
+        cells.append({
+            "pool": name,
+            "pool_size": cfg["pool_size"],
+            "path_hops": cfg["path_hops"],
+            "batch": _BATCH,
+            "iters": iters,
+            "route_bits": routes[0].bit_length,
+            "naive": {
+                "wall_s": round(naive_s, 6),
+                "encodes_per_sec": round(ops / naive_s),
+            },
+            "pooled": {
+                "wall_s": round(pooled_s, 6),
+                "encodes_per_sec": round(ops / pooled_s),
+            },
+            "encode_speedup": round(naive_s / pooled_s, 2),
+            "full_resolve": {
+                "wall_s": round(full_s, 6),
+                "reencodes_per_sec": round(ops / full_s),
+            },
+            "incremental": {
+                "wall_s": round(delta_s, 6),
+                "reencodes_per_sec": round(ops / delta_s),
+            },
+            "reencode_speedup": round(full_s / delta_s, 2),
+            "bit_identical": bit_identical,
+        })
+
+    result: Dict[str, Any] = {
+        "bench": "repro.crt",
+        "quick": quick,
+        "repeats": repeats,
+        "iters": iters,
+        "seed": seed,
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "pools": {name: POOLS[name] for name in pools},
+        "cells": cells,
+        "bit_identical_reference": all(c["bit_identical"] for c in cells),
+        **timestamp_fields(),
+    }
+    if out:
+        with open(out, "w", encoding="utf-8") as f:
+            json.dump(result, f, indent=2, sort_keys=True)
+            f.write("\n")
+    return result
+
+
+def render_crt_bench(result: Dict[str, Any]) -> str:
+    lines = [
+        f"crt bench — naive vs pooled vs incremental "
+        f"(seed {result['seed']}, {result['cpu_count']} CPU(s))",
+        f"  {'pool':<8} {'hops':>4} {'naive enc/s':>12} "
+        f"{'pooled enc/s':>13} {'speedup':>8} {'resolve re/s':>13} "
+        f"{'delta re/s':>12} {'speedup':>8}  identical",
+    ]
+    for c in result["cells"]:
+        lines.append(
+            f"  {c['pool']:<8} {c['path_hops']:>4} "
+            f"{c['naive']['encodes_per_sec']:>12} "
+            f"{c['pooled']['encodes_per_sec']:>13} "
+            f"{c['encode_speedup']:>7}x "
+            f"{c['full_resolve']['reencodes_per_sec']:>13} "
+            f"{c['incremental']['reencodes_per_sec']:>12} "
+            f"{c['reencode_speedup']:>7}x  "
+            f"{'yes' if c['bit_identical'] else 'NO'}"
+        )
+    lines.append(
+        f"  bit-identical to reference crt(): "
+        f"{result['bit_identical_reference']}"
+    )
+    return "\n".join(lines)

@@ -32,6 +32,7 @@ import platform
 import time
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.bench.stamp import timestamp_fields
 from repro.controller.protection import ProtectionPlanner
 from repro.farm.jobs import record_digest
 from repro.rns.encoder import Hop, RouteEncoder
@@ -293,7 +294,7 @@ def run_sim_bench(
         "crt": crt,
         "speedup_by_size": {s: _aggregate(s) for s in sizes},
         "digests_match_reference": all(r["digests_match"] for r in runs),
-        "timestamp": time.time(),
+        **timestamp_fields(),
     }
     if out:
         with open(out, "w", encoding="utf-8") as f:

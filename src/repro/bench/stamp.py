@@ -1,0 +1,44 @@
+"""Benchmark artifact timestamps.
+
+Every ``BENCH_*.json`` carries both forms of its creation time: the raw
+``time.time()`` float (machine-sortable, backward compatible with older
+artifacts) and an ISO-8601 UTC string (human-diffable — a reviewer
+comparing two artifacts should not have to decode epoch seconds).
+"""
+
+from __future__ import annotations
+
+import time
+from datetime import datetime, timezone
+from typing import Dict, Optional, Union
+
+__all__ = ["utc_stamp", "timestamp_fields"]
+
+
+def utc_stamp(ts: Optional[float] = None) -> str:
+    """ISO-8601 UTC rendering of an epoch timestamp (now by default).
+
+    Microseconds are kept — two artifacts generated back-to-back should
+    still stamp differently — and the offset is always ``+00:00``.
+
+    >>> utc_stamp(0.0)
+    '1970-01-01T00:00:00+00:00'
+    >>> utc_stamp(1704067200.25)
+    '2024-01-01T00:00:00.250000+00:00'
+    """
+    if ts is None:
+        ts = time.time()
+    return datetime.fromtimestamp(ts, tz=timezone.utc).isoformat()
+
+
+def timestamp_fields(
+    ts: Optional[float] = None,
+) -> Dict[str, Union[float, str]]:
+    """The timestamp pair every bench artifact embeds.
+
+    Returns ``{"timestamp": <float>, "timestamp_iso": <str>}`` rendered
+    from the *same* instant, so the two fields never disagree.
+    """
+    if ts is None:
+        ts = time.time()
+    return {"timestamp": ts, "timestamp_iso": utc_stamp(ts)}

@@ -17,6 +17,9 @@ runner:
 * ``farm bench`` — measure the farm's parallel/cache speedups.
 * ``bench sim`` — fast-datapath vs reference benchmark (packets/sec,
   events/sec, CRT encodes/sec), with bit-identical digest checking.
+* ``bench crt`` — control-plane encoder benchmark: naive vs pooled vs
+  incremental re-encode, every cell verified bit-identical to the
+  reference ``crt()`` solver.
 
 The global ``--profile N`` flag (before the subcommand: ``repro
 --profile 25 fig4``) wraps any command in :mod:`cProfile` and dumps the
@@ -57,7 +60,11 @@ _BENCH_SIZES = ("small", "medium", "large")
 #: Kept in sync with repro.verify.oracles.ORACLE_NAMES (asserted by
 #: tests); listed literally so the parser builds without importing the
 #: verifier (which pulls in the whole sim stack).
-_ORACLE_NAMES = ("datapath", "strategy", "walk", "wire")
+_ORACLE_NAMES = ("datapath", "encoder", "strategy", "walk", "wire")
+
+#: Kept in sync with repro.bench.crtbench.POOLS (asserted by tests);
+#: listed literally so the parser builds without importing the bench.
+_BENCH_POOLS = ("small", "medium", "large")
 
 
 def _add_farm_args(
@@ -259,6 +266,27 @@ def build_parser() -> argparse.ArgumentParser:
                      help="timing repeats per mode, min is reported "
                           "(default: 2 quick, 3 full)")
     sim.add_argument("--out", default="BENCH_sim.json",
+                     help="result file (default: %(default)s)")
+    crt = perf_sub.add_parser(
+        "crt",
+        help="control-plane encodes/sec + re-encodes/sec: naive vs "
+             "pooled vs incremental, bit-identical to reference crt()",
+    )
+    crt.add_argument("--quick", action="store_true",
+                     help="CI smoke run (fewer iterations; bit-identity "
+                          "checks run at full strength)")
+    crt.add_argument("--pools", nargs="+", choices=_BENCH_POOLS,
+                     default=None, metavar="POOL",
+                     help="pool sizes to run "
+                          f"(choices: {', '.join(_BENCH_POOLS)})")
+    crt.add_argument("--seed", type=int, default=1)
+    crt.add_argument("--repeats", type=int, default=None, metavar="K",
+                     help="timing repeats per mode, min is reported "
+                          "(default: 2 quick, 3 full)")
+    crt.add_argument("--iters", type=int, default=None, metavar="N",
+                     help="batch passes per timing repeat "
+                          "(default: 2 quick, 20 full)")
+    crt.add_argument("--out", default="BENCH_crt.json",
                      help="result file (default: %(default)s)")
     return parser
 
@@ -484,9 +512,9 @@ def _cmd_farm(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    from repro.bench.simbench import render_sim_bench, run_sim_bench
-
     if args.bench_command == "sim":
+        from repro.bench.simbench import render_sim_bench, run_sim_bench
+
         result = run_sim_bench(
             sizes=args.sizes,
             strategies=args.strategies,
@@ -499,6 +527,21 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         if args.out:
             print(f"wrote {args.out}")
         return 0 if result["digests_match_reference"] else 1
+    if args.bench_command == "crt":
+        from repro.bench.crtbench import render_crt_bench, run_crt_bench
+
+        result = run_crt_bench(
+            pools=args.pools,
+            seed=args.seed,
+            quick=args.quick,
+            repeats=args.repeats,
+            iters=args.iters,
+            out=args.out,
+        )
+        print(render_crt_bench(result))
+        if args.out:
+            print(f"wrote {args.out}")
+        return 0 if result["bit_identical_reference"] else 1
     raise AssertionError(f"unhandled bench command {args.bench_command!r}")
 
 

@@ -1,0 +1,297 @@
+"""Batch route provisioning: destination trees + pooled CRT encoding.
+
+The per-flow controller path (:class:`~repro.controller.controller
+.KarController`) answers one request at a time: Dijkstra from the source
+edge, then a fresh CRT solve.  Correct, and the right oracle — but the
+work is almost entirely shared between flows.  Every flow to the same
+destination traverses the same shortest-path *tree* toward it, and every
+encode draws from the same coprime pool.  This module amortizes both:
+
+* one :class:`DestinationTree` per (topology epoch, destination edge) —
+  a BFS tree over the core subgraph rooted at the destination, built
+  once and reused by every flow to that destination;
+* one :class:`~repro.rns.pool.PoolContext` per topology epoch — all CRT
+  basis weights precomputed, so each encode is a cached-subset dot
+  product;
+* one :class:`~repro.rns.pool.ReencodeDelta` for failure-time updates —
+  a changed output port is a single CRT addend, not a re-solve.
+
+Everything is invalidated together by :meth:`ProvisioningEngine
+.note_topology_change` — a tree or pool from a previous epoch must never
+encode a route for the current one.
+
+Route selection note — why this is a separate engine and not the
+default inside :class:`~repro.controller.controller.KarController`: the
+per-flow path uses source-rooted Dijkstra whose tie-break among
+equal-length paths depends on heap order at the *source*; a
+destination-rooted tree necessarily tie-breaks from the other end.
+Both pick shortest paths, but not always the *same* shortest path, and
+the repo's digest-reproducibility guarantees pin the per-flow choice.
+The engine therefore defines its own deterministic rule (BFS with
+name-sorted expansion, entry switch chosen by ``(depth, name)``) and is
+wired in explicitly where batch provisioning is wanted.  Tests assert
+path-*length* equality with the per-flow path and bit-identical
+encoding against the reference solver on the engine's own hop lists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.controller.protection import CachedProtectionPlanner, ProtectionPlan
+from repro.controller.routing import RoutingError, hops_for_path
+from repro.rns.encoder import EncodedRoute
+from repro.rns.pool import PoolContext, PooledEncoder, ReencodeDelta
+from repro.sim.packet import DEFAULT_TTL
+from repro.switches.edge import IngressEntry
+from repro.topology.graph import NodeKind, PortGraph, TopologyError
+
+__all__ = [
+    "DestinationTree",
+    "ProvisionedRoute",
+    "ProvisioningEngine",
+]
+
+
+@dataclass(frozen=True)
+class ProvisionedRoute:
+    """One provisioned flow: the chosen path and its encoded route.
+
+    Attributes:
+        src_edge / dst_edge: the flow's ingress and egress edges.
+        node_path: full node path ``[src_edge, SW..., dst_edge]``.
+        route: the encoded route over the path's core hops.
+        out_port: the source edge's port toward the first switch.
+    """
+
+    src_edge: str
+    dst_edge: str
+    node_path: Tuple[str, ...]
+    route: EncodedRoute
+    out_port: int
+
+    def ingress_entry(self, ttl: int = DEFAULT_TTL) -> IngressEntry:
+        """The edge-table entry installing this route."""
+        return IngressEntry(
+            route_id=self.route.route_id,
+            modulus=self.route.modulus,
+            out_port=self.out_port,
+            ttl=ttl,
+            residues=self.route.residue_map(),
+        )
+
+
+class DestinationTree:
+    """Shortest-path (hop count) tree toward one destination edge.
+
+    ``parent[x]`` is switch x's next node toward the destination;
+    ``depth[x]`` its hop distance.  Built by BFS over the core subgraph
+    with name-sorted frontier expansion, so the parent choice among
+    equal-depth alternatives is deterministic and independent of port
+    numbering or insertion order.
+    """
+
+    __slots__ = ("dst_edge", "epoch", "parent", "depth")
+
+    def __init__(self, graph: PortGraph, dst_edge: str, epoch: int):
+        if graph.node(dst_edge).kind != NodeKind.EDGE:
+            raise RoutingError(f"{dst_edge!r} is not an edge node")
+        self.dst_edge = dst_edge
+        self.epoch = epoch
+        parent: Dict[str, str] = {}
+        depth: Dict[str, int] = {dst_edge: 0}
+        frontier = [dst_edge]
+        while frontier:
+            nxt: List[str] = []
+            for cur in frontier:
+                neighbors = (
+                    graph.core_subgraph_neighbors(cur)
+                    if graph.node(cur).kind == NodeKind.CORE
+                    else [
+                        nb
+                        for nb in graph.neighbors(cur)
+                        if graph.node(nb).kind == NodeKind.CORE
+                    ]
+                )
+                for nb in sorted(neighbors):
+                    if nb in depth:
+                        continue
+                    depth[nb] = depth[cur] + 1
+                    parent[nb] = cur
+                    nxt.append(nb)
+            frontier = nxt
+        self.parent = parent
+        self.depth = depth
+
+    def branch(self, switch: str) -> List[str]:
+        """Node path from *switch* down the tree to the destination."""
+        if switch not in self.depth:
+            raise RoutingError(
+                f"{switch!r} cannot reach {self.dst_edge!r} through the core"
+            )
+        path = [switch]
+        while path[-1] != self.dst_edge:
+            path.append(self.parent[path[-1]])
+        return path
+
+
+class ProvisioningEngine:
+    """Amortized batch provisioning over one topology epoch.
+
+    Args:
+        graph: the topology (switch IDs already assigned).
+        default_ttl: hop budget stamped on ingress entries.
+        validated_pool: pass True when the graph's switch IDs are known
+            pairwise coprime (the topology builders validate them) to
+            skip the pool's one-time O(n²) re-check.
+    """
+
+    def __init__(
+        self,
+        graph: PortGraph,
+        default_ttl: int = DEFAULT_TTL,
+        validated_pool: bool = False,
+    ):
+        self.graph = graph
+        self.default_ttl = default_ttl
+        self._validated_pool = validated_pool
+        self.epoch = 0
+        self._trees: Dict[str, DestinationTree] = {}
+        self.trees_built = 0
+        self.tree_hits = 0
+        self._rebuild_epoch_state()
+
+    def _rebuild_epoch_state(self) -> None:
+        self.pool = PoolContext.from_graph(
+            self.graph, validated=self._validated_pool
+        )
+        self.encoder = PooledEncoder(self.pool)
+        self.delta = ReencodeDelta(self.pool)
+        self.planner = CachedProtectionPlanner(self.graph)
+
+    # ------------------------------------------------------------------
+    # epoch / invalidation
+    # ------------------------------------------------------------------
+    def note_topology_change(self) -> None:
+        """Invalidate every per-epoch artifact (trees, pool, planner).
+
+        Call after any change to the graph's nodes, links, port
+        numbering, or switch IDs.  Routes encoded before the change stay
+        valid *as integers* (a route ID is self-contained) but may no
+        longer describe live paths — the caller decides whether to
+        re-provision them.
+        """
+        self.epoch += 1
+        self._trees.clear()
+        self._rebuild_epoch_state()
+
+    # ------------------------------------------------------------------
+    # destination trees
+    # ------------------------------------------------------------------
+    def destination_tree(self, dst_edge: str) -> DestinationTree:
+        """The (memoized) tree for one destination in the current epoch."""
+        tree = self._trees.get(dst_edge)
+        if tree is not None:
+            self.tree_hits += 1
+            return tree
+        tree = DestinationTree(self.graph, dst_edge, self.epoch)
+        self._trees[dst_edge] = tree
+        self.trees_built += 1
+        return tree
+
+    # ------------------------------------------------------------------
+    # provisioning
+    # ------------------------------------------------------------------
+    def provision(self, src_edge: str, dst_edge: str) -> ProvisionedRoute:
+        """Provision one flow edge-to-edge along the destination tree.
+
+        The path enters the core at the source-edge neighbor with the
+        smallest ``(tree depth, name)`` and follows tree parents to the
+        destination — hop-count shortest end to end (each core switch's
+        tree branch is hop-minimal, and the entry choice minimizes over
+        the source's options).
+
+        Raises:
+            RoutingError: same-edge flows, or no core path under the
+                current topology.
+        """
+        if src_edge == dst_edge:
+            raise RoutingError(
+                f"flow endpoints share the edge {src_edge!r}; "
+                f"no core route to provision"
+            )
+        tree = self.destination_tree(dst_edge)
+        if self.graph.node(src_edge).kind != NodeKind.EDGE:
+            raise RoutingError(f"{src_edge!r} is not an edge node")
+        entries = [
+            nb
+            for nb in self.graph.neighbors(src_edge)
+            if self.graph.node(nb).kind == NodeKind.CORE and nb in tree.depth
+        ]
+        if not entries:
+            raise RoutingError(
+                f"{src_edge!r} has no core neighbor that reaches "
+                f"{dst_edge!r}"
+            )
+        entry = min(entries, key=lambda nb: (tree.depth[nb], nb))
+        node_path = [src_edge] + tree.branch(entry)
+        route = self.encoder.encode(hops_for_path(self.graph, node_path))
+        return ProvisionedRoute(
+            src_edge=src_edge,
+            dst_edge=dst_edge,
+            node_path=tuple(node_path),
+            route=route,
+            out_port=self.graph.port_of(src_edge, entry),
+        )
+
+    def provision_batch(
+        self, pairs: Iterable[Tuple[str, str]]
+    ) -> List[ProvisionedRoute]:
+        """Provision many ``(src_edge, dst_edge)`` flows in one pass.
+
+        Order-preserving; destination trees and CRT subset contexts are
+        shared across the batch, which is where the amortization pays:
+        the first flow to a destination builds its tree, every further
+        flow reuses it.
+        """
+        return [self.provision(src, dst) for src, dst in pairs]
+
+    # ------------------------------------------------------------------
+    # failure-time updates
+    # ------------------------------------------------------------------
+    def reroute_hop(
+        self, route: EncodedRoute, switch_name: str, new_next: str
+    ) -> EncodedRoute:
+        """Re-encode *route* with *switch_name* exiting toward *new_next*.
+
+        The incremental single-addend update — see
+        :func:`repro.controller.routing.delta_reencode_route`.
+        """
+        from repro.controller.routing import delta_reencode_route
+
+        return delta_reencode_route(
+            self.graph, route, switch_name, new_next, self.delta
+        )
+
+    # ------------------------------------------------------------------
+    # protection
+    # ------------------------------------------------------------------
+    def protect(
+        self,
+        provisioned: ProvisionedRoute,
+        budget_bits: Optional[int] = None,
+    ) -> ProtectionPlan:
+        """Protection plan for a provisioned route (memoized per epoch).
+
+        Flows sharing a destination share tree branches, so their
+        protection plans hit the planner's per-epoch cache.
+        """
+        core_route = [
+            n
+            for n in provisioned.node_path
+            if self.graph.node(n).kind == NodeKind.CORE
+        ]
+        if budget_bits is None:
+            return self.planner.full(core_route)
+        return self.planner.partial(core_route, budget_bits)

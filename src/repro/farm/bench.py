@@ -29,6 +29,7 @@ import tempfile
 import time
 from typing import Any, Dict, List, Optional, Sequence
 
+from repro.bench.stamp import timestamp_fields
 from repro.experiments.common import Timeline
 from repro.farm.executor import Farm, FarmOptions
 from repro.farm.jobs import failure_spec
@@ -131,7 +132,7 @@ def run_bench(
             seq_digests == [r["digest"] for r in par_records]
             and seq_digests == [r["digest"] for r in warm_records]
         ),
-        "timestamp": time.time(),
+        **timestamp_fields(),
     }
     if out:
         with open(out, "w", encoding="utf-8") as f:

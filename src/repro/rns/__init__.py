@@ -2,9 +2,16 @@
 
 Public surface:
 
-* :func:`repro.rns.crt.crt` and friends — CRT arithmetic.
+* :func:`repro.rns.crt.crt` and friends — CRT arithmetic (the reference
+  solver every faster encoder is checked against).
 * :class:`repro.rns.encoder.RouteEncoder` / :class:`~repro.rns.encoder.EncodedRoute`
   — (switch, port) hops ⇄ integer route IDs, with incremental updates.
+* :mod:`repro.rns.pool` — amortized control-plane encoding:
+  :class:`~repro.rns.pool.PoolContext` (per-pool precomputed CRT basis
+  weights + memoized subset products), :class:`~repro.rns.pool.PooledEncoder`
+  (bit-identical drop-in for :class:`~repro.rns.encoder.RouteEncoder`),
+  and :class:`~repro.rns.pool.ReencodeDelta` (single-addend failure-time
+  re-encodes).
 * :mod:`repro.rns.coprime` — switch-ID pool generation/validation.
 * :mod:`repro.rns.bitlength` — header-size analysis (Eq. 9, Table 1).
 """
@@ -33,6 +40,7 @@ from repro.rns.crt import (
     pairwise_coprime,
 )
 from repro.rns.encoder import DuplicateSwitchError, EncodedRoute, Hop, RouteEncoder
+from repro.rns.pool import PoolContext, PooledEncoder, ReencodeDelta, product_tree
 
 __all__ = [
     "crt",
@@ -46,6 +54,10 @@ __all__ = [
     "EncodedRoute",
     "RouteEncoder",
     "DuplicateSwitchError",
+    "PoolContext",
+    "PooledEncoder",
+    "ReencodeDelta",
+    "product_tree",
     "route_id_bit_length",
     "bit_length_for_switches",
     "bit_length_growth",

@@ -17,6 +17,13 @@ pairwise coprime.  This module provides the arithmetic core:
 
 All functions operate on plain Python integers, so route IDs of arbitrary
 bit length (Section 2.3 of the paper) are supported without overflow.
+
+:func:`crt` is the **reference** solver: it re-derives everything from
+its arguments on every call and stays deliberately simple, because it is
+the oracle every faster encoder is verified against.  The amortized
+control-plane encoders — precomputed per-pool contexts, cached subset
+products, and single-addend incremental re-encodes — live in
+:mod:`repro.rns.pool`.
 """
 
 from __future__ import annotations
@@ -120,8 +127,11 @@ def first_noncoprime_pair(values: Iterable[int]) -> Tuple[int, int] | None:
     """Return the first pair with gcd > 1, or None if pairwise coprime.
 
     Useful for error messages: the caller learns *which* switch IDs clash.
-    Runs in O(n²) gcd computations, which is fine for network-sized sets
-    (tens to low hundreds of switches).
+    Runs in O(n²) gcd computations — acceptable as a one-time validation,
+    but far too slow to repeat on every encode.  Hot callers therefore
+    run it once at pool construction (:class:`repro.rns.pool.PoolContext`
+    caches the validated-coprime verdict) and pass
+    ``assume_coprime=True`` to :func:`crt` afterwards.
     """
     vals = list(values)
     for i, a in enumerate(vals):
@@ -131,7 +141,12 @@ def first_noncoprime_pair(values: Iterable[int]) -> Tuple[int, int] | None:
     return None
 
 
-def crt(residues: Sequence[int], moduli: Sequence[int]) -> Tuple[int, int]:
+def crt(
+    residues: Sequence[int],
+    moduli: Sequence[int],
+    *,
+    assume_coprime: bool = False,
+) -> Tuple[int, int]:
     """Solve the CRT system ``x ≡ residues[i] (mod moduli[i])``.
 
     Implements Eq. 4 of the paper::
@@ -144,6 +159,13 @@ def crt(residues: Sequence[int], moduli: Sequence[int]) -> Tuple[int, int]:
     Args:
         residues: the desired remainders (output-port indexes in KAR).
         moduli: pairwise-coprime moduli (switch IDs in KAR).
+        assume_coprime: skip the O(n²) pairwise-coprimality re-check.
+            Only pass True for moduli drawn from a pool that was already
+            validated (e.g. at :class:`repro.rns.pool.PoolContext`
+            construction, or via :func:`repro.rns.coprime.validate_pool`).
+            The result on genuinely non-coprime moduli is then undefined
+            (an inverse may still fail with :class:`NotCoprimeError`,
+            but silent wrong answers are possible for e.g. duplicates).
 
     Returns:
         ``(R, M)`` where ``R`` is the unique solution in ``[0, M)`` and
@@ -158,6 +180,8 @@ def crt(residues: Sequence[int], moduli: Sequence[int]) -> Tuple[int, int]:
     (44, 308)
     >>> crt([0, 2, 0, 0], [4, 7, 11, 5])
     (660, 1540)
+    >>> crt([0, 2, 0], [4, 7, 11], assume_coprime=True)
+    (44, 308)
     """
     if len(residues) != len(moduli):
         raise CrtError(
@@ -173,13 +197,12 @@ def crt(residues: Sequence[int], moduli: Sequence[int]) -> Tuple[int, int]:
                 f"residue {p} out of range for modulus {s}: "
                 f"a switch with ID {s} only has ports 0..{s - 1} addressable"
             )
-    bad = first_noncoprime_pair(moduli)
-    if bad is not None:
-        raise NotCoprimeError(bad, math.gcd(*bad))
+    if not assume_coprime:
+        bad = first_noncoprime_pair(moduli)
+        if bad is not None:
+            raise NotCoprimeError(bad, math.gcd(*bad))
 
-    M = 1
-    for s in moduli:
-        M *= s
+    M = math.prod(moduli)
     total = 0
     for p, s in zip(residues, moduli):
         M_i = M // s

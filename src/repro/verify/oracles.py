@@ -1,4 +1,4 @@
-"""The four differential oracles.
+"""The five differential oracles.
 
 Each oracle takes a :class:`~repro.verify.cases.FuzzCase` and replays
 it through two *independent* evaluations of the same semantics, then
@@ -21,6 +21,13 @@ diffs the outcomes:
   vs the pure-graph walk model
   (:func:`repro.analysis.walk.deterministic_route_walk`), for both the
   controller's real route and a fuzzed route ID that wanders.
+* ``encoder`` — the amortized control-plane encoders
+  (:class:`~repro.rns.pool.PoolContext` /
+  :class:`~repro.rns.pool.PooledEncoder` /
+  :class:`~repro.rns.pool.ReencodeDelta`) vs the reference
+  :func:`~repro.rns.crt.crt` solver on the case's switch-ID pool:
+  fuzzed subsets, mutation chains, identity mutations, off-pool
+  fallback, and error parity on malformed systems.
 
 Every oracle returns an :class:`OracleResult`; a non-empty
 ``divergences`` list means the two sides disagreed, and the attached
@@ -30,11 +37,15 @@ details say exactly where.
 from __future__ import annotations
 
 import hashlib
+import math
 import random
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.walk import deterministic_route_walk
+from repro.rns.crt import CrtError, NotCoprimeError, crt
+from repro.rns.encoder import Hop, RouteEncoder
+from repro.rns.pool import PoolContext, PooledEncoder, ReencodeDelta
 from repro.rns.wire import (
     WireError,
     decode_header,
@@ -48,7 +59,7 @@ from repro.switches.core import KarSwitch
 from repro.switches.deflection import DeflectionStrategy, strategy_by_name
 from repro.switches.edge import IngressEntry
 from repro.topology.graph import NodeKind
-from repro.verify.cases import FuzzCase, build_scenario
+from repro.verify.cases import FuzzCase, build_graph, build_scenario
 from repro.verify.pseudocode import PSEUDOCODE
 
 __all__ = [
@@ -59,6 +70,7 @@ __all__ = [
     "check_strategy",
     "check_wire",
     "check_walk",
+    "check_encoder",
     "run_oracle",
     "run_case",
 ]
@@ -68,6 +80,9 @@ _STRATEGY_TRIALS = 150
 
 #: random headers per case in the wire oracle.
 _WIRE_TRIALS = 80
+
+#: fuzzed subset/mutation trials per case in the encoder oracle.
+_ENCODER_TRIALS = 40
 
 
 @dataclass(frozen=True)
@@ -564,6 +579,175 @@ def check_walk(case: FuzzCase) -> OracleResult:
 
 
 # ---------------------------------------------------------------------------
+# (e) pooled/incremental encoders vs the reference crt() solver
+# ---------------------------------------------------------------------------
+
+def _off_pool_id(subset_ids: Sequence[int], pool: PoolContext) -> int:
+    """A modulus outside the pool yet coprime with *subset_ids*."""
+    product = 1
+    for s in subset_ids:
+        product *= s
+    candidate = 2
+    while candidate in pool or math.gcd(candidate, product) != 1:
+        candidate += 1
+    return candidate
+
+
+def check_encoder(case: FuzzCase) -> OracleResult:
+    """Pooled/incremental encoders vs the reference solver (oracle e).
+
+    Builds a :class:`~repro.rns.pool.PoolContext` over the case's real
+    switch-ID pool and fuzzes random subsets through every amortized
+    path — :meth:`PoolContext.encode`, :class:`PooledEncoder`,
+    :class:`ReencodeDelta` single mutations, multi-hop mutation chains,
+    identity mutations, and the off-pool fallback — requiring each
+    result to be bit-identical to a fresh :func:`~repro.rns.crt.crt`
+    solve / :class:`~repro.rns.encoder.RouteEncoder` encode of the same
+    residue system.  Malformed systems (duplicate moduli, out-of-range
+    residues) must fail with the same exception the reference raises.
+    """
+    result = OracleResult("encoder")
+    graph = build_graph(case)
+    # from_graph re-runs the pairwise-coprime check by default — that
+    # one-time validation is part of what this oracle exercises.
+    pool = PoolContext.from_graph(graph)
+    reference = RouteEncoder()
+    pooled = PooledEncoder(pool)
+    delta = ReencodeDelta(pool)
+    rng = random.Random(f"verify-encoder-{case.seed}")
+    off_pool_encodes = 0
+
+    for trial in range(_ENCODER_TRIALS):
+        k = rng.randrange(1, min(len(pool), 8) + 1)
+        ids = rng.sample(pool.pool, k)
+        ports = [rng.randrange(s) for s in ids]
+        label = f"trial {trial}: system {list(zip(ports, ids))}"
+
+        # Raw Eq. 4 pair: pooled dot product vs full reference solve.
+        want_pair = crt(ports, ids)
+        got_pair = pool.encode(ports, ids)
+        result.check(
+            got_pair == want_pair,
+            lambda l=label, g=got_pair, w=want_pair: (
+                f"PoolContext.encode differs from crt() at {l}: "
+                f"pooled={g} reference={w}"
+            ),
+        )
+
+        # Full route objects: PooledEncoder vs RouteEncoder.
+        hops = [Hop(s, p) for s, p in zip(ids, ports)]
+        route = pooled.encode(hops)
+        ref_route = reference.encode(hops)
+        result.check(
+            route == ref_route
+            and route.residue_map() == ref_route.residue_map(),
+            lambda l=label, g=route, w=ref_route: (
+                f"PooledEncoder differs from RouteEncoder at {l}: "
+                f"pooled={g!r} reference={w!r}"
+            ),
+        )
+
+        # A mutation chain (possibly including identity steps) applied
+        # incrementally must land exactly where a fresh solve of the
+        # final residue system lands, at every step of the chain.
+        residues = dict(route.residue_map())
+        current = route
+        for step in range(rng.randrange(1, 5)):
+            sid = rng.choice(ids)
+            new_port = rng.randrange(sid)
+            chain_label = (
+                f"{label} chain step {step}: switch {sid} -> port {new_port}"
+            )
+            if residues[sid] == new_port:
+                result.check(
+                    delta.apply(current, sid, new_port) is current,
+                    lambda l=chain_label: (
+                        f"identity mutation was not a same-object no-op "
+                        f"at {l}"
+                    ),
+                )
+            residues[sid] = new_port
+            want_id, want_mod = crt(
+                [residues[s] for s in ids], ids, assume_coprime=True
+            )
+            got_id = delta.apply_id(current, sid, new_port)
+            current = delta.apply(current, sid, new_port)
+            result.check(
+                got_id == want_id
+                and (current.route_id, current.modulus)
+                == (want_id, want_mod)
+                and current.residue_map() == residues,
+                lambda l=chain_label, g=current, i=got_id, w=want_id: (
+                    f"incremental re-encode differs from fresh solve at "
+                    f"{l}: apply_id={i} apply={g!r} reference_id={w}"
+                ),
+            )
+
+        # Off-pool switch IDs must take the reference fallback and still
+        # produce the reference answer.
+        extra = _off_pool_id(ids, pool)
+        fallback_hops = hops + [Hop(extra, rng.randrange(extra))]
+        off_pool_encodes += 1
+        result.check(
+            pooled.encode(fallback_hops) == reference.encode(fallback_hops),
+            lambda l=label, e=extra: (
+                f"off-pool fallback (extra switch {e}) differs from "
+                f"RouteEncoder at {l}"
+            ),
+        )
+
+    # Error parity on malformed systems: same exception type, same
+    # message as the reference solver.
+    dup = rng.choice(pool.pool)
+    dup_system = ([0, 0], [dup, dup])
+    errors = []
+    for solver in (crt, pool.encode):
+        try:
+            solver(*dup_system)
+            errors.append(None)
+        except NotCoprimeError as exc:
+            errors.append((type(exc).__name__, str(exc)))
+    result.check(
+        errors[0] is not None and errors[0] == errors[1],
+        lambda e=tuple(errors): (
+            f"duplicate-modulus error parity broken: crt={e[0]} pool={e[1]}"
+        ),
+    )
+    bad = rng.choice(pool.pool)
+    bad_system = ([bad], [bad])  # residue == modulus: out of range
+    errors = []
+    for solver in (crt, pool.encode):
+        try:
+            solver(*bad_system)
+            errors.append(None)
+        except CrtError as exc:
+            errors.append((type(exc).__name__, str(exc)))
+    result.check(
+        errors[0] is not None and errors[0] == errors[1],
+        lambda e=tuple(errors): (
+            f"out-of-range error parity broken: crt={e[0]} pool={e[1]}"
+        ),
+    )
+
+    # The amortized paths must actually have been the paths under test.
+    result.check(
+        pooled.fallback_encodes == off_pool_encodes,
+        lambda p=pooled, n=off_pool_encodes: (
+            f"fallback count {p.fallback_encodes} != expected {n}: "
+            f"pool-covered encodes leaked onto the reference path"
+        ),
+    )
+    result.check(
+        delta.full_solves == 0,
+        lambda d=delta: (
+            f"{d.full_solves} incremental updates fell back to a full "
+            f"solve on pool-covered routes"
+        ),
+    )
+    return result
+
+
+# ---------------------------------------------------------------------------
 # dispatch
 # ---------------------------------------------------------------------------
 
@@ -572,6 +756,7 @@ _ORACLES: Dict[str, Callable[..., OracleResult]] = {
     "strategy": check_strategy,
     "wire": check_wire,
     "walk": check_walk,
+    "encoder": check_encoder,
 }
 
 #: All oracle names, in stable order.

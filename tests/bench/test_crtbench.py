@@ -1,0 +1,95 @@
+"""Tests for the control-plane CRT benchmark and timestamp stamping."""
+
+import json
+from datetime import datetime, timezone
+
+import pytest
+
+from repro.bench import render_crt_bench, run_crt_bench, timestamp_fields, utc_stamp
+from repro.bench.crtbench import POOLS
+
+
+@pytest.fixture(scope="module")
+def result(tmp_path_factory):
+    out = tmp_path_factory.mktemp("bench") / "BENCH_crt.json"
+    return run_crt_bench(
+        pools=["small"], quick=True, repeats=1, iters=1, out=str(out)
+    ), out
+
+
+class TestRunCrtBench:
+    def test_unknown_pool_rejected(self):
+        with pytest.raises(ValueError, match="unknown pool"):
+            run_crt_bench(pools=["gigantic"], out=None)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"repeats": 0}, {"iters": 0},
+    ])
+    def test_bad_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            run_crt_bench(pools=["small"], out=None, **kwargs)
+
+    def test_cells_are_bit_identical(self, result):
+        res, _ = result
+        assert res["bit_identical_reference"] is True
+        assert all(c["bit_identical"] for c in res["cells"])
+
+    def test_cell_shape(self, result):
+        res, _ = result
+        (cell,) = res["cells"]
+        assert cell["pool"] == "small"
+        assert cell["pool_size"] == POOLS["small"]["pool_size"]
+        for mode, rate in (
+            ("naive", "encodes_per_sec"),
+            ("pooled", "encodes_per_sec"),
+            ("full_resolve", "reencodes_per_sec"),
+            ("incremental", "reencodes_per_sec"),
+        ):
+            assert cell[mode]["wall_s"] > 0
+            assert cell[mode][rate] > 0
+        assert cell["encode_speedup"] > 0
+        assert cell["reencode_speedup"] > 0
+
+    def test_json_written_and_loadable(self, result):
+        res, out = result
+        on_disk = json.loads(out.read_text())
+        assert on_disk["bench"] == "repro.crt"
+        assert on_disk["cells"] == res["cells"]
+
+    def test_dual_timestamps(self, result):
+        res, _ = result
+        iso = datetime.fromisoformat(res["timestamp_iso"])
+        assert iso.tzinfo is not None
+        assert iso.timestamp() == pytest.approx(res["timestamp"])
+
+    def test_render_mentions_every_cell(self, result):
+        res, _ = result
+        text = render_crt_bench(res)
+        assert "small" in text
+        assert "bit-identical to reference crt(): True" in text
+
+    def test_deterministic_inputs_same_seed(self):
+        a = run_crt_bench(pools=["small"], quick=True, repeats=1,
+                          iters=1, out=None, seed=7)
+        b = run_crt_bench(pools=["small"], quick=True, repeats=1,
+                          iters=1, out=None, seed=7)
+        # Wall times differ run to run; the workload must not.
+        assert a["cells"][0]["route_bits"] == b["cells"][0]["route_bits"]
+        assert a["cells"][0]["bit_identical"] and b["cells"][0]["bit_identical"]
+
+
+class TestStamp:
+    def test_epoch_zero(self):
+        assert utc_stamp(0.0) == "1970-01-01T00:00:00+00:00"
+
+    def test_fields_describe_one_instant(self):
+        fields = timestamp_fields(1704067200.25)
+        assert fields["timestamp"] == 1704067200.25
+        parsed = datetime.fromisoformat(fields["timestamp_iso"])
+        assert parsed.timestamp() == 1704067200.25
+        assert parsed.tzinfo == timezone.utc
+
+    def test_now_is_consistent(self):
+        fields = timestamp_fields()
+        parsed = datetime.fromisoformat(fields["timestamp_iso"])
+        assert parsed.timestamp() == pytest.approx(fields["timestamp"])

@@ -1,0 +1,175 @@
+"""Tests for the batch provisioning engine (destination trees + pool)."""
+
+import pytest
+
+from repro.controller import (
+    DestinationTree,
+    ProvisioningEngine,
+    RoutingError,
+    core_path_between_edges,
+    hops_for_path,
+)
+from repro.rns import RouteEncoder, crt
+from repro.topology import NodeKind, fifteen_node, six_node
+
+
+@pytest.fixture(scope="module")
+def six():
+    return six_node().graph
+
+
+@pytest.fixture(scope="module")
+def fifteen():
+    return fifteen_node().graph
+
+
+def _edge_names(graph):
+    return sorted(n.name for n in graph.nodes(NodeKind.EDGE))
+
+
+class TestDestinationTree:
+    def test_root_must_be_edge(self, six):
+        with pytest.raises(RoutingError, match="not an edge node"):
+            DestinationTree(six, "SW4", epoch=0)
+
+    def test_depths_are_hop_minimal(self, six):
+        tree = DestinationTree(six, "E-D", epoch=0)
+        # Fig. 1: SW11 touches E-D, SW5/SW7 sit behind it, SW4 behind SW7.
+        assert tree.depth["SW11"] == 1
+        assert tree.depth["SW5"] == 2
+        assert tree.depth["SW7"] == 2
+        assert tree.depth["SW4"] == 3
+
+    def test_branch_follows_parents_to_destination(self, six):
+        tree = DestinationTree(six, "E-D", epoch=0)
+        assert tree.branch("SW4") == ["SW4", "SW7", "SW11", "E-D"]
+
+    def test_branch_unreachable_rejected(self, six):
+        tree = DestinationTree(six, "E-D", epoch=0)
+        with pytest.raises(RoutingError, match="cannot reach"):
+            tree.branch("NOPE")
+
+
+class TestProvision:
+    def test_paper_route_id_44(self, six):
+        eng = ProvisioningEngine(six)
+        p = eng.provision("E-S", "E-D")
+        assert p.node_path == ("E-S", "SW4", "SW7", "SW11", "E-D")
+        assert (p.route.route_id, p.route.modulus) == (44, 308)
+        assert p.out_port == six.port_of("E-S", "SW4")
+
+    def test_route_bit_identical_to_reference(self, six):
+        eng = ProvisioningEngine(six)
+        p = eng.provision("E-S", "E-D")
+        hops = hops_for_path(six, list(p.node_path))
+        ref = crt([h.port for h in hops], [h.switch_id for h in hops])
+        assert (p.route.route_id, p.route.modulus) == ref
+        assert p.route == RouteEncoder().encode(hops)
+
+    def test_path_length_matches_per_flow_controller(self, fifteen):
+        # The engine may tie-break differently from source-rooted
+        # Dijkstra, but never at the cost of a longer path.
+        eng = ProvisioningEngine(fifteen)
+        edges = _edge_names(fifteen)
+        for src in edges:
+            for dst in edges:
+                if src == dst:
+                    continue
+                p = eng.provision(src, dst)
+                ref = core_path_between_edges(fifteen, src, dst)
+                assert len(p.node_path) == len(ref)
+                hops = hops_for_path(fifteen, list(p.node_path))
+                assert p.route == RouteEncoder().encode(hops)
+
+    def test_same_edge_rejected(self, six):
+        eng = ProvisioningEngine(six)
+        with pytest.raises(RoutingError, match="share the edge"):
+            eng.provision("E-S", "E-S")
+
+    def test_non_edge_source_rejected(self, six):
+        eng = ProvisioningEngine(six)
+        with pytest.raises(RoutingError, match="not an edge node"):
+            eng.provision("SW4", "E-D")
+
+    def test_ingress_entry_mirrors_route(self, six):
+        eng = ProvisioningEngine(six, default_ttl=32)
+        p = eng.provision("E-S", "E-D")
+        entry = p.ingress_entry(ttl=32)
+        assert entry.route_id == p.route.route_id
+        assert entry.modulus == p.route.modulus
+        assert entry.out_port == p.out_port
+        assert entry.ttl == 32
+        assert entry.residues == p.route.residue_map()
+
+
+class TestAmortization:
+    def test_batch_shares_destination_trees(self, fifteen):
+        eng = ProvisioningEngine(fifteen)
+        edges = _edge_names(fifteen)
+        dst = edges[0]
+        pairs = [(src, dst) for src in edges if src != dst] * 3
+        eng.provision_batch(pairs)
+        assert eng.trees_built == 1
+        assert eng.tree_hits == len(pairs) - 1
+
+    def test_batch_uses_pooled_encoder(self, fifteen):
+        eng = ProvisioningEngine(fifteen)
+        edges = _edge_names(fifteen)
+        pairs = [(s, d) for s in edges for d in edges if s != d]
+        eng.provision_batch(pairs)
+        assert eng.encoder.pooled_encodes == len(pairs)
+        assert eng.encoder.fallback_encodes == 0
+
+    def test_protect_hits_plan_cache(self, fifteen):
+        eng = ProvisioningEngine(fifteen)
+        edges = _edge_names(fifteen)
+        p = eng.provision(edges[0], edges[1])
+        first = eng.protect(p)
+        again = eng.protect(p)
+        assert again is first
+        assert eng.planner.plan_hits == 1
+
+
+class TestInvalidation:
+    def test_topology_change_rebuilds_everything(self, six):
+        eng = ProvisioningEngine(six)
+        eng.provision("E-S", "E-D")
+        old = (eng.pool, eng.encoder, eng.delta, eng.planner)
+        assert eng.trees_built == 1
+        eng.note_topology_change()
+        assert eng.epoch == 1
+        assert all(new is not was for new, was in zip(
+            (eng.pool, eng.encoder, eng.delta, eng.planner), old
+        ))
+        # The tree rebuilds in the new epoch rather than being served
+        # from the old one.
+        p = eng.provision("E-S", "E-D")
+        assert eng.trees_built == 2
+        assert (p.route.route_id, p.route.modulus) == (44, 308)
+
+    def test_tree_records_its_epoch(self, six):
+        eng = ProvisioningEngine(six)
+        assert eng.destination_tree("E-D").epoch == 0
+        eng.note_topology_change()
+        assert eng.destination_tree("E-D").epoch == 1
+
+
+class TestRerouteHop:
+    def test_reroute_is_bit_identical_to_fresh_encode(self, six):
+        eng = ProvisioningEngine(six)
+        p = eng.provision("E-S", "E-D")
+        # Fig. 1 detour: SW7 exits toward SW5 (port 1) instead of SW11.
+        updated = eng.reroute_hop(p.route, "SW7", "SW5")
+        hops = [
+            h if h.switch_id != 7 else type(h)(7, six.port_of("SW7", "SW5"))
+            for h in p.route.hops
+        ]
+        assert updated == RouteEncoder().encode(hops)
+        assert eng.delta.deltas_applied == 1
+        assert eng.delta.full_solves == 0
+
+    def test_reroute_rejects_non_link(self, six):
+        eng = ProvisioningEngine(six)
+        p = eng.provision("E-S", "E-D")
+        with pytest.raises(RoutingError, match="not a link"):
+            eng.reroute_hop(p.route, "SW7", "SW4X")

@@ -1,0 +1,308 @@
+"""Tests for pooled CRT contexts and incremental re-encoding.
+
+The property tests here are the bit-identity contract of PR 5: every
+amortized path (PoolContext.encode, PooledEncoder, ReencodeDelta —
+single mutations, multi-hop chains, identity mutations) must land on
+exactly what a fresh reference crt() solve of the same residue system
+produces.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rns import (
+    CrtError,
+    DuplicateSwitchError,
+    Hop,
+    NotCoprimeError,
+    PoolContext,
+    PooledEncoder,
+    ReencodeDelta,
+    RouteEncoder,
+    crt,
+    greedy_coprime_pool,
+    product_tree,
+)
+from repro.topology.topologies import six_node
+
+# One pool (and its context) for the whole module: contexts are
+# long-lived by design, and sharing one across examples also exercises
+# the subset cache under Hypothesis's adversarial subset draws.
+_POOL = greedy_coprime_pool(24, min_value=4)
+_CTX = PoolContext(_POOL)
+
+
+@st.composite
+def pool_systems(draw, min_size=1, max_size=8):
+    """Random (switch_ids, ports) over the module pool."""
+    size = draw(st.integers(min_size, max_size))
+    ids = draw(
+        st.lists(st.sampled_from(_POOL), min_size=size, max_size=size,
+                 unique=True)
+    )
+    ports = [draw(st.integers(0, sid - 1)) for sid in ids]
+    return ids, ports
+
+
+@st.composite
+def mutation_chains(draw, min_len=1, max_len=6):
+    """A system plus a chain of (switch_id, new_port) mutations.
+
+    Chains deliberately include identity mutations (new port equal to
+    the current port) and repeated mutations of the same switch.
+    """
+    ids, ports = draw(pool_systems(min_size=2))
+    length = draw(st.integers(min_len, max_len))
+    chain = []
+    for _ in range(length):
+        sid = draw(st.sampled_from(ids))
+        chain.append((sid, draw(st.integers(0, sid - 1))))
+    return ids, ports, chain
+
+
+class TestProductTree:
+    def test_empty(self):
+        assert product_tree([]) == 1
+
+    def test_single(self):
+        assert product_tree([7]) == 7
+
+    @given(st.lists(st.integers(1, 10**6), max_size=30))
+    def test_matches_math_prod(self, values):
+        assert product_tree(values) == math.prod(values)
+
+
+class TestPoolContext:
+    def test_rejects_empty_pool(self):
+        with pytest.raises(CrtError, match="empty pool"):
+            PoolContext([])
+
+    def test_rejects_unit_modulus(self):
+        with pytest.raises(CrtError, match="must be > 1"):
+            PoolContext([5, 1])
+
+    def test_rejects_duplicates_even_when_validated(self):
+        with pytest.raises(NotCoprimeError):
+            PoolContext([5, 7, 5], validated=True)
+
+    def test_rejects_noncoprime_pool(self):
+        with pytest.raises(NotCoprimeError) as exc:
+            PoolContext([4, 6, 7])
+        assert exc.value.pair == (4, 6)
+
+    def test_validated_gives_identical_context(self):
+        checked = PoolContext(_POOL)
+        trusted = PoolContext(_POOL, validated=True)
+        assert trusted.modulus == checked.modulus
+        assert all(trusted.weight(s) == checked.weight(s) for s in _POOL)
+
+    def test_noncoprime_pool_fails_even_when_validated(self):
+        # validated=True skips the O(n²) sweep, but weight derivation
+        # still needs every inverse to exist — a bad pool cannot
+        # silently produce a working context.
+        with pytest.raises(NotCoprimeError):
+            PoolContext([4, 6], validated=True)
+
+    def test_from_graph_covers_topology(self):
+        graph = six_node().graph
+        ctx = PoolContext.from_graph(graph)
+        assert sorted(ctx.pool) == sorted(graph.switch_ids().values())
+        assert ctx.covers(graph.switch_ids().values())
+
+    def test_weights_satisfy_crt_basis(self):
+        # w_i == 1 (mod s_i) and w_i == 0 (mod s_j) for j != i: exactly
+        # the Eq. 4 basis property.
+        for s in _POOL:
+            w = _CTX.weight(s)
+            assert w % s == 1
+            for other in _POOL:
+                if other != s:
+                    assert w % other == 0
+
+    def test_weight_off_pool_raises(self):
+        with pytest.raises(CrtError, match="not in this pool"):
+            _CTX.weight(9999991)
+
+    def test_subset_cache_is_order_independent(self):
+        ctx = PoolContext(_POOL)
+        a = ctx.subset([_POOL[0], _POOL[1]])
+        b = ctx.subset([_POOL[1], _POOL[0]])
+        assert a is b
+        assert ctx.subset_hits == 1
+        assert ctx.subsets_built == 1
+
+    def test_subset_cache_eviction(self):
+        ctx = PoolContext(_POOL, max_subsets=2)
+        ctx.subset(_POOL[:1])
+        ctx.subset(_POOL[:2])
+        ctx.subset(_POOL[:3])  # evicts wholesale
+        assert ctx.subsets_built == 3
+        # The evicted subsets rebuild rather than error.
+        ctx.subset(_POOL[:1])
+        assert ctx.subsets_built == 4
+
+    def test_encode_length_mismatch(self):
+        with pytest.raises(CrtError, match="length mismatch"):
+            _CTX.encode([0, 1], [_POOL[0]])
+
+    def test_encode_duplicate_modulus_matches_reference(self):
+        s = _POOL[0]
+        with pytest.raises(NotCoprimeError) as pool_exc:
+            _CTX.encode([0, 0], [s, s])
+        with pytest.raises(NotCoprimeError) as ref_exc:
+            crt([0, 0], [s, s])
+        assert str(pool_exc.value) == str(ref_exc.value)
+
+    def test_encode_out_of_range_matches_reference(self):
+        s = _POOL[0]
+        with pytest.raises(CrtError) as pool_exc:
+            _CTX.encode([s], [s])
+        with pytest.raises(CrtError) as ref_exc:
+            crt([s], [s])
+        assert str(pool_exc.value) == str(ref_exc.value)
+
+    def test_encode_off_pool_modulus_raises(self):
+        with pytest.raises(CrtError, match="not in this pool"):
+            _CTX.encode([0], [9999991])
+
+    @given(pool_systems())
+    def test_encode_bit_identical_to_crt(self, system):
+        ids, ports = system
+        assert _CTX.encode(ports, ids) == crt(ports, ids)
+
+    @given(pool_systems())
+    def test_encode_hops_matches_route_encoder(self, system):
+        ids, ports = system
+        hops = [Hop(s, p) for s, p in zip(ids, ports)]
+        pooled = _CTX.encode_hops(hops)
+        ref = RouteEncoder().encode(hops)
+        assert pooled == ref
+        assert pooled.residue_map() == ref.residue_map()
+
+
+class TestPooledEncoder:
+    def test_pool_covered_encode_counts(self):
+        enc = PooledEncoder(PoolContext(_POOL))
+        hops = [Hop(_POOL[0], 1), Hop(_POOL[1], 2)]
+        assert enc.encode(hops) == RouteEncoder().encode(hops)
+        assert (enc.pooled_encodes, enc.fallback_encodes) == (1, 0)
+
+    def test_off_pool_falls_back(self):
+        enc = PooledEncoder(PoolContext([5, 7, 9]))
+        hops = [Hop(5, 2), Hop(11, 3)]  # 11 not in pool
+        assert enc.encode(hops) == RouteEncoder().encode(hops)
+        assert (enc.pooled_encodes, enc.fallback_encodes) == (0, 1)
+
+    def test_duplicate_switch_matches_reference(self):
+        enc = PooledEncoder(PoolContext(_POOL))
+        hops = [Hop(_POOL[0], 1), Hop(_POOL[0], 2)]
+        with pytest.raises(DuplicateSwitchError):
+            RouteEncoder().encode(hops)
+        with pytest.raises(DuplicateSwitchError):
+            enc.encode(hops)
+
+    def test_inherited_with_hop_still_works(self):
+        enc = PooledEncoder(PoolContext(_POOL))
+        base = enc.encode([Hop(_POOL[0], 1)])
+        grown = enc.with_hop(base, Hop(_POOL[1], 2))
+        ref = RouteEncoder().encode([Hop(_POOL[0], 1), Hop(_POOL[1], 2)])
+        assert grown.route_id == ref.route_id
+
+
+class TestReencodeDelta:
+    def test_identity_is_same_object(self):
+        delta = ReencodeDelta(_CTX)
+        route = _CTX.encode_hops([Hop(_POOL[0], 1), Hop(_POOL[1], 2)])
+        assert delta.apply(route, _POOL[0], 1) is route
+        assert delta.apply_id(route, _POOL[0], 1) == route.route_id
+        assert delta.identity_skips == 2
+        assert delta.deltas_applied == 0
+
+    def test_unknown_switch_raises(self):
+        delta = ReencodeDelta(_CTX)
+        route = _CTX.encode_hops([Hop(_POOL[0], 1)])
+        with pytest.raises(CrtError, match="not encoded in this route"):
+            delta.apply(route, _POOL[5], 0)
+
+    def test_out_of_range_port_raises(self):
+        delta = ReencodeDelta(_CTX)
+        route = _CTX.encode_hops([Hop(_POOL[0], 1)])
+        # The pool path rejects with "out of range"; the full-solve
+        # fallback rejects via Hop validation — either way a CrtError.
+        with pytest.raises(CrtError, match="out of range|not addressable"):
+            delta.apply(route, _POOL[0], _POOL[0])
+
+    def test_off_pool_route_full_solves(self):
+        # A route over non-pool switches still re-encodes correctly,
+        # through the reference fallback.
+        delta = ReencodeDelta(PoolContext([5, 7, 9]))
+        route = RouteEncoder().encode([Hop(11, 3), Hop(13, 4)])
+        updated = delta.apply(route, 11, 5)
+        ref = RouteEncoder().encode([Hop(11, 5), Hop(13, 4)])
+        assert updated == ref
+        assert delta.full_solves == 1
+        assert delta.deltas_applied == 0
+
+    def test_inconsistent_modulus_rejected(self):
+        import dataclasses
+        delta = ReencodeDelta(PoolContext(_POOL))
+        route = _CTX.encode_hops([Hop(_POOL[0], 1), Hop(_POOL[1], 2)])
+        broken = dataclasses.replace(route, modulus=route.modulus * _POOL[2])
+        with pytest.raises(CrtError, match="does not match"):
+            delta.pool.reencode(broken, _POOL[0], 0)
+
+    @given(mutation_chains())
+    @settings(max_examples=200)
+    def test_chain_equals_fresh_solve(self, case):
+        """The satellite property: a chain of incremental re-encodes —
+        identity steps and repeat mutations included — is bit-identical
+        to a fresh crt() solve of the final residue system, at every
+        step along the way."""
+        ids, ports, chain = case
+        delta = ReencodeDelta(_CTX)
+        route = _CTX.encode_hops([Hop(s, p) for s, p in zip(ids, ports)])
+        residues = dict(route.residue_map())
+        for sid, new_port in chain:
+            if residues[sid] == new_port:
+                assert delta.apply(route, sid, new_port) is route
+            new_id = delta.apply_id(route, sid, new_port)
+            route = delta.apply(route, sid, new_port)
+            residues[sid] = new_port
+            want = crt([residues[s] for s in ids], ids)
+            assert (new_id, route.modulus) == want
+            assert (route.route_id, route.modulus) == want
+            assert route.residue_map() == residues
+            # The route object stays self-consistent for the next step.
+            assert [h.port for h in route.hops] == [
+                residues[h.switch_id] for h in route.hops
+            ]
+        assert delta.full_solves == 0
+
+    @given(mutation_chains())
+    def test_apply_many_equals_stepwise(self, case):
+        ids, ports, chain = case
+        delta = ReencodeDelta(_CTX)
+        base = _CTX.encode_hops([Hop(s, p) for s, p in zip(ids, ports)])
+        folded = delta.apply_many(base, chain)
+        stepped = base
+        for sid, new_port in chain:
+            stepped = delta.apply(stepped, sid, new_port)
+        assert folded == stepped
+
+    @given(pool_systems(min_size=2))
+    def test_reencode_matches_route_encoder(self, system):
+        ids, ports = system
+        delta = ReencodeDelta(_CTX)
+        route = _CTX.encode_hops([Hop(s, p) for s, p in zip(ids, ports)])
+        sid = ids[0]
+        new_port = (ports[0] + 1) % sid
+        updated = delta.apply(route, sid, new_port)
+        ref = RouteEncoder().encode(
+            [Hop(s, new_port if s == sid else p)
+             for s, p in zip(ids, ports)]
+        )
+        assert updated == ref
+        assert updated.residue_map() == ref.residue_map()

@@ -67,7 +67,7 @@ class TestBookkeeping:
 
 class TestDispatch:
     def test_oracle_names(self):
-        assert ORACLE_NAMES == ("datapath", "strategy", "walk", "wire")
+        assert ORACLE_NAMES == ("datapath", "encoder", "strategy", "walk", "wire")
 
     def test_unknown_oracle_rejected(self):
         with pytest.raises(ValueError, match="unknown oracle"):
