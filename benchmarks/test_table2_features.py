@@ -12,9 +12,16 @@ def test_table2_rows_match_paper(benchmark):
     ]
     assert [r.system for r in full_rows] == ["MPLS Fast Reroute", "KAR"]
     # And unlike MPLS-FRR, KAR needs no signaling protocol — it is the
-    # paper's claimed advance; the matrix itself matches the paper.
-    assert len(TABLE2_ROWS) == 8
+    # paper's claimed advance; the matrix keeps the paper's 8 rows plus
+    # our Arborescence Failover addition.
+    assert len(TABLE2_ROWS) == 9
     assert "KAR" in text and "Stateless" in text
+    # KAR is also the only row surviving the dynamic-failures column
+    # while staying stateless — the frontier's headline distinction.
+    dynamic_stateless = [
+        r for r in TABLE2_ROWS if r.dynamic_failures and r.stateless_core
+    ]
+    assert [r.system for r in dynamic_stateless] == ["KAR"]
 
 
 def test_table2_keyflow_row(benchmark):

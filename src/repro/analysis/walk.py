@@ -23,11 +23,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import (
+    TYPE_CHECKING,
     Callable,
     Collection,
     Dict,
     Iterable,
     List,
+    Mapping,
     Optional,
     Sequence,
     Tuple,
@@ -37,6 +39,9 @@ import numpy as np
 
 from repro.topology.graph import NodeKind, PortGraph, TopologyError
 
+if TYPE_CHECKING:
+    from repro.switches.deflection import DeflectionStrategy
+
 __all__ = [
     "hot_potato_hitting_time",
     "absorption_probability",
@@ -45,6 +50,7 @@ __all__ = [
     "WalkHop",
     "WalkVerdict",
     "deterministic_route_walk",
+    "deterministic_strategy_walk",
 ]
 
 
@@ -204,11 +210,17 @@ def geometric_retry(
 
 @dataclass(frozen=True)
 class WalkHop:
-    """One core-switch forwarding step of the modeled packet."""
+    """One core-switch forwarding step of the modeled packet.
+
+    ``deflected`` mirrors the dataplane's flag: the strategy departed
+    from its happy path on this hop.  The no-deflection walk never sets
+    it; the strategy walk does.
+    """
 
     node: str
     in_port: int
     out_port: int
+    deflected: bool = False
 
 
 @dataclass(frozen=True)
@@ -297,6 +309,125 @@ def deterministic_route_walk(
             # Misdelivered: the edge asks for a fresh route ID.  The
             # dataplane checks reachability/route first and TTL only at
             # re-injection time, so the order here matters.
+            if reencode is None:
+                return dropped(current, "misdelivered-no-controller")
+            entry = reencode(current, dst_host)
+            if entry is None:
+                return dropped(current, "misdelivered-no-route")
+            if ttl <= 0:
+                return dropped(current, "ttl-expired")
+            rid, port = entry
+            neighbor = graph.neighbor_on_port(current, port)
+            in_port = graph.port_of(neighbor, current)
+            current = neighbor
+            continue
+        raise TopologyError(
+            f"walk reached {current!r} of kind {kind!r}; core routes "
+            f"never point at hosts"
+        )
+
+
+class _StaticPortView:
+    """The strategy-facing slice of a switch, backed by the graph.
+
+    Implements the ``PortView`` protocol from
+    :mod:`repro.switches.deflection` (``num_ports`` / ``port_up`` /
+    ``healthy_ports``) against a static down-link set, so real strategy
+    objects run unmodified inside the graph walk.
+    """
+
+    __slots__ = ("_graph", "_node", "num_ports", "_down")
+
+    def __init__(self, graph: PortGraph, node: str, down) -> None:
+        self._graph = graph
+        self._node = node
+        self.num_ports = graph.degree(node)
+        self._down = down
+
+    def port_up(self, port: int) -> bool:
+        neighbor = self._graph.neighbor_on_port(self._node, port)
+        return tuple(sorted((self._node, neighbor))) not in self._down
+
+    def healthy_ports(self) -> List[int]:
+        return [p for p in range(self.num_ports) if self.port_up(p)]
+
+
+class _NoRandomness:
+    """RNG stand-in that fails loudly if a strategy draws from it.
+
+    The strategy walk only models deterministic strategies (the
+    planned baselines); a randomized strategy slipping in must be an
+    error, not silent divergence from the simulator.
+    """
+
+    def __getattr__(self, name: str):
+        raise RuntimeError(
+            "deterministic_strategy_walk only models RNG-free strategies; "
+            f"the strategy asked for rng.{name}"
+        )
+
+
+def deterministic_strategy_walk(
+    graph: PortGraph,
+    strategies: "Mapping[str, DeflectionStrategy]",
+    route_id: int,
+    ttl: int,
+    ingress_edge: str,
+    out_port: int,
+    dst_host: str,
+    down_links: Collection[Tuple[str, str]] = (),
+    reencode: Optional[ReencodeFn] = None,
+) -> WalkVerdict:
+    """Predict a packet's fate under per-switch *deterministic* strategies.
+
+    The strategy-aware sibling of :func:`deterministic_route_walk`: each
+    core hop still computes ``route_id mod switch_id`` and keeps the
+    TTL bookkeeping, but the out-port comes from
+    ``strategies[switch].select_port`` over a static port view of
+    *down_links* — exactly the call the real switch makes, minus the
+    event engine.  This is the oracle for the stateful failover
+    baselines (:mod:`repro.baselines`): pass the same per-switch
+    strategy instances the simulation runs with and diff the verdicts.
+
+    Strategies must be RNG-free (the baselines are); a strategy that
+    draws randomness raises.  Each hop records the strategy's deflected
+    flag, so expected traces can be compared bit-for-bit against
+    :class:`~repro.sim.trace.PacketTracer` paths.
+    """
+    hops: List[WalkHop] = []
+
+    def dropped(node: str, reason: str) -> WalkVerdict:
+        return WalkVerdict("dropped", node, reason, tuple(hops))
+
+    down = {tuple(sorted(key)) for key in down_links}
+    rng = _NoRandomness()
+    rid = route_id
+    current = graph.neighbor_on_port(ingress_edge, out_port)
+    in_port = graph.port_of(current, ingress_edge)
+    while True:
+        kind = graph.node(current).kind
+        if kind == NodeKind.CORE:
+            if ttl <= 0:
+                return dropped(current, "ttl-expired")
+            ttl -= 1
+            strategy = strategies[current]
+            computed = rid % graph.switch_id(current)
+            view = _StaticPortView(graph, current, down)
+            decision = strategy.select_port(view, None, in_port, computed, rng)
+            if decision.port is None:
+                return dropped(current, f"no-usable-port({strategy.name})")
+            neighbor = graph.neighbor_on_port(current, decision.port)
+            hops.append(
+                WalkHop(current, in_port, decision.port, decision.deflected)
+            )
+            in_port = graph.port_of(neighbor, current)
+            current = neighbor
+            continue
+        if kind == NodeKind.EDGE:
+            if dst_host in graph.hosts_of_edge(current):
+                return WalkVerdict("delivered", dst_host, "", tuple(hops))
+            # Same misdelivery contract as deterministic_route_walk:
+            # route/reachability first, TTL at re-injection time.
             if reencode is None:
                 return dropped(current, "misdelivered-no-controller")
             entry = reencode(current, dst_host)

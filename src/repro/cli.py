@@ -10,6 +10,9 @@ runner:
 * ``run`` — one custom iperf-under-failure run with full knobs.
 * ``chaos`` — seeded generative fault injection with runtime invariant
   checking; ``--sweep`` maps delivery ratio vs. failure rate.
+* ``frontier`` — the resilience frontier: max tolerated failures vs.
+  stretch vs. header bits, KAR deflection vs. the stateful failover
+  baselines, static failure sets and the dynamic link adversary.
 * ``verify`` — differential cross-oracle fuzzing: datapaths,
   strategies vs paper pseudocode, wire codec, and the graph walk
   model; ``--shrink`` minimizes divergent cases, ``--replay`` reruns
@@ -48,7 +51,13 @@ _SCENARIOS = ("six_node", "fifteen_node", "rnp28", "redundant_path")
 
 #: Kept in sync with repro.sim.chaos.CHAOS_MODES (asserted by tests);
 #: listed literally so the parser builds without importing the sim.
-_CHAOS_MODES = ("adversarial", "flap", "mtbf", "regional", "srlg")
+_CHAOS_MODES = ("adversarial", "dynamic", "flap", "mtbf", "regional",
+                "srlg")
+
+#: Kept in sync with repro.experiments.frontier (asserted by tests);
+#: listed literally so the parser builds without importing the sim.
+_FRONTIER_TOPOLOGIES = ("abilene", "clique", "torus")
+_FRONTIER_SCHEMES = ("hp", "avp", "nip", "ff", "arb")
 
 #: Default on-disk result cache for the experiment commands.
 _DEFAULT_CACHE_DIR = ".repro-cache"
@@ -189,6 +198,32 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--export", metavar="PATH.csv|PATH.json",
                        help="also write the sweep/run rows")
     _add_farm_args(chaos)
+
+    frontier = sub.add_parser(
+        "frontier",
+        help="resilience frontier: tolerated failures vs. stretch vs. "
+             "header bits, KAR vs. stateful failover baselines",
+    )
+    frontier.add_argument("--topologies", nargs="+",
+                          choices=_FRONTIER_TOPOLOGIES,
+                          default=list(_FRONTIER_TOPOLOGIES),
+                          help="topology families (default: all)")
+    frontier.add_argument("--schemes", nargs="+",
+                          choices=_FRONTIER_SCHEMES,
+                          default=list(_FRONTIER_SCHEMES),
+                          help="forwarding schemes (default: all)")
+    frontier.add_argument("--max-failures", type=int, default=3,
+                          metavar="K",
+                          help="largest failure count per cell "
+                               "(default: %(default)s)")
+    frontier.add_argument("--seeds", nargs="+", type=int, default=[42],
+                          help="root seeds (default: %(default)s)")
+    frontier.add_argument("--dynamic", action="store_true",
+                          help="also run the dynamic link-failure "
+                               "adversary at every budget level")
+    frontier.add_argument("--export", metavar="PATH.csv|PATH.json",
+                          help="also write the per-cell rows")
+    _add_farm_args(frontier)
 
     verify = sub.add_parser(
         "verify",
@@ -466,6 +501,31 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_frontier(args: argparse.Namespace) -> int:
+    from repro.experiments.frontier import (
+        frontier_rows,
+        render_frontier,
+        run_frontier,
+    )
+
+    cells = run_frontier(
+        topologies=args.topologies,
+        schemes=args.schemes,
+        max_failures=args.max_failures,
+        seeds=args.seeds,
+        dynamic=args.dynamic,
+        farm=_farm_options(args, "frontier"),
+    )
+    print(render_frontier(cells))
+    if args.export:
+        from repro.experiments.export import write_rows
+
+        write_rows(frontier_rows(cells), args.export)
+        print(f"wrote {args.export}")
+    violations = sum(c.violation_count for c in cells)
+    return 0 if violations == 0 else 1
+
+
 def _cmd_verify(args: argparse.Namespace) -> int:
     from repro.verify.artifact import load_artifact, replay_artifact
     from repro.verify.harness import render_verify, run_verify
@@ -566,6 +626,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_run(args)
     if args.command == "chaos":
         return _cmd_chaos(args)
+    if args.command == "frontier":
+        return _cmd_frontier(args)
     if args.command == "verify":
         return _cmd_verify(args)
     if args.command == "farm":

@@ -20,6 +20,8 @@ Built-in kinds:
   (:func:`repro.experiments.chaos_sweep.run_chaos_once`);
 * ``verify`` — one differential-verification trial
   (:func:`repro.verify.harness.run_trial_record`);
+* ``frontier`` — one resilience-frontier cell
+  (:func:`repro.experiments.frontier.run_frontier_once`);
 * ``echo`` — the farm's self-test job (sleep / crash-once knobs for
   exercising timeouts and worker-crash retry without real workloads).
 
@@ -51,6 +53,8 @@ __all__ = [
     "chaos_spec",
     "chaos_run_from_record",
     "verify_spec",
+    "frontier_spec",
+    "frontier_cell_from_record",
     "echo_spec",
 ]
 
@@ -309,6 +313,80 @@ def _run_verify(spec: RunSpec) -> Dict[str, Any]:
     from repro.verify.harness import run_trial_record
 
     return run_trial_record(spec.seed, spec.params.get("oracles"))
+
+
+# ---------------------------------------------------------------------------
+# "frontier" — one resilience-frontier cell
+# ---------------------------------------------------------------------------
+
+def frontier_spec(
+    topology: str,
+    scheme: str,
+    mode: str,
+    failures: int,
+    seed: int,
+    schedule_seed: int = 0,
+    adversary: Optional[Mapping[str, Any]] = None,
+    rate_pps: float = 200.0,
+    traffic_s: float = 1.5,
+    ttl: int = 96,
+) -> RunSpec:
+    """Spec for one :func:`run_frontier_once` call."""
+    return RunSpec.make(
+        "frontier",
+        topology,
+        seed,
+        {
+            "scheme": scheme,
+            "mode": mode,
+            "failures": failures,
+            "schedule_seed": schedule_seed,
+            "adversary": dict(adversary or {}),
+            "rate_pps": rate_pps,
+            "traffic_s": traffic_s,
+            "ttl": ttl,
+        },
+    )
+
+
+def frontier_cell_from_record(record: Mapping[str, Any]) -> Any:
+    """Rebuild a :class:`FrontierCell` from a (JSON-loaded) record."""
+    from repro.experiments.frontier import FrontierCell
+
+    fields = dict(record["frontier"])
+    fields["drop_reasons"] = tuple(
+        (reason, count) for reason, count in fields["drop_reasons"]
+    )
+    fields["violations"] = tuple(
+        (name, count) for name, count in fields["violations"]
+    )
+    fields["failed_links"] = tuple(fields["failed_links"])
+    return FrontierCell(**fields)
+
+
+@job_kind("frontier")
+def _run_frontier(spec: RunSpec) -> Dict[str, Any]:
+    from dataclasses import asdict
+
+    from repro.experiments.frontier import run_frontier_once
+
+    p = spec.params
+    cell = run_frontier_once(
+        topology=spec.scenario,
+        scheme=p["scheme"],
+        mode=p["mode"],
+        failures=p["failures"],
+        seed=spec.seed,
+        schedule_seed=p.get("schedule_seed", 0),
+        adversary=p.get("adversary") or None,
+        rate_pps=p.get("rate_pps", 200.0),
+        traffic_s=p.get("traffic_s", 1.5),
+        ttl=p.get("ttl", 96),
+    )
+    # Nested under "frontier": FrontierCell carries its own `digest`
+    # (the failure-set / chaos-event fingerprint) which must not
+    # collide with the farm's record digest.
+    return {"frontier": asdict(cell)}
 
 
 # ---------------------------------------------------------------------------

@@ -19,7 +19,7 @@ API the examples and every benchmark use::
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.controller.controller import KarController
 from repro.controller.retry import RetryPolicy
@@ -69,6 +69,13 @@ class KarSimulation:
             configuration.
         retry_policy: edge→controller re-encode timeout/backoff policy
             (default :data:`~repro.controller.retry.DEFAULT_RETRY_POLICY`).
+        strategy_factory: optional ``switch_name -> DeflectionStrategy``
+            hook for *per-switch* strategies — the stateful baselines
+            (:mod:`repro.baselines`) install precomputed per-switch
+            tables this way.  When set it overrides *deflection* for
+            core switches (pass ``deflection="none"`` for clarity);
+            strategies returned here are not shared, so they may carry
+            switch-local state.
     """
 
     def __init__(
@@ -85,6 +92,9 @@ class KarSimulation:
         misdelivery_policy: str = "reencode",
         invariants: bool | InvariantChecker = False,
         retry_policy: Optional[RetryPolicy] = None,
+        strategy_factory: Optional[
+            Callable[[str], DeflectionStrategy]
+        ] = None,
     ):
         self.edge_node_cls = edge_node_cls
         self.misdelivery_policy = misdelivery_policy
@@ -97,6 +107,7 @@ class KarSimulation:
             self.strategy = deflection
         else:
             self.strategy = strategy_by_name(deflection)
+        self.strategy_factory = strategy_factory
         self.protection_level = protection
         self._flow_count = 0
         self.chaos: list[ChaosInjector] = []
@@ -137,12 +148,17 @@ class KarSimulation:
     # ------------------------------------------------------------------
     def _make_switch(self, info: NodeInfo, sim: Simulator) -> Node:
         assert info.switch_id is not None
+        strategy = (
+            self.strategy_factory(info.name)
+            if self.strategy_factory is not None
+            else self.strategy
+        )
         return KarSwitch(
             name=info.name,
             sim=sim,
             num_ports=info.degree,
             switch_id=info.switch_id,
-            strategy=self.strategy,
+            strategy=strategy,
             rng=self.rng.stream(f"deflect:{info.name}"),
             tracer=self.tracer,
             invariants=self.invariants,

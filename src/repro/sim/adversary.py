@@ -1,0 +1,143 @@
+"""Dynamic link-failure adversaries.
+
+Dai & Foerster ("On the Resilience of Fast Failover Routing Against
+Dynamic Link Failures", 2024) show that failover schemes proven
+resilient against *static* failure sets can still lose packets when
+links fail **and recover while packets are in flight** — a recovered
+link re-opens a forwarding rule mid-walk and the precomputed reaction
+logic chases a moving target.  This module supplies that adversary
+model for the resilience-frontier experiments:
+
+* :class:`DynamicLinkChaos` — an *oblivious-schedule* injector: the
+  whole strike schedule (times, victim links, down durations) is drawn
+  up front from one named RNG stream, so the adversary is a pure
+  function of (topology, config, seed, schedule_seed) and cannot peek
+  at the traffic.  Down durations default to the forwarding timescale
+  (milliseconds against millisecond link delays), the regime the
+  static analyses miss.
+* :func:`search_worst_schedule` — the worst-case search mode: sweep
+  *schedule_seed* over the farm (:mod:`repro.farm`), rank schedules by
+  delivery ratio, and return the cells worst-first.  An oblivious
+  adversary with seed search approximates the adaptive worst case
+  while every individual run stays digest-reproducible.
+
+Like every injector, :class:`DynamicLinkChaos` is budget-capped via
+the base class's ``_budget_allows`` machinery and registered in
+:data:`~repro.sim.chaos.CHAOS_MODES` (as ``"dynamic"``), so
+``KarSimulation.add_chaos("dynamic", ...)`` and the chaos CLI work
+unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+from repro.sim.chaos import CHAOS_MODES, ChaosInjector, LinkKey
+from repro.sim.network import Network
+from repro.sim.rng import RngRegistry
+
+if TYPE_CHECKING:  # lazy at runtime: the farm/experiments import back
+    from repro.experiments.frontier import FrontierCell
+    from repro.farm.executor import FarmOptions
+
+__all__ = ["DynamicLinkChaos", "search_worst_schedule"]
+
+
+class DynamicLinkChaos(ChaosInjector):
+    """Oblivious dynamic adversary: seeded fail+recover strikes.
+
+    *strikes* strike times are drawn uniformly over (0, *until*), each
+    with a victim link and a down duration uniform in
+    [*min_down_s*, *max_down_s*] — short enough that links come back
+    while the packets they stranded are still walking.  The entire
+    schedule comes from the ``schedule:<schedule_seed>`` stream, so two
+    runs with the same (seed, schedule_seed) produce bit-identical
+    event logs, and :func:`search_worst_schedule` can sweep
+    *schedule_seed* without perturbing any other stream.
+    """
+
+    stream_prefix = "chaos:dynamic"
+
+    def __init__(
+        self,
+        network: Network,
+        rng: RngRegistry,
+        until: float,
+        strikes: int = 32,
+        min_down_s: float = 0.002,
+        max_down_s: float = 0.03,
+        schedule_seed: int = 0,
+        **kwargs,
+    ):
+        super().__init__(network, rng, until, **kwargs)
+        if strikes < 1:
+            raise ValueError(f"strikes must be >= 1, got {strikes}")
+        if not 0.0 < min_down_s <= max_down_s:
+            raise ValueError(
+                f"down window must satisfy 0 < min <= max, got "
+                f"{min_down_s}/{max_down_s}"
+            )
+        self.strikes = strikes
+        self.min_down_s = min_down_s
+        self.max_down_s = max_down_s
+        self.schedule_seed = schedule_seed
+
+    def _arm(self) -> None:
+        stream = self._stream(f"schedule:{self.schedule_seed}")
+        schedule: List[Tuple[float, int, LinkKey, float]] = []
+        for i in range(self.strikes):
+            at = stream.uniform(0.0, self.until)
+            victim = stream.choice(self.eligible)
+            down_s = stream.uniform(self.min_down_s, self.max_down_s)
+            schedule.append((at, i, victim, down_s))
+        for at, i, victim, down_s in sorted(schedule):
+            self.sim.schedule_at(at, self._strike, i, victim, down_s)
+
+    def _strike(self, index: int, victim: LinkKey, down_s: float) -> None:
+        if self._budget_allows() and self._set_link(
+            victim, False, f"strike{index}"
+        ):
+            self.sim.schedule(down_s, self._set_link, victim, True,
+                              f"strike{index}")
+
+
+CHAOS_MODES["dynamic"] = DynamicLinkChaos
+
+
+def search_worst_schedule(
+    topology: str,
+    scheme: str,
+    seed: int = 1,
+    schedules: int = 8,
+    budget: int = 2,
+    farm: "FarmOptions | None" = None,
+    adversary: Optional[dict] = None,
+) -> "List[FrontierCell]":
+    """Sweep adversarial schedules, worst delivery ratio first.
+
+    Runs *schedules* dynamic-adversary frontier cells — identical
+    except for ``schedule_seed`` — through the farm, and returns them
+    sorted ascending by delivery ratio: ``result[0]`` is the worst
+    schedule found.  *budget* is the adversary's concurrent-down-link
+    allowance (the cell's ``failures`` axis).  Every cell is an
+    ordinary :class:`~repro.experiments.frontier.FrontierCell` (strict
+    invariants, digest-reproducible), so the worst case found is a
+    replayable record, not just a number.
+    """
+    from repro.experiments.frontier import run_frontier_cells
+    from repro.farm.jobs import frontier_spec
+
+    if schedules < 1:
+        raise ValueError(f"need >= 1 schedule, got {schedules}")
+    if budget < 1:
+        raise ValueError(f"adversary budget must be >= 1, got {budget}")
+    specs = [
+        frontier_spec(
+            topology, scheme, "dynamic", budget, seed,
+            schedule_seed=schedule_seed,
+            adversary=dict(adversary or {}),
+        )
+        for schedule_seed in range(schedules)
+    ]
+    cells = run_frontier_cells(specs, farm, label="adversary-search")
+    return sorted(cells, key=lambda c: (c.delivery_ratio, c.schedule_seed))

@@ -26,6 +26,10 @@ dataplane knows chaos exists):
 * :class:`ControllerOutageChaos` — takes the controller's re-encode
   service unreachable for stochastic windows, exercising the hardened
   degradation path in :mod:`repro.switches.edge`.
+* :class:`~repro.sim.adversary.DynamicLinkChaos` (mode ``"dynamic"``,
+  defined in :mod:`repro.sim.adversary`) — oblivious fail+recover
+  strikes on the forwarding timescale, with a sweepable schedule seed
+  for worst-case search.
 
 Every random draw comes from a named :class:`~repro.sim.rng.RngRegistry`
 stream, so a chaos run is a pure function of (scenario, config, seed):
@@ -88,6 +92,58 @@ def events_digest(events: Sequence[ChaosEvent]) -> str:
     return h.hexdigest()[:16]
 
 
+class _FlipCoordinator:
+    """Applies same-instant link flips in one canonical order.
+
+    ``_set_link`` used to flip the link immediately, so two injector
+    events landing on the *same timestamp* applied in scheduler
+    insertion order — an accident of who armed first.  The coordinator
+    stages every requested flip instead and flushes the batch once per
+    timestamp (a zero-delay post, which the engine fires before time
+    can advance) in a canonical order: repairs first, then fails, each
+    group sorted by link key and cause.  Repairs-before-fails is the
+    conservative tie-break — when a fail and a repair of the same link
+    collide on one instant, the link ends *down*, never transiently
+    rescued by insertion luck.
+
+    One coordinator per simulator, shared by all injectors; each staged
+    flip remembers its owner so the event lands in the right log.
+    """
+
+    __slots__ = ("sim", "_pending")
+
+    def __init__(self, sim):
+        self.sim = sim
+        self._pending: List[Tuple[bool, LinkKey, str, "ChaosInjector"]] = []
+
+    def _effective(self, network: Network, key: LinkKey) -> bool:
+        """Link state as of the staged batch (actual + pending flips)."""
+        state = network.link_between(*key).up
+        for up, staged_key, _, _ in self._pending:
+            if staged_key == key:
+                state = up
+        return state
+
+    def request(
+        self, injector: "ChaosInjector", key: LinkKey, up: bool, cause: str
+    ) -> bool:
+        """Stage one flip; False when it would be a no-op at flush."""
+        if self._effective(injector.network, key) == up:
+            return False
+        if not self._pending:
+            self.sim.post(0.0, self._flush)
+        self._pending.append((up, key, cause, injector))
+        return True
+
+    def _flush(self) -> None:
+        batch = sorted(
+            self._pending, key=lambda f: (not f[0], f[1], f[2])
+        )
+        self._pending = []
+        for up, key, cause, injector in batch:
+            injector._apply_flip(key, up, cause)
+
+
 class ChaosInjector:
     """Base: eligible-link bookkeeping, the down budget, the event log.
 
@@ -137,6 +193,14 @@ class ChaosInjector:
         self.max_down = max_down
         self.events: List[ChaosEvent] = []
         self._installed = False
+        # One flip coordinator per simulator (see _FlipCoordinator):
+        # injectors sharing a sim share the same staging batch, so
+        # cross-injector same-instant collisions canonicalize too.
+        flips = getattr(self.sim, "_chaos_flips", None)
+        if flips is None:
+            flips = _FlipCoordinator(self.sim)
+            self.sim._chaos_flips = flips
+        self._flips = flips
 
     # -- subclass API ---------------------------------------------------
     def install(self) -> "ChaosInjector":
@@ -169,10 +233,24 @@ class ChaosInjector:
         return self._down_count() + extra <= self.max_down
 
     def _set_link(self, key: LinkKey, up: bool, cause: str) -> bool:
-        """Flip one link, logging the event; no-op if already there."""
+        """Stage one link flip; no-op (False) if already in that state.
+
+        The flip is applied by the shared :class:`_FlipCoordinator` at
+        the end of the current instant, so simultaneous events land in
+        a canonical order regardless of scheduler insertion.  The
+        return value answers "will this flip happen?" against the
+        staged state, exactly as the immediate version answered it
+        against the live state.
+        """
+        return self._flips.request(self, self._canon(key), up, cause)
+
+    def _apply_flip(self, key: LinkKey, up: bool, cause: str) -> None:
+        """Coordinator callback: actually flip the link and log it."""
         link = self.network.link_between(*key)
         if link.up == up:
-            return False
+            # A same-instant sibling already left the link here (e.g. a
+            # staged repair superseded by a staged fail); nothing to log.
+            return
         link.set_up(up)
         self.events.append(
             ChaosEvent(
@@ -182,7 +260,6 @@ class ChaosInjector:
                 cause=cause,
             )
         )
-        return True
 
     # -- reporting ------------------------------------------------------
     def digest(self) -> str:
@@ -594,6 +671,7 @@ class ControllerOutageChaos(ChaosInjector):
 
 #: CLI/experiment mode name -> injector class (controller outages are
 #: composed on top via --ctrl-outage, not a standalone mode).
+#: :mod:`repro.sim.adversary` registers "dynamic" on import below.
 CHAOS_MODES = {
     "mtbf": MtbfMttrChaos,
     "flap": FlappingChaos,
@@ -601,3 +679,8 @@ CHAOS_MODES = {
     "regional": RegionalChaos,
     "adversarial": AdversarialChaos,
 }
+
+# Imported for its side effect (CHAOS_MODES["dynamic"] registration);
+# sits at the bottom so the circular import back into this module finds
+# every name already bound.
+import repro.sim.adversary  # noqa: E402,F401

@@ -1,6 +1,12 @@
 """Port-indexed topology substrate and the paper's network scenarios."""
 
-from repro.topology.generators import attach_host_pair, random_connected, ring_lattice
+from repro.topology.generators import (
+    attach_host_pair,
+    clique,
+    random_connected,
+    ring_lattice,
+    torus,
+)
 from repro.topology.serialize import load_scenario, save_scenario
 from repro.topology.zoo import ABILENE_LINKS, abilene, fat_tree
 from repro.topology.graph import LinkInfo, NodeInfo, NodeKind, PortGraph, TopologyError
@@ -51,6 +57,8 @@ __all__ = [
     "RNP_CITY_LABELS",
     "random_connected",
     "ring_lattice",
+    "clique",
+    "torus",
     "attach_host_pair",
     "fat_tree",
     "abilene",

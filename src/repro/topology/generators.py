@@ -13,7 +13,8 @@ from typing import List, Optional, Sequence, Tuple
 from repro.rns.coprime import greedy_coprime_pool, prime_pool
 from repro.topology.graph import NodeKind, PortGraph
 
-__all__ = ["random_connected", "ring_lattice", "attach_host_pair"]
+__all__ = ["random_connected", "ring_lattice", "clique", "torus",
+           "attach_host_pair"]
 
 
 def _switch_ids(count: int, strategy: str, min_value: int) -> List[int]:
@@ -120,6 +121,81 @@ def ring_lattice(
             if i != j and not g.has_link(names[i], names[j]):
                 g.add_link(names[i], names[j], rate_mbps=rate_mbps,
                            delay_s=delay_s)
+    return g
+
+
+def clique(
+    num_switches: int,
+    id_strategy: str = "prime",
+    min_switch_id: int = 5,
+    rate_mbps: float = 100.0,
+    delay_s: float = 0.001,
+) -> PortGraph:
+    """A complete graph on *num_switches* switches.
+
+    The maximally-connected case of the resilience frontier: edge
+    connectivity n-1, so n-1 edge-disjoint spanning arborescences exist
+    per destination and failover schemes are separated only by how many
+    of those trees they can actually exploit.
+
+    Every switch has degree n-1 (n after a host/edge stack is attached
+    via :func:`attach_host_pair`), so IDs are drawn from
+    ``max(min_switch_id, num_switches + 1)`` upward to keep the
+    degree < ID invariant with room for one attachment.
+    """
+    if num_switches < 3:
+        raise ValueError(
+            f"a clique needs at least 3 switches, got {num_switches}"
+        )
+    ids = _switch_ids(num_switches, id_strategy,
+                      max(min_switch_id, num_switches + 1))
+    g = PortGraph()
+    names = [f"SW{i}" for i in range(num_switches)]
+    for n, sid in zip(names, sorted(ids)):
+        g.add_node(n, kind=NodeKind.CORE, switch_id=sid)
+    for i in range(num_switches):
+        for j in range(i + 1, num_switches):
+            g.add_link(names[i], names[j], rate_mbps=rate_mbps,
+                       delay_s=delay_s)
+    return g
+
+
+def torus(
+    rows: int,
+    cols: int,
+    id_strategy: str = "prime",
+    min_switch_id: int = 7,
+    rate_mbps: float = 100.0,
+    delay_s: float = 0.001,
+) -> PortGraph:
+    """A rows x cols 2-D torus (wrap-around grid), degree 4 everywhere.
+
+    The classic datacenter/HPC regular topology: edge connectivity 4,
+    so exactly 4 edge-disjoint arborescences exist per destination —
+    the resilience frontier's structured middle ground between the
+    clique and the sparse zoo graphs.
+
+    Both dimensions must be >= 3: a ring of 2 would collapse its
+    forward and wrap links onto the same switch pair, and
+    :class:`~repro.topology.graph.PortGraph` allows one link per pair.
+    """
+    if rows < 3 or cols < 3:
+        raise ValueError(
+            f"torus dimensions must be >= 3, got {rows}x{cols}"
+        )
+    count = rows * cols
+    ids = _switch_ids(count, id_strategy, max(min_switch_id, 7))
+    g = PortGraph()
+    names = [[f"SW{r}-{c}" for c in range(cols)] for r in range(rows)]
+    flat = [names[r][c] for r in range(rows) for c in range(cols)]
+    for n, sid in zip(flat, ids):
+        g.add_node(n, kind=NodeKind.CORE, switch_id=sid)
+    for r in range(rows):
+        for c in range(cols):
+            g.add_link(names[r][c], names[r][(c + 1) % cols],
+                       rate_mbps=rate_mbps, delay_s=delay_s)
+            g.add_link(names[r][c], names[(r + 1) % rows][c],
+                       rate_mbps=rate_mbps, delay_s=delay_s)
     return g
 
 

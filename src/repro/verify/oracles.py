@@ -19,8 +19,12 @@ diffs the outcomes:
   rule.
 * ``walk`` — the event simulator's per-packet delivery/loop verdicts
   vs the pure-graph walk model
-  (:func:`repro.analysis.walk.deterministic_route_walk`), for both the
-  controller's real route and a fuzzed route ID that wanders.
+  (:func:`repro.analysis.walk.deterministic_route_walk`), for the
+  controller's real route, a fuzzed route ID that wanders, and the
+  stateful failover baselines (``ff``/``arb`` from
+  :mod:`repro.baselines`, walked by
+  :func:`~repro.analysis.walk.deterministic_strategy_walk` with the
+  very strategy tables the simulator runs).
 * ``encoder`` — the amortized control-plane encoders
   (:class:`~repro.rns.pool.PoolContext` /
   :class:`~repro.rns.pool.PooledEncoder` /
@@ -42,7 +46,11 @@ import random
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.analysis.walk import deterministic_route_walk
+from repro.analysis.walk import (
+    deterministic_route_walk,
+    deterministic_strategy_walk,
+)
+from repro.baselines import BASELINE_SCHEMES, plan_baseline_strategies
 from repro.rns.crt import CrtError, NotCoprimeError, crt
 from repro.rns.encoder import Hop, RouteEncoder
 from repro.rns.pool import PoolContext, PooledEncoder, ReencodeDelta
@@ -480,22 +488,39 @@ def _fuzz_route_id(case: FuzzCase, graph) -> int:
 def check_walk(case: FuzzCase) -> OracleResult:
     """Simulator verdicts vs the graph walk model (oracle d).
 
-    Runs the case under no-deflection forwarding with the failures
-    applied *statically* before traffic (the walk model has no clock),
-    in two flavours: the controller's real route, and a fuzzed route ID
-    that makes the packet wander through misdelivery re-encodes until
-    delivery or TTL death.  Every packet's hop-by-hop trace and final
-    verdict must match the model's prediction.
+    Runs the case with the failures applied *statically* before
+    traffic (the walk model has no clock), in four flavours: the
+    controller's real route and a fuzzed route ID that makes the
+    packet wander through misdelivery re-encodes (both under
+    no-deflection forwarding, diffed against
+    :func:`~repro.analysis.walk.deterministic_route_walk`), plus the
+    two stateful failover baselines ``ff`` and ``arb`` (per-switch
+    strategy tables installed through ``strategy_factory``, diffed
+    against :func:`~repro.analysis.walk.deterministic_strategy_walk`
+    over the *same* tables).  Every packet's hop-by-hop trace —
+    deflection flags included — and final verdict must match the
+    model's prediction.
     """
     result = OracleResult("walk")
     scenario = build_scenario(case)
     graph = scenario.graph
     ingress_edge = graph.edge_of_host(scenario.src_host)
+    dst_edge = graph.edge_of_host(scenario.dst_host)
     down = tuple({tuple(sorted((a, b))) for a, b, _, _ in case.failures})
-    for flavour in ("routed", "fuzzed"):
+    for flavour in ("routed", "fuzzed") + BASELINE_SCHEMES:
+        strategies = (
+            plan_baseline_strategies(
+                flavour, graph, scenario.primary_route, dst_edge
+            )
+            if flavour in BASELINE_SCHEMES
+            else None
+        )
         ks = KarSimulation(
             scenario, deflection="none", protection="none",
             seed=case.seed, ttl=case.ttl, trace_paths=True,
+            strategy_factory=(
+                strategies.__getitem__ if strategies is not None else None
+            ),
         )
         edge = ks.network.node(ingress_edge)
         entry = edge.ingress_entry(scenario.dst_host)
@@ -518,13 +543,21 @@ def check_walk(case: FuzzCase) -> OracleResult:
             fresh = ks.controller.reencode(edge_name, dst)
             return None if fresh is None else (fresh.route_id, fresh.out_port)
 
-        verdict = deterministic_route_walk(
-            graph, entry.route_id, entry.ttl, ingress_edge,
-            entry.out_port, scenario.dst_host,
-            down_links=down, reencode=reencode,
-        )
+        if strategies is not None:
+            verdict = deterministic_strategy_walk(
+                graph, strategies, entry.route_id, entry.ttl,
+                ingress_edge, entry.out_port, scenario.dst_host,
+                down_links=down, reencode=reencode,
+            )
+        else:
+            verdict = deterministic_route_walk(
+                graph, entry.route_id, entry.ttl, ingress_edge,
+                entry.out_port, scenario.dst_host,
+                down_links=down, reencode=reencode,
+            )
         expected_hops = [
-            (h.node, h.in_port, h.out_port, False) for h in verdict.hops
+            (h.node, h.in_port, h.out_port, h.deflected)
+            for h in verdict.hops
         ]
 
         tracer = ks.tracer

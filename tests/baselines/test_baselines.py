@@ -8,26 +8,55 @@ from repro.baselines.fastfailover import (
     FastFailoverStrategy,
     FastFailoverSwitch,
     plan_backup_ports,
+    plan_destination_tree,
 )
 from repro.baselines.feature_matrix import TABLE2_ROWS, render_table2
 from repro.baselines.repair import ControllerRepair
 from repro.runner import KarSimulation
 from repro.sim import Simulator
-from repro.topology import UNPROTECTED, fifteen_node, six_node
+from repro.topology import (
+    UNPROTECTED,
+    NodeKind,
+    articulation_links,
+    attach_host_pair,
+    fifteen_node,
+    shortest_path,
+    six_node,
+    torus,
+)
+from repro.topology.graph import PortGraph
 
 
 class TestFeatureMatrix:
-    def test_eight_rows_ending_with_kar(self):
-        assert len(TABLE2_ROWS) == 8
+    def test_nine_rows_ending_with_kar(self):
+        # The paper's 8 rows plus our Arborescence Failover addition.
+        assert len(TABLE2_ROWS) == 9
         assert TABLE2_ROWS[-1].system == "KAR"
 
     def test_kar_cell_values(self):
         kar = TABLE2_ROWS[-1]
-        assert kar.cells() == ("KAR", "Yes", "Yes", "Stateless")
+        assert kar.cells() == ("KAR", "Yes", "Yes", "Stateless", "Yes")
+
+    def test_arborescence_row_is_stateful_and_static(self):
+        row = next(
+            r for r in TABLE2_ROWS if r.system == "Arborescence Failover"
+        )
+        assert not row.stateless_core
+        assert not row.dynamic_failures
+
+    def test_precomputed_failover_rows_are_static(self):
+        # The dynamic-failures column's defining claim: schemes whose
+        # resilience is proven against a static failure set don't
+        # survive fail+recover churn.
+        for system in ("OpenFlow Fast Failover", "Arborescence Failover",
+                       "MPLS Fast Reroute"):
+            row = next(r for r in TABLE2_ROWS if r.system == system)
+            assert not row.dynamic_failures, system
 
     def test_render_contains_header_and_all_systems(self):
         text = render_table2()
         assert "Support multiple link failures" in text
+        assert "Dynamic failures" in text
         for row in TABLE2_ROWS:
             assert row.system in text
 
@@ -107,6 +136,71 @@ class TestPlanBackupPorts:
         primary_port = g.port_of("SW7", "SW13")
         backup_port = plans["SW7"][primary_port]
         assert g.neighbor_on_port("SW7", backup_port) != "SW13"
+
+
+def _barbell():
+    """Two triangles joined by a single bridge link C-D."""
+    g = PortGraph()
+    for name, sid in (("A", 5), ("B", 7), ("C", 11),
+                      ("D", 13), ("E", 17), ("F", 19)):
+        g.add_node(name, kind=NodeKind.CORE, switch_id=sid)
+    for a, b in (("A", "B"), ("B", "C"), ("A", "C"),
+                 ("D", "E"), ("E", "F"), ("D", "F"), ("C", "D")):
+        g.add_link(a, b, rate_mbps=10.0, delay_s=0.001)
+    attach_host_pair(g, "A", "F")
+    return g
+
+
+class TestFailoverPlanningTopologies:
+    def test_bridge_switch_gets_no_backup(self):
+        g = _barbell()
+        assert ("C", "D") in articulation_links(g)
+        route = ["A", "C", "D", "F"]
+        plans = plan_backup_ports(g, route, "E-DST")
+        # C's primary next hop crosses the bridge; with that link
+        # forbidden the destination is unreachable, so C gets no entry.
+        assert "C" not in plans
+        # Switches inside a triangle have a detour and do get one.
+        assert g.port_of("A", "C") in plans["A"]
+        assert g.port_of("D", "F") in plans["D"]
+
+    def test_disconnected_switch_absent_from_destination_tree(self):
+        g = _barbell()
+        g.add_node("Z", kind=NodeKind.CORE, switch_id=23)
+        table = plan_destination_tree(g, "E-DST")
+        assert "Z" not in table
+        assert set(table) == {"A", "B", "C", "D", "E", "F"}
+
+    def test_destination_tree_next_hops_approach_destination(self):
+        g = _barbell()
+        table = plan_destination_tree(g, "E-DST")
+        # Every switch's next hop strictly approaches the destination
+        # (the egress switch F points straight at the edge).
+        for name, port in table.items():
+            nxt = g.neighbor_on_port(name, port)
+            here = len(shortest_path(g, name, "E-DST"))
+            there = len(shortest_path(g, nxt, "E-DST"))
+            assert there == here - 1, (name, nxt)
+
+    def test_torus_destination_tree_covers_every_switch(self):
+        g = torus(3, 3)
+        attach_host_pair(g, "SW0-0", "SW1-1")
+        table = plan_destination_tree(g, "E-DST")
+        cores = {n.name for n in g.nodes(NodeKind.CORE)}
+        # 4-edge-connected: every switch gets a next hop.
+        assert set(table) == cores
+
+    def test_torus_backups_avoid_the_protected_next_hop(self):
+        g = torus(3, 3)
+        attach_host_pair(g, "SW0-0", "SW1-1")
+        route = shortest_path(g, "SW0-0", "SW1-1")
+        plans = plan_backup_ports(g, route, "E-DST")
+        # The egress switch's link to its edge has no detour; every
+        # other route switch is protected.
+        assert set(plans) == set(route[:-1])
+        for current, nxt in zip(route, route[1:]):
+            backup = plans[current][g.port_of(current, nxt)]
+            assert g.neighbor_on_port(current, backup) != nxt
 
 
 class TestControllerRepair:

@@ -32,6 +32,7 @@ def _mode_kwargs(mode):
         "srlg": {"group_mtbf_s": 0.5, "mttr_s": 0.2},
         "regional": {"strike_mtbf_s": 0.5, "mttr_s": 0.2},
         "adversarial": {"interval_s": 0.5, "hold_s": 0.2},
+        "dynamic": {"strikes": 16, "min_down_s": 0.05, "max_down_s": 0.2},
     }[mode]
 
 
@@ -213,6 +214,78 @@ class TestAdversarial:
     def test_idle_network_is_left_alone(self):
         injector = _run_mode("adversarial", seed=42, with_traffic=False)
         assert injector.events == []
+
+
+class TestFlipOrdering:
+    """Same-instant link flips must apply in one canonical order.
+
+    Regression for the old ``_set_link`` behaviour, where simultaneous
+    events applied in scheduler insertion order — the final link state
+    and the event digest depended on which injector armed first.
+    """
+
+    def _injector(self):
+        ks = _sim()
+        # Constructed but never install()ed: no events of its own, so
+        # the test fully controls what gets staged.
+        return ks, MtbfMttrChaos(ks.network, ks.rng, until=HORIZON)
+
+    def _collide(self, order):
+        ks, inj = self._injector()
+        link = inj.eligible[0]
+        flips = [(link, False, "strike"), (link, True, "rescue")]
+        if order == "repair-first":
+            flips.reverse()
+        for key, up, cause in flips:
+            ks.sim.schedule_at(1.0, inj._set_link, key, up, cause)
+        ks.run(until=2.0)
+        return ks, inj, link
+
+    @pytest.mark.parametrize("order", ["fail-first", "repair-first"])
+    def test_fail_beats_simultaneous_repair(self, order):
+        ks, inj, link = self._collide(order)
+        # Canonical outcome regardless of insertion order: the link
+        # ends DOWN and only the fail is logged (the repair is a no-op
+        # against the staged state).
+        assert not ks.network.link_between(*link).up
+        assert [(e.kind, e.link) for e in inj.events] == [("fail", link)]
+
+    def test_colliding_orders_produce_identical_digests(self):
+        _, a, _ = self._collide("fail-first")
+        _, b, _ = self._collide("repair-first")
+        assert a.events == b.events
+        assert a.digest() == b.digest()
+
+    @pytest.mark.parametrize("reverse", [False, True])
+    def test_same_instant_fails_sort_by_link_key(self, reverse):
+        ks, inj = self._injector()
+        links = sorted(inj.eligible[:3])
+        staged = list(reversed(links)) if reverse else list(links)
+        for key in staged:
+            ks.sim.schedule_at(1.0, inj._set_link, key, False, "strike")
+        ks.run(until=2.0)
+        assert [e.link for e in inj.events] == links
+
+    def test_repair_applies_before_fail_on_distinct_links(self):
+        ks, inj = self._injector()
+        l1, l2 = sorted(inj.eligible[:2])
+        ks.network.link_between(*l1).set_up(False)
+        # Same instant: fail l2 (staged first) and repair l1.
+        ks.sim.schedule_at(1.0, inj._set_link, l2, False, "strike")
+        ks.sim.schedule_at(1.0, inj._set_link, l1, True, "rescue")
+        ks.run(until=2.0)
+        # Canonical order: repairs first, then fails.
+        assert [(e.kind, e.link) for e in inj.events] == [
+            ("repair", l1), ("fail", l2),
+        ]
+
+    def test_duplicate_fail_requests_collapse(self):
+        ks, inj = self._injector()
+        link = inj.eligible[0]
+        ks.sim.schedule_at(1.0, inj._set_link, link, False, "first")
+        ks.sim.schedule_at(1.0, inj._set_link, link, False, "second")
+        ks.run(until=2.0)
+        assert [e.cause for e in inj.events] == ["first"]
 
 
 class _FakeController:

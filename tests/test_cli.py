@@ -200,6 +200,50 @@ class TestChaosCommand:
         assert first == second
 
 
+class TestFrontierParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["frontier"])
+        assert args.topologies == ["abilene", "clique", "torus"]
+        assert args.schemes == ["hp", "avp", "nip", "ff", "arb"]
+        assert args.max_failures == 3
+        assert args.seeds == [42]
+        assert not args.dynamic
+
+    def test_literals_match_the_frontier_module(self):
+        # The CLI keeps literal copies so the parser builds without
+        # importing the experiment; they must never drift.
+        from repro.cli import _FRONTIER_SCHEMES, _FRONTIER_TOPOLOGIES
+        from repro.experiments.frontier import (
+            FRONTIER_SCHEMES,
+            FRONTIER_TOPOLOGIES,
+        )
+
+        assert sorted(_FRONTIER_TOPOLOGIES) == sorted(FRONTIER_TOPOLOGIES)
+        assert sorted(_FRONTIER_SCHEMES) == sorted(FRONTIER_SCHEMES)
+
+    def test_bad_choices_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frontier", "--topologies", "mobius"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frontier", "--schemes", "ospf"])
+
+
+class TestFrontierCommand:
+    def test_smoke_report_and_export(self, tmp_path, capsys):
+        path = tmp_path / "frontier.csv"
+        rc = main([
+            "frontier", "--topologies", "clique",
+            "--schemes", "nip", "arb", "--max-failures", "1",
+            "--no-cache", "--no-progress", "--export", str(path),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "frontier — clique" in out
+        assert "invariant violations: 0" in out
+        header = path.read_text().splitlines()[0]
+        assert header.startswith("topology,scheme,mode")
+
+
 class TestVerifyParser:
     def test_defaults(self):
         args = build_parser().parse_args(["verify"])

@@ -8,8 +8,10 @@ from repro.rns import pairwise_coprime
 from repro.topology import (
     NodeKind,
     attach_host_pair,
+    clique,
     random_connected,
     ring_lattice,
+    torus,
 )
 
 
@@ -69,6 +71,55 @@ class TestRingLattice:
     def test_too_small(self):
         with pytest.raises(ValueError):
             ring_lattice(2)
+
+
+class TestClique:
+    def test_complete_and_valid(self):
+        g = clique(6)
+        g.validate()
+        assert g.is_connected()
+        for node in g.nodes(NodeKind.CORE):
+            assert g.degree(node.name) == 5
+        assert len(g.links()) == 15
+        assert pairwise_coprime(g.switch_ids().values())
+
+    def test_ids_leave_room_for_host_stacks(self):
+        # Degree < ID must survive one attach_host_pair on any switch.
+        g = clique(12)
+        attach_host_pair(g, "SW0", "SW11")
+        g.validate()
+
+    def test_deterministic(self):
+        assert clique(5).switch_ids() == clique(5).switch_ids()
+
+    def test_too_small(self):
+        with pytest.raises(ValueError, match="at least 3"):
+            clique(2)
+
+
+class TestTorus:
+    def test_regular_degree_four(self):
+        g = torus(3, 4)
+        g.validate()
+        assert g.is_connected()
+        for node in g.nodes(NodeKind.CORE):
+            assert g.degree(node.name) == 4
+        # rows*cols nodes, 2 links each (right + down with wrap).
+        assert len(g.node_names()) == 12
+        assert len(g.links()) == 24
+        assert pairwise_coprime(g.switch_ids().values())
+
+    def test_grid_names_and_wraparound(self):
+        g = torus(3, 3)
+        assert "SW2-2" in g.node_names()
+        # Wrap links exist in both dimensions.
+        assert g.port_of("SW0-0", "SW0-2") is not None
+        assert g.port_of("SW0-0", "SW2-0") is not None
+
+    @pytest.mark.parametrize("rows,cols", [(2, 3), (3, 2), (2, 2)])
+    def test_too_small(self, rows, cols):
+        with pytest.raises(ValueError, match=">= 3"):
+            torus(rows, cols)
 
 
 class TestAttachHostPair:
