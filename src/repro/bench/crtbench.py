@@ -36,14 +36,11 @@ Results land in ``BENCH_crt.json``.
 
 from __future__ import annotations
 
-import json
-import os
-import platform
 import random
 import time
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.bench.stamp import timestamp_fields
+from repro.bench.artifact import finish_artifact
 from repro.rns.coprime import greedy_coprime_pool
 from repro.rns.crt import crt
 from repro.rns.encoder import EncodedRoute, Hop, RouteEncoder
@@ -283,19 +280,11 @@ def run_crt_bench(
         "repeats": repeats,
         "iters": iters,
         "seed": seed,
-        "cpu_count": os.cpu_count(),
-        "platform": platform.platform(),
-        "python": platform.python_version(),
         "pools": {name: POOLS[name] for name in pools},
         "cells": cells,
         "bit_identical_reference": all(c["bit_identical"] for c in cells),
-        **timestamp_fields(),
     }
-    if out:
-        with open(out, "w", encoding="utf-8") as f:
-            json.dump(result, f, indent=2, sort_keys=True)
-            f.write("\n")
-    return result
+    return finish_artifact(result, out)
 
 
 def render_crt_bench(result: Dict[str, Any]) -> str:

@@ -26,13 +26,10 @@ make absolute thresholds flaky).
 from __future__ import annotations
 
 import hashlib
-import json
-import os
-import platform
 import time
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.bench.stamp import timestamp_fields
+from repro.bench.artifact import finish_artifact
 from repro.controller.protection import ProtectionPlanner
 from repro.farm.jobs import record_digest
 from repro.rns.encoder import Hop, RouteEncoder
@@ -286,21 +283,13 @@ def run_sim_bench(
         "quick": quick,
         "repeats": repeats,
         "seed": seed,
-        "cpu_count": os.cpu_count(),
-        "platform": platform.platform(),
-        "python": platform.python_version(),
         "sizes": {s: SIZES[s] for s in sizes},
         "runs": runs,
         "crt": crt,
         "speedup_by_size": {s: _aggregate(s) for s in sizes},
         "digests_match_reference": all(r["digests_match"] for r in runs),
-        **timestamp_fields(),
     }
-    if out:
-        with open(out, "w", encoding="utf-8") as f:
-            json.dump(result, f, indent=2, sort_keys=True)
-            f.write("\n")
-    return result
+    return finish_artifact(result, out)
 
 
 def render_sim_bench(result: Dict[str, Any]) -> str:

@@ -23,6 +23,14 @@ runner:
 * ``bench crt`` — control-plane encoder benchmark: naive vs pooled vs
   incremental re-encode, every cell verified bit-identical to the
   reference ``crt()`` solver.
+* ``bench service`` — controller-service benchmark: provision req/sec,
+  reroute req/sec, p50/p99 latency and admission accept/reject counts,
+  with route-ID bit-identity to the offline engine asserted first.
+* ``serve`` — run the controller service: the HTTP/JSON multi-tenant
+  provisioning API with QoS admission control and topology events.
+* ``loadgen`` — farm-driven churn against a live service
+  (arrive/depart/reroute/port-flap), auditing admission invariants and
+  re-deriving every served route ID offline.
 
 The global ``--profile N`` flag (before the subcommand: ``repro
 --profile 25 fig4``) wraps any command in :mod:`cProfile` and dumps the
@@ -74,6 +82,12 @@ _ORACLE_NAMES = ("datapath", "encoder", "strategy", "walk", "wire")
 #: Kept in sync with repro.bench.crtbench.POOLS (asserted by tests);
 #: listed literally so the parser builds without importing the bench.
 _BENCH_POOLS = ("small", "medium", "large")
+
+#: Kept in sync with repro.service.topology.SERVICE_TOPOLOGIES
+#: (asserted by tests); listed literally so the parser builds without
+#: importing the service stack.
+_SERVICE_TOPOLOGIES = ("abilene", "clique6", "fifteen_node", "six_node",
+                       "torus33")
 
 
 def _add_farm_args(
@@ -323,6 +337,62 @@ def build_parser() -> argparse.ArgumentParser:
                           "(default: 2 quick, 20 full)")
     crt.add_argument("--out", default="BENCH_crt.json",
                      help="result file (default: %(default)s)")
+    service = perf_sub.add_parser(
+        "service",
+        help="controller-service benchmark: provision req/sec, p50/p99 "
+             "latency, admission accept/reject — bit-identity to the "
+             "offline engine asserted before any timing",
+    )
+    service.add_argument("--quick", action="store_true",
+                         help="CI smoke run (fewer iterations; identity "
+                              "checks run at full strength)")
+    service.add_argument("--seed", type=int, default=1)
+    service.add_argument("--repeats", type=int, default=None, metavar="K",
+                         help="timing repeats per cell, min is reported "
+                              "(default: 2 quick, 3 full)")
+    service.add_argument("--out", default="BENCH_service.json",
+                         help="result file (default: %(default)s)")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the controller service (HTTP/JSON provisioning API)",
+    )
+    serve.add_argument("--topology", choices=_SERVICE_TOPOLOGIES,
+                       default="torus33",
+                       help="domain to serve (default: %(default)s)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8423,
+                       help="listen port; 0 picks an ephemeral one "
+                            "(default: %(default)s)")
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="farm-driven churn against a live controller service: "
+             "arrive/depart/reroute/port-flap with admission audits and "
+             "offline route-ID re-derivation",
+    )
+    loadgen.add_argument("--topology", choices=_SERVICE_TOPOLOGIES,
+                         default="torus33",
+                         help="domain to churn (default: %(default)s)")
+    loadgen.add_argument("--seeds", nargs="+", type=int, default=[0, 1],
+                         help="one churn shard per seed "
+                              "(default: %(default)s)")
+    loadgen.add_argument("--users", type=int, default=2000, metavar="N",
+                         help="concurrent-flow population bound "
+                              "(default: %(default)s)")
+    loadgen.add_argument("--ops", type=int, default=4000, metavar="N",
+                         help="API operations per shard "
+                              "(default: %(default)s)")
+    loadgen.add_argument("--qos", type=float, default=0.3, metavar="FRAC",
+                         help="fraction of arrivals carrying QoS "
+                              "constraints (default: %(default)s)")
+    loadgen.add_argument("--transport", choices=("direct", "http"),
+                         default="http",
+                         help="drive dispatch() in-process or a live "
+                              "asyncio HTTP server (default: %(default)s)")
+    loadgen.add_argument("--export", metavar="PATH.csv|PATH.json",
+                         help="also write per-shard rows")
+    _add_farm_args(loadgen)
     return parser
 
 
@@ -602,7 +672,85 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         if args.out:
             print(f"wrote {args.out}")
         return 0 if result["bit_identical_reference"] else 1
+    if args.bench_command == "service":
+        from repro.bench.servicebench import (
+            render_service_bench,
+            run_service_bench,
+        )
+
+        result = run_service_bench(
+            seed=args.seed,
+            quick=args.quick,
+            repeats=args.repeats,
+            out=args.out,
+        )
+        print(render_service_bench(result))
+        if args.out:
+            print(f"wrote {args.out}")
+        ok = (
+            result["bit_identical_reference"]
+            and result["zero_admission_violations"]
+        )
+        return 0 if ok else 1
     raise AssertionError(f"unhandled bench command {args.bench_command!r}")
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service.server import ControllerService
+    from repro.service.state import ControllerState
+    from repro.service.topology import edge_names, service_topology
+
+    graph = service_topology(args.topology)
+    state = ControllerState(graph, validated_pool=True)
+    service = ControllerService(state)
+
+    async def serve() -> None:
+        await service.start(host=args.host, port=args.port)
+        edges = edge_names(graph)
+        print(f"serving {args.topology} on "
+              f"http://{args.host}:{service.port} "
+              f"({len(edges)} edges: {', '.join(edges[:6])}"
+              f"{', ...' if len(edges) > 6 else ''})")
+        print("endpoints: GET /healthz /stats /topology /audit /flows; "
+              "POST /flows /flows/{id}/reroute /topology/events; "
+              "DELETE /flows/{id}")
+        await service.serve_forever()
+
+    try:
+        asyncio.run(serve())
+    except KeyboardInterrupt:
+        print("shutting down")
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from repro.farm.jobs import service_spec
+    from repro.farm.sweep import run_service_specs
+    from repro.service.loadgen import churn_rows, render_churn
+
+    specs = [
+        service_spec(
+            args.topology,
+            seed,
+            users=args.users,
+            operations=args.ops,
+            qos_fraction=args.qos,
+            transport=args.transport,
+        )
+        for seed in args.seeds
+    ]
+    reports = run_service_specs(
+        specs, _farm_options(args, "loadgen"), label="loadgen"
+    )
+    print(render_churn(reports))
+    if args.export:
+        from repro.experiments.export import write_rows
+
+        write_rows(churn_rows(reports), args.export)
+        print(f"wrote {args.export}")
+    return 0 if all(r.ok for r in reports) else 1
 
 
 def _dispatch(args: argparse.Namespace) -> int:
@@ -634,6 +782,10 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_farm(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "loadgen":
+        return _cmd_loadgen(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -16,9 +16,31 @@ encode draws from the same coprime pool.  This module amortizes both:
 * one :class:`~repro.rns.pool.ReencodeDelta` for failure-time updates —
   a changed output port is a single CRT addend, not a re-solve.
 
-Everything is invalidated together by :meth:`ProvisioningEngine
-.note_topology_change` — a tree or pool from a previous epoch must never
-encode a route for the current one.
+Two invalidation granularities, split by what actually changed:
+
+* :meth:`ProvisioningEngine.note_topology_change` — nodes, switch IDs
+  or port numbering changed.  Everything is rebuilt: a tree or pool
+  from a previous epoch must never encode a route for the current one.
+* :meth:`ProvisioningEngine.note_link_change` — only link *state*
+  changed (a link went down or came back up).  Trees are rebuilt over
+  the residual graph, but the CRT pool, its memoized subset contexts
+  and the incremental re-encoder survive: they depend only on the
+  switch-ID set, which link churn cannot touch.  This is what lets a
+  long-running controller service absorb port flaps without ever
+  falling back to full CRT solves.
+
+Link state itself lives here as an overlay (:meth:`ProvisioningEngine
+.set_link_down` / :meth:`~ProvisioningEngine.set_link_up`): the
+:class:`~repro.topology.graph.PortGraph` stays structurally untouched
+(port numbering must remain stable — it is baked into every encoded
+residue), and down links are simply excluded from tree construction and
+entry selection.
+
+Error contract: every user-input failure — unknown names, non-edge
+endpoints, disconnected pairs, off-pool switches, down links — raises
+:class:`ProvisionError` carrying a machine-readable ``reason`` slug.
+The controller service maps these directly onto 4xx responses; nothing
+in this module leaks a bare ``KeyError`` for bad input.
 
 Route selection note — why this is a separate engine and not the
 default inside :class:`~repro.controller.controller.KarController`: the
@@ -37,10 +59,20 @@ encoding against the reference solver on the engine's own hop lists.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.controller.protection import CachedProtectionPlanner, ProtectionPlan
 from repro.controller.routing import RoutingError, hops_for_path
+from repro.rns.crt import CrtError
 from repro.rns.encoder import EncodedRoute
 from repro.rns.pool import PoolContext, PooledEncoder, ReencodeDelta
 from repro.sim.packet import DEFAULT_TTL
@@ -49,9 +81,32 @@ from repro.topology.graph import NodeKind, PortGraph, TopologyError
 
 __all__ = [
     "DestinationTree",
+    "ProvisionError",
     "ProvisionedRoute",
     "ProvisioningEngine",
 ]
+
+
+def _link_key(a: str, b: str) -> Tuple[str, str]:
+    """Canonical unordered link key (mirrors ``LinkInfo.key``)."""
+    return (a, b) if a <= b else (b, a)
+
+
+class ProvisionError(RoutingError):
+    """A provisioning request the engine must refuse, with a reason code.
+
+    Attributes:
+        reason: machine-readable slug — the controller service returns
+            it verbatim as the ``error`` field of a 4xx response.
+            Values: ``unknown-node``, ``not-an-edge``, ``not-a-switch``,
+            ``same-edge``, ``no-core-path``, ``not-a-link``,
+            ``link-down``, ``off-pool-switch``, ``switch-not-on-route``,
+            ``port-unaddressable``, ``bad-path``.
+    """
+
+    def __init__(self, reason: str, message: str):
+        super().__init__(message)
+        self.reason = reason
 
 
 @dataclass(frozen=True)
@@ -90,15 +145,25 @@ class DestinationTree:
     with name-sorted frontier expansion, so the parent choice among
     equal-depth alternatives is deterministic and independent of port
     numbering or insertion order.
+
+    ``down`` is the set of canonical link keys currently failed: those
+    links are skipped, so the tree describes the *residual* topology.
     """
 
-    __slots__ = ("dst_edge", "epoch", "parent", "depth")
+    __slots__ = ("dst_edge", "epoch", "parent", "depth", "down")
 
-    def __init__(self, graph: PortGraph, dst_edge: str, epoch: int):
+    def __init__(
+        self,
+        graph: PortGraph,
+        dst_edge: str,
+        epoch: int,
+        down: FrozenSet[Tuple[str, str]] = frozenset(),
+    ):
         if graph.node(dst_edge).kind != NodeKind.EDGE:
             raise RoutingError(f"{dst_edge!r} is not an edge node")
         self.dst_edge = dst_edge
         self.epoch = epoch
+        self.down = down
         parent: Dict[str, str] = {}
         depth: Dict[str, int] = {dst_edge: 0}
         frontier = [dst_edge]
@@ -116,6 +181,8 @@ class DestinationTree:
                 )
                 for nb in sorted(neighbors):
                     if nb in depth:
+                        continue
+                    if down and _link_key(cur, nb) in down:
                         continue
                     depth[nb] = depth[cur] + 1
                     parent[nb] = cur
@@ -145,6 +212,15 @@ class ProvisioningEngine:
         validated_pool: pass True when the graph's switch IDs are known
             pairwise coprime (the topology builders validate them) to
             skip the pool's one-time O(n²) re-check.
+
+    Every externally interesting event is counted — provisions, batch
+    sizes, tree memo hits/misses, epoch bumps by granularity,
+    incremental vs. full re-encodes — and exposed as one JSON-able
+    mapping by :meth:`stats`, which is what the controller service's
+    ``/stats`` endpoint serves.  Counters are cumulative across epoch
+    rebuilds (retired encoder/delta counters are accumulated before
+    their objects are replaced), so invalidation thrash is visible
+    instead of resetting the evidence.
     """
 
     def __init__(
@@ -158,9 +234,37 @@ class ProvisioningEngine:
         self._validated_pool = validated_pool
         self.epoch = 0
         self._trees: Dict[str, DestinationTree] = {}
+        self._down: set = set()
         self.trees_built = 0
         self.tree_hits = 0
+        self.provisions = 0
+        self.batches = 0
+        self.batch_flows = 0
+        self.reroutes = 0
+        self.epoch_bumps = 0
+        self.full_rebuilds = 0
+        self.link_invalidations = 0
+        self._retired: Dict[str, int] = {
+            "pooled_encodes": 0,
+            "fallback_encodes": 0,
+            "deltas_applied": 0,
+            "identity_skips": 0,
+            "full_solves": 0,
+            "subsets_built": 0,
+            "subset_hits": 0,
+        }
         self._rebuild_epoch_state()
+
+    def _retire_counters(self) -> None:
+        """Bank the replaced objects' counters so stats stay cumulative."""
+        r = self._retired
+        r["pooled_encodes"] += self.encoder.pooled_encodes
+        r["fallback_encodes"] += self.encoder.fallback_encodes
+        r["deltas_applied"] += self.delta.deltas_applied
+        r["identity_skips"] += self.delta.identity_skips
+        r["full_solves"] += self.delta.full_solves
+        r["subsets_built"] += self.pool.subsets_built
+        r["subset_hits"] += self.pool.subset_hits
 
     def _rebuild_epoch_state(self) -> None:
         self.pool = PoolContext.from_graph(
@@ -180,11 +284,75 @@ class ProvisioningEngine:
         numbering, or switch IDs.  Routes encoded before the change stay
         valid *as integers* (a route ID is self-contained) but may no
         longer describe live paths — the caller decides whether to
-        re-provision them.
+        re-provision them.  For pure link up/down events prefer
+        :meth:`note_link_change`, which keeps the CRT pool.
         """
         self.epoch += 1
+        self.epoch_bumps += 1
+        self.full_rebuilds += 1
         self._trees.clear()
+        self._retire_counters()
         self._rebuild_epoch_state()
+
+    def note_link_change(self) -> None:
+        """Invalidate link-state-dependent artifacts only.
+
+        Trees and protection plans are rebuilt (they follow links); the
+        pool, its subset contexts and the incremental re-encoder are
+        kept — the switch-ID set is unchanged, so every precomputed CRT
+        weight is still exact.  This is the epoch bump a long-running
+        service issues on every ``link_down``/``link_up``/``port_flap``
+        event, and why steady-state churn never re-solves from scratch.
+        """
+        self.epoch += 1
+        self.epoch_bumps += 1
+        self.link_invalidations += 1
+        self._trees.clear()
+        self.planner = CachedProtectionPlanner(self.graph)
+
+    # ------------------------------------------------------------------
+    # link-state overlay
+    # ------------------------------------------------------------------
+    @property
+    def down_links(self) -> FrozenSet[Tuple[str, str]]:
+        """Canonical keys of links currently marked down."""
+        return frozenset(self._down)
+
+    def _require_link(self, a: str, b: str) -> Tuple[str, str]:
+        for name in (a, b):
+            try:
+                self.graph.node(name)
+            except TopologyError as exc:
+                raise ProvisionError("unknown-node", str(exc)) from None
+        if not self.graph.has_link(a, b):
+            raise ProvisionError("not-a-link", f"no link {a}-{b}")
+        return _link_key(a, b)
+
+    def link_is_up(self, a: str, b: str) -> bool:
+        """True iff the (existing) link is not overlaid as down."""
+        return self._require_link(a, b) not in self._down
+
+    def set_link_down(self, a: str, b: str) -> bool:
+        """Mark a link failed; returns True if the state changed.
+
+        A change bumps the epoch via :meth:`note_link_change`, so the
+        next provision sees residual trees.
+        """
+        key = self._require_link(a, b)
+        if key in self._down:
+            return False
+        self._down.add(key)
+        self.note_link_change()
+        return True
+
+    def set_link_up(self, a: str, b: str) -> bool:
+        """Clear a link's failed mark; returns True if the state changed."""
+        key = self._require_link(a, b)
+        if key not in self._down:
+            return False
+        self._down.discard(key)
+        self.note_link_change()
+        return True
 
     # ------------------------------------------------------------------
     # destination trees
@@ -195,7 +363,9 @@ class ProvisioningEngine:
         if tree is not None:
             self.tree_hits += 1
             return tree
-        tree = DestinationTree(self.graph, dst_edge, self.epoch)
+        tree = DestinationTree(
+            self.graph, dst_edge, self.epoch, down=frozenset(self._down)
+        )
         self._trees[dst_edge] = tree
         self.trees_built += 1
         return tree
@@ -203,47 +373,99 @@ class ProvisioningEngine:
     # ------------------------------------------------------------------
     # provisioning
     # ------------------------------------------------------------------
-    def provision(self, src_edge: str, dst_edge: str) -> ProvisionedRoute:
-        """Provision one flow edge-to-edge along the destination tree.
+    def _require_edge(self, name: str) -> None:
+        try:
+            info = self.graph.node(name)
+        except TopologyError as exc:
+            raise ProvisionError("unknown-node", str(exc)) from None
+        if info.kind != NodeKind.EDGE:
+            raise ProvisionError(
+                "not-an-edge", f"{name!r} is not an edge node"
+            )
+
+    def select_path(self, src_edge: str, dst_edge: str) -> List[str]:
+        """The engine's deterministic path choice, without encoding.
 
         The path enters the core at the source-edge neighbor with the
         smallest ``(tree depth, name)`` and follows tree parents to the
-        destination — hop-count shortest end to end (each core switch's
-        tree branch is hop-minimal, and the entry choice minimizes over
-        the source's options).
+        destination — hop-count shortest end to end over the *residual*
+        topology (down links excluded).
 
         Raises:
-            RoutingError: same-edge flows, or no core path under the
-                current topology.
+            ProvisionError: unknown or non-edge endpoints
+                (``unknown-node`` / ``not-an-edge``), same-edge flows
+                (``same-edge``), or no residual core path
+                (``no-core-path``).
         """
         if src_edge == dst_edge:
-            raise RoutingError(
+            raise ProvisionError(
+                "same-edge",
                 f"flow endpoints share the edge {src_edge!r}; "
-                f"no core route to provision"
+                f"no core route to provision",
             )
+        self._require_edge(src_edge)
+        self._require_edge(dst_edge)
         tree = self.destination_tree(dst_edge)
-        if self.graph.node(src_edge).kind != NodeKind.EDGE:
-            raise RoutingError(f"{src_edge!r} is not an edge node")
         entries = [
             nb
             for nb in self.graph.neighbors(src_edge)
-            if self.graph.node(nb).kind == NodeKind.CORE and nb in tree.depth
+            if self.graph.node(nb).kind == NodeKind.CORE
+            and nb in tree.depth
+            and _link_key(src_edge, nb) not in self._down
         ]
         if not entries:
-            raise RoutingError(
+            raise ProvisionError(
+                "no-core-path",
                 f"{src_edge!r} has no core neighbor that reaches "
-                f"{dst_edge!r}"
+                f"{dst_edge!r}",
             )
         entry = min(entries, key=lambda nb: (tree.depth[nb], nb))
-        node_path = [src_edge] + tree.branch(entry)
-        route = self.encoder.encode(hops_for_path(self.graph, node_path))
+        return [src_edge] + tree.branch(entry)
+
+    def encode_path(self, node_path: Sequence[str]) -> ProvisionedRoute:
+        """Encode an explicit edge-to-edge node path into a route.
+
+        Used by :meth:`provision` for tree paths and by the admission-
+        control service for CSPF paths — both go through the same
+        pooled encoder, so every served route ID is bit-identical to a
+        fresh reference solve of the same hop list.
+
+        Raises:
+            ProvisionError: malformed or unroutable paths
+                (``bad-path``), with the underlying message preserved.
+        """
+        path = list(node_path)
+        if len(path) < 3:
+            raise ProvisionError(
+                "bad-path", f"path too short to provision: {path}"
+            )
+        self._require_edge(path[0])
+        self._require_edge(path[-1])
+        try:
+            hops = hops_for_path(self.graph, path)
+            route = self.encoder.encode(hops)
+            out_port = self.graph.port_of(path[0], path[1])
+        except ProvisionError:
+            raise
+        except (RoutingError, TopologyError, CrtError) as exc:
+            raise ProvisionError("bad-path", str(exc)) from exc
+        self.provisions += 1
         return ProvisionedRoute(
-            src_edge=src_edge,
-            dst_edge=dst_edge,
-            node_path=tuple(node_path),
+            src_edge=path[0],
+            dst_edge=path[-1],
+            node_path=tuple(path),
             route=route,
-            out_port=self.graph.port_of(src_edge, entry),
+            out_port=out_port,
         )
+
+    def provision(self, src_edge: str, dst_edge: str) -> ProvisionedRoute:
+        """Provision one flow edge-to-edge along the destination tree.
+
+        Raises:
+            ProvisionError: see :meth:`select_path` /
+                :meth:`encode_path`.
+        """
+        return self.encode_path(self.select_path(src_edge, dst_edge))
 
     def provision_batch(
         self, pairs: Iterable[Tuple[str, str]]
@@ -255,7 +477,10 @@ class ProvisioningEngine:
         the first flow to a destination builds its tree, every further
         flow reuses it.
         """
-        return [self.provision(src, dst) for src, dst in pairs]
+        routes = [self.provision(src, dst) for src, dst in pairs]
+        self.batches += 1
+        self.batch_flows += len(routes)
+        return routes
 
     # ------------------------------------------------------------------
     # failure-time updates
@@ -265,14 +490,64 @@ class ProvisioningEngine:
     ) -> EncodedRoute:
         """Re-encode *route* with *switch_name* exiting toward *new_next*.
 
-        The incremental single-addend update — see
-        :func:`repro.controller.routing.delta_reencode_route`.
-        """
-        from repro.controller.routing import delta_reencode_route
+        The incremental single-addend update (see
+        :class:`~repro.rns.pool.ReencodeDelta`) — O(1) big-int work,
+        never a full CRT solve.  Inputs are validated up front so the
+        delta's silent full-solve fallback can never mask a bad request:
 
-        return delta_reencode_route(
-            self.graph, route, switch_name, new_next, self.delta
-        )
+        Raises:
+            ProvisionError: unknown names (``unknown-node``), a non-
+                switch pivot (``not-a-switch``), a missing or failed
+                link (``not-a-link`` / ``link-down``), a route or pivot
+                off the engine's pool (``off-pool-switch``), a pivot the
+                route does not encode (``switch-not-on-route``), or a
+                port outside the switch's residue range
+                (``port-unaddressable``).
+        """
+        try:
+            info = self.graph.node(switch_name)
+            self.graph.node(new_next)
+        except TopologyError as exc:
+            raise ProvisionError("unknown-node", str(exc)) from None
+        if info.kind != NodeKind.CORE or info.switch_id is None:
+            raise ProvisionError(
+                "not-a-switch",
+                f"{switch_name!r} is not a core switch with an ID",
+            )
+        try:
+            port = self.graph.port_of(switch_name, new_next)
+        except TopologyError:
+            raise ProvisionError(
+                "not-a-link",
+                f"re-route step {switch_name}->{new_next} is not a link",
+            ) from None
+        if self._down and _link_key(switch_name, new_next) in self._down:
+            raise ProvisionError(
+                "link-down",
+                f"re-route step {switch_name}->{new_next} is a failed link",
+            )
+        sid = info.switch_id
+        residues = route.residue_map()
+        if sid not in self.pool or not self.pool.covers(residues):
+            raise ProvisionError(
+                "off-pool-switch",
+                f"route or switch {switch_name!r} (ID {sid}) is not covered "
+                f"by this epoch's coprime pool",
+            )
+        if sid not in residues:
+            raise ProvisionError(
+                "switch-not-on-route",
+                f"switch ID {sid} is not encoded in this route",
+            )
+        if port >= sid:
+            raise ProvisionError(
+                "port-unaddressable",
+                f"{switch_name}: port {port} not addressable by switch ID "
+                f"{sid}",
+            )
+        updated = self.delta.apply(route, sid, port)
+        self.reroutes += 1
+        return updated
 
     # ------------------------------------------------------------------
     # protection
@@ -295,3 +570,50 @@ class ProvisioningEngine:
         if budget_bits is None:
             return self.planner.full(core_route)
         return self.planner.partial(core_route, budget_bits)
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        """Cumulative engine counters as one JSON-able mapping.
+
+        The live encoder/delta/pool counters are summed with the
+        retired totals banked by full rebuilds, so a reader can tell
+        whether :meth:`note_topology_change` invalidation is thrashing
+        (``full_rebuilds`` climbing, ``subset_hits`` flat) versus the
+        healthy steady state (``link_invalidations`` climbing while
+        ``deltas_applied``/``subset_hits`` keep growing and
+        ``full_solves`` stays zero).
+        """
+        r = self._retired
+        return {
+            "epoch": self.epoch,
+            "provisions": self.provisions,
+            "batches": self.batches,
+            "batch_flows": self.batch_flows,
+            "reroutes": self.reroutes,
+            "links_down": len(self._down),
+            "trees": {"built": self.trees_built, "hits": self.tree_hits},
+            "epochs": {
+                "bumps": self.epoch_bumps,
+                "full_rebuilds": self.full_rebuilds,
+                "link_invalidations": self.link_invalidations,
+            },
+            "encoder": {
+                "pooled": r["pooled_encodes"] + self.encoder.pooled_encodes,
+                "fallback": (
+                    r["fallback_encodes"] + self.encoder.fallback_encodes
+                ),
+            },
+            "delta": {
+                "applied": r["deltas_applied"] + self.delta.deltas_applied,
+                "identity_skips": (
+                    r["identity_skips"] + self.delta.identity_skips
+                ),
+                "full_solves": r["full_solves"] + self.delta.full_solves,
+            },
+            "subsets": {
+                "built": r["subsets_built"] + self.pool.subsets_built,
+                "hits": r["subset_hits"] + self.pool.subset_hits,
+            },
+        }

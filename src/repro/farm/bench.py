@@ -21,15 +21,13 @@ anywhere.
 
 from __future__ import annotations
 
-import json
 import os
-import platform
 import sys
 import tempfile
 import time
 from typing import Any, Dict, List, Optional, Sequence
 
-from repro.bench.stamp import timestamp_fields
+from repro.bench.artifact import finish_artifact
 from repro.experiments.common import Timeline
 from repro.farm.executor import Farm, FarmOptions
 from repro.farm.jobs import failure_spec
@@ -118,8 +116,6 @@ def run_bench(
         "workers": jobs,
         "cpu_count": cpu_count,
         "skipped_single_core": skipped_single_core,
-        "platform": platform.platform(),
-        "python": platform.python_version(),
         "sequential_s": round(sequential_s, 3),
         "parallel_s": round(parallel_s, 3),
         "parallel_speedup": round(sequential_s / parallel_s, 3)
@@ -132,13 +128,8 @@ def run_bench(
             seq_digests == [r["digest"] for r in par_records]
             and seq_digests == [r["digest"] for r in warm_records]
         ),
-        **timestamp_fields(),
     }
-    if out:
-        with open(out, "w", encoding="utf-8") as f:
-            json.dump(result, f, indent=2, sort_keys=True)
-            f.write("\n")
-    return result
+    return finish_artifact(result, out)
 
 
 def render_bench(result: Dict[str, Any]) -> str:

@@ -22,6 +22,10 @@ Built-in kinds:
   (:func:`repro.verify.harness.run_trial_record`);
 * ``frontier`` — one resilience-frontier cell
   (:func:`repro.experiments.frontier.run_frontier_once`);
+* ``service`` — one controller-service churn shard
+  (:func:`repro.service.loadgen.run_churn`): seeded flow
+  arrive/depart/reroute/port-flap traffic against a live service, with
+  admission-invariant audits and offline route-ID re-derivation;
 * ``echo`` — the farm's self-test job (sleep / crash-once knobs for
   exercising timeouts and worker-crash retry without real workloads).
 
@@ -55,6 +59,7 @@ __all__ = [
     "verify_spec",
     "frontier_spec",
     "frontier_cell_from_record",
+    "service_spec",
     "echo_spec",
 ]
 
@@ -387,6 +392,58 @@ def _run_frontier(spec: RunSpec) -> Dict[str, Any]:
     # (the failure-set / chaos-event fingerprint) which must not
     # collide with the farm's record digest.
     return {"frontier": asdict(cell)}
+
+
+# ---------------------------------------------------------------------------
+# "service" — one controller-service churn shard
+# ---------------------------------------------------------------------------
+
+def service_spec(
+    topology: str,
+    seed: int,
+    users: int = 2000,
+    operations: int = 4000,
+    qos_fraction: float = 0.3,
+    transport: str = "direct",
+) -> RunSpec:
+    """Spec for one :func:`repro.service.loadgen.run_churn` shard.
+
+    ``transport`` is part of the content key on purpose: an ``http``
+    shard proves socket framing on top of the state machine, so it is
+    a different (if digest-equal) experiment than a ``direct`` one.
+    """
+    return RunSpec.make(
+        "service",
+        topology,
+        seed,
+        {
+            "users": users,
+            "operations": operations,
+            "qos_fraction": qos_fraction,
+            "transport": transport,
+        },
+    )
+
+
+@job_kind("service")
+def _run_service(spec: RunSpec) -> Dict[str, Any]:
+    from dataclasses import asdict
+
+    from repro.service.loadgen import run_churn
+
+    p = spec.params
+    report = run_churn(
+        topology=spec.scenario,
+        seed=spec.seed,
+        users=p.get("users", 2000),
+        operations=p.get("operations", 4000),
+        qos_fraction=p.get("qos_fraction", 0.3),
+        transport=p.get("transport", "direct"),
+    )
+    # Nested under "service": ChurnReport carries its own `digest`
+    # (the transport-independent op-log fingerprint) which must not
+    # collide with the farm's record digest.
+    return {"service": asdict(report)}
 
 
 # ---------------------------------------------------------------------------

@@ -39,6 +39,7 @@ __all__ = [
     "SweepDriver",
     "run_failure_specs",
     "run_chaos_specs",
+    "run_service_specs",
 ]
 
 #: Library-default options: sequential, cacheless, silent — the exact
@@ -162,3 +163,15 @@ def run_chaos_specs(
     """Run chaos specs; :class:`ChaosRun` objects in spec order."""
     driver = SweepDriver(label, specs, options)
     return [chaos_run_from_record(r) for r in driver.run()]
+
+
+def run_service_specs(
+    specs: Sequence[RunSpec],
+    options: Optional[FarmOptions] = None,
+    label: str = "service-churn",
+) -> List[Any]:
+    """Run service-churn specs; :class:`ChurnReport` objects in order."""
+    from repro.service.loadgen import churn_report_from_record
+
+    driver = SweepDriver(label, specs, options)
+    return [churn_report_from_record(r) for r in driver.run()]

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.rns.bitlength import route_id_bit_length
 from repro.rns.crt import CrtError, crt, modular_inverse
 
 __all__ = ["Hop", "EncodedRoute", "RouteEncoder", "DuplicateSwitchError"]
@@ -96,8 +97,6 @@ class EncodedRoute:
     @property
     def bit_length(self) -> int:
         """Header bits required for this route (Eq. 9): ``ceil(log2(M-1))``."""
-        from repro.rns.bitlength import route_id_bit_length
-
         return route_id_bit_length(self.modulus)
 
     def encodes(self, switch_id: int) -> bool:

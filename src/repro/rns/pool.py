@@ -206,6 +206,10 @@ class PoolContext:
 
     def covers(self, switch_ids: Iterable[int]) -> bool:
         """True iff every given switch ID is a member of the pool."""
+        if isinstance(switch_ids, dict):
+            # Residue maps land here from the failure-time hot path;
+            # the keys-view subset test runs entirely in C.
+            return switch_ids.keys() <= self._weights.keys()
         return all(s in self._weights for s in switch_ids)
 
     def weight(self, switch_id: int) -> int:

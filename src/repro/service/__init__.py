@@ -1,0 +1,45 @@
+"""The controller as a product: a long-running provisioning service.
+
+Wraps :class:`~repro.controller.provision.ProvisioningEngine` behind an
+HTTP/JSON API with multi-tenant flow lifecycle, QoS admission control
+(per-link bandwidth reservations + CSPF), online topology events, and
+observability — plus a farm-driven churn load generator that audits
+every promise the service makes.  See ``docs/service.md``.
+"""
+
+from repro.service.admission import (
+    AdmissionError,
+    ReservationLedger,
+    cspf_path,
+    path_link_keys,
+)
+from repro.service.client import ServiceClient, ServiceUnavailable
+from repro.service.loadgen import ChurnReport, render_churn, run_churn
+from repro.service.server import ControllerService, ServiceThread, dispatch
+from repro.service.state import ControllerState, FlowRecord, UnknownFlowError
+from repro.service.topology import (
+    SERVICE_TOPOLOGIES,
+    edge_names,
+    service_topology,
+)
+
+__all__ = [
+    "AdmissionError",
+    "ReservationLedger",
+    "cspf_path",
+    "path_link_keys",
+    "ServiceClient",
+    "ServiceUnavailable",
+    "ChurnReport",
+    "render_churn",
+    "run_churn",
+    "ControllerService",
+    "ServiceThread",
+    "dispatch",
+    "ControllerState",
+    "FlowRecord",
+    "UnknownFlowError",
+    "SERVICE_TOPOLOGIES",
+    "edge_names",
+    "service_topology",
+]

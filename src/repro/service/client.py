@@ -1,0 +1,160 @@
+"""Minimal keep-alive HTTP/JSON client for the controller service.
+
+Stdlib sockets only, one persistent connection, blocking semantics —
+exactly what the load generator's ``http`` transport and the CLI need.
+Not a general HTTP client: it speaks the subset the service emits
+(HTTP/1.1, ``Content-Length``-framed JSON bodies, keep-alive).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Dict, Optional, Tuple
+
+__all__ = ["ServiceClient", "ServiceUnavailable"]
+
+
+class ServiceUnavailable(ConnectionError):
+    """The service socket could not be reached or died mid-request."""
+
+
+class ServiceClient:
+    """One persistent connection to a controller service."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._sock: Optional[socket.socket] = None
+
+    # ------------------------------------------------------------------
+    # connection management
+    # ------------------------------------------------------------------
+    def _connect(self) -> socket.socket:
+        if self._sock is None:
+            try:
+                self._sock = socket.create_connection(
+                    (self.host, self.port), timeout=self.timeout
+                )
+                self._sock.setsockopt(
+                    socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
+                )
+            except OSError as exc:
+                raise ServiceUnavailable(
+                    f"cannot connect to {self.host}:{self.port}: {exc}"
+                ) from exc
+        return self._sock
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # request/response
+    # ------------------------------------------------------------------
+    def request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+    ) -> Tuple[int, Dict[str, Any]]:
+        """One round trip; returns ``(status, payload)``.
+
+        Retries exactly once on a dead keep-alive socket (the server
+        may have closed an idle connection between requests); any
+        failure on a fresh connection raises :class:`ServiceUnavailable`.
+        """
+        try:
+            return self._roundtrip(method, path, body)
+        except (ServiceUnavailable, OSError):
+            self.close()
+        return self._roundtrip(method, path, body)
+
+    def _roundtrip(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]],
+    ) -> Tuple[int, Dict[str, Any]]:
+        sock = self._connect()
+        payload = (
+            json.dumps(body, sort_keys=True).encode("utf-8")
+            if body is not None
+            else b""
+        )
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self.host}:{self.port}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            f"\r\n"
+        ).encode("ascii")
+        try:
+            sock.sendall(head + payload)
+            return self._read_response(sock)
+        except OSError as exc:
+            self.close()
+            raise ServiceUnavailable(str(exc)) from exc
+
+    def _read_response(
+        self, sock: socket.socket
+    ) -> Tuple[int, Dict[str, Any]]:
+        reader = sock.makefile("rb")
+        try:
+            status_line = reader.readline()
+            if not status_line:
+                raise ServiceUnavailable("connection closed by service")
+            parts = status_line.decode("ascii", "replace").split(" ", 2)
+            if len(parts) < 2 or not parts[1].isdigit():
+                raise ServiceUnavailable(
+                    f"malformed status line: {status_line!r}"
+                )
+            status = int(parts[1])
+            length = 0
+            close_after = False
+            while True:
+                line = reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = line.decode("latin-1").partition(":")
+                name = name.strip().lower()
+                if name == "content-length":
+                    length = int(value.strip())
+                elif name == "connection" and value.strip().lower() == "close":
+                    close_after = True
+            raw = reader.read(length) if length else b""
+            if close_after:
+                self.close()
+            try:
+                decoded = json.loads(raw.decode("utf-8")) if raw else {}
+            except ValueError as exc:
+                raise ServiceUnavailable(
+                    f"non-JSON response body: {raw[:200]!r}"
+                ) from exc
+            return status, decoded if isinstance(decoded, dict) else {}
+        finally:
+            reader.close()
+
+    # ------------------------------------------------------------------
+    # convenience verbs
+    # ------------------------------------------------------------------
+    def get(self, path: str) -> Tuple[int, Dict[str, Any]]:
+        return self.request("GET", path)
+
+    def post(
+        self, path: str, body: Dict[str, Any]
+    ) -> Tuple[int, Dict[str, Any]]:
+        return self.request("POST", path, body)
+
+    def delete(self, path: str) -> Tuple[int, Dict[str, Any]]:
+        return self.request("DELETE", path)

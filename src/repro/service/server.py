@@ -1,0 +1,404 @@
+"""The controller service: HTTP/JSON framing over ControllerState.
+
+Two layers, deliberately separated:
+
+* :func:`dispatch` — the entire API surface as one pure-synchronous
+  function ``(state, method, path, query, body) -> (status, payload)``.
+  The asyncio server below calls it per request; the load generator's
+  ``direct`` transport calls it without any socket at all.  One code
+  path for both is what guarantees the farm digests are transport-
+  independent (an HTTP churn run and a direct churn run of the same
+  seed produce byte-identical operation logs).
+* :class:`ControllerService` — a stdlib-``asyncio`` HTTP/1.1 server
+  (manual request framing: request line, headers, ``Content-Length``
+  bodies, keep-alive) around one :class:`~repro.service.state
+  .ControllerState`.  State methods are plain synchronous calls on the
+  event-loop thread, so requests serialize naturally — the asyncio
+  layer buys concurrent connection handling, not data races.
+
+API (all bodies JSON):
+
+====== ============================ ===========================================
+Method Path                         Meaning
+====== ============================ ===========================================
+GET    ``/healthz``                 liveness probe
+GET    ``/stats``                   service + admission + engine counters
+GET    ``/topology``                switches, links, link state, epoch
+GET    ``/audit``                   admission invariant violations (none = ok)
+GET    ``/flows``                   list flows (``?tenant=`` filter)
+GET    ``/flows/{id}``              one flow (route ID, residues, ingress view)
+POST   ``/flows``                   provision: ``{tenant, src, dst[,
+                                    bandwidth_mbps, max_latency_s, ttl]}``
+POST   ``/flows/{id}/reroute``      detour: ``{switch, next}``
+POST   ``/topology/events``         ``{kind: link_down|link_up|port_flap,
+                                    a, b}``
+DELETE ``/flows/{id}``              release the flow and its reservation
+====== ============================ ===========================================
+
+Errors are structured: ``{"error": <machine-readable reason>,
+"message": <human text>}`` with 400 for malformed requests
+(:class:`~repro.controller.provision.ProvisionError` reasons), 404 for
+unknown flows/paths, 405 for bad methods, and 409 for admission
+rejections (:class:`~repro.service.admission.AdmissionError` reasons).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from repro.controller.provision import ProvisionError
+from repro.service.admission import AdmissionError
+from repro.service.state import ControllerState, UnknownFlowError
+from repro.topology.graph import PortGraph
+
+__all__ = ["dispatch", "ControllerService", "ServiceThread"]
+
+#: Largest accepted request body; the API's bodies are tiny, so
+#: anything bigger is a client bug, not a use case.
+MAX_BODY_BYTES = 1 << 20
+
+Response = Tuple[int, Dict[str, Any]]
+
+
+def _error(status: int, reason: str, message: str) -> Response:
+    return status, {"error": reason, "message": message}
+
+
+def _provision_body(state: ControllerState, body: Dict[str, Any]) -> Response:
+    for field in ("tenant", "src", "dst"):
+        if not isinstance(body.get(field), str) or not body[field]:
+            return _error(
+                400, "bad-request", f"missing or non-string field {field!r}"
+            )
+    bandwidth = body.get("bandwidth_mbps", 0.0)
+    latency = body.get("max_latency_s")
+    ttl = body.get("ttl")
+    if not isinstance(bandwidth, (int, float)) or isinstance(bandwidth, bool):
+        return _error(400, "bad-request", "bandwidth_mbps must be a number")
+    if latency is not None and (
+        not isinstance(latency, (int, float)) or isinstance(latency, bool)
+    ):
+        return _error(400, "bad-request", "max_latency_s must be a number")
+    if ttl is not None and (not isinstance(ttl, int) or ttl <= 0):
+        return _error(400, "bad-request", "ttl must be a positive integer")
+    record = state.provision(
+        tenant=body["tenant"],
+        src_edge=body["src"],
+        dst_edge=body["dst"],
+        bandwidth_mbps=float(bandwidth),
+        max_latency_s=float(latency) if latency is not None else None,
+        ttl=ttl,
+    )
+    return 201, {"flow": record.describe()}
+
+
+def dispatch(
+    state: ControllerState,
+    method: str,
+    path: str,
+    query: Dict[str, str],
+    body: Optional[Dict[str, Any]],
+) -> Response:
+    """Route one API operation; returns ``(status, JSON payload)``.
+
+    Pure function of the call (modulo the state it mutates): no I/O,
+    no clock, no randomness.  Both the HTTP layer and the direct
+    transport call exactly this.
+    """
+    try:
+        parts = [p for p in path.split("/") if p]
+        if method == "GET":
+            if parts == ["healthz"]:
+                return 200, {"ok": True}
+            if parts == ["stats"]:
+                return 200, state.stats()
+            if parts == ["topology"]:
+                return 200, state.topology_view()
+            if parts == ["audit"]:
+                violations = state.audit()
+                return 200, {"ok": not violations, "violations": violations}
+            if parts == ["flows"]:
+                records = state.list_flows(tenant=query.get("tenant"))
+                return 200, {"flows": [r.describe() for r in records]}
+            if len(parts) == 2 and parts[0] == "flows":
+                return 200, {"flow": state.flow(parts[1]).describe()}
+        elif method == "POST":
+            if body is None:
+                return _error(400, "bad-json", "request body is not JSON")
+            if parts == ["flows"]:
+                return _provision_body(state, body)
+            if (
+                len(parts) == 3
+                and parts[0] == "flows"
+                and parts[2] == "reroute"
+            ):
+                for field in ("switch", "next"):
+                    if not isinstance(body.get(field), str):
+                        return _error(
+                            400, "bad-request",
+                            f"missing or non-string field {field!r}",
+                        )
+                record = state.reroute(parts[1], body["switch"], body["next"])
+                return 200, {"flow": record.describe()}
+            if parts == ["topology", "events"]:
+                for field in ("kind", "a", "b"):
+                    if not isinstance(body.get(field), str):
+                        return _error(
+                            400, "bad-request",
+                            f"missing or non-string field {field!r}",
+                        )
+                summary = state.topology_event(
+                    body["kind"], body["a"], body["b"]
+                )
+                return 200, summary
+        elif method == "DELETE":
+            if len(parts) == 2 and parts[0] == "flows":
+                record = state.release(parts[1])
+                return 200, {"released": record.flow_id}
+        else:
+            return _error(405, "method-not-allowed", f"method {method}")
+        return _error(404, "not-found", f"no route for {method} {path}")
+    except AdmissionError as exc:
+        return _error(409, exc.reason, str(exc))
+    except UnknownFlowError as exc:
+        return _error(404, "unknown-flow", str(exc))
+    except ProvisionError as exc:
+        return _error(400, exc.reason, str(exc))
+
+
+class ControllerService:
+    """Asyncio HTTP/1.1 server around one :class:`ControllerState`."""
+
+    def __init__(self, state: ControllerState):
+        self.state = state
+        self._server: Optional[asyncio.AbstractServer] = None
+        self.requests_served = 0
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        """Bind and start accepting; ``port=0`` picks an ephemeral port."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=host, port=port
+        )
+
+    @property
+    def port(self) -> int:
+        """The bound port (after :meth:`start`)."""
+        assert self._server is not None and self._server.sockets
+        return self._server.sockets[0].getsockname()[1]
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        await self._server.serve_forever()
+
+    # ------------------------------------------------------------------
+    # HTTP framing
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                keep_alive = await self._handle_request(reader, writer)
+                if not keep_alive:
+                    break
+        except (
+            asyncio.IncompleteReadError,
+            asyncio.CancelledError,  # shutdown cancels idle keep-alives
+            ConnectionResetError,
+            BrokenPipeError,
+        ):
+            pass  # peer went away (or we are); nothing to answer
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (
+                asyncio.CancelledError,
+                ConnectionResetError,
+                BrokenPipeError,
+            ):
+                pass
+
+    async def _handle_request(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> bool:
+        request_line = await reader.readline()
+        if not request_line or request_line.strip() == b"":
+            return False
+        try:
+            method, target, version = (
+                request_line.decode("ascii").strip().split(" ", 2)
+            )
+        except (UnicodeDecodeError, ValueError):
+            await self._respond(
+                writer, 400,
+                {"error": "bad-request", "message": "malformed request line"},
+                close=True,
+            )
+            return False
+        headers: Dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            if b":" in line:
+                name, _, value = line.decode("latin-1").partition(":")
+                headers[name.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length", "0"))
+        except ValueError:
+            length = -1
+        if length < 0 or length > MAX_BODY_BYTES:
+            await self._respond(
+                writer, 400,
+                {"error": "bad-request", "message": "bad content length"},
+                close=True,
+            )
+            return False
+        raw = await reader.readexactly(length) if length else b""
+        body: Optional[Dict[str, Any]] = None
+        if raw:
+            try:
+                parsed = json.loads(raw.decode("utf-8"))
+                body = parsed if isinstance(parsed, dict) else None
+            except (UnicodeDecodeError, ValueError):
+                body = None
+        elif method == "POST":
+            body = {}
+        split = urlsplit(target)
+        query = {
+            key: values[0]
+            for key, values in parse_qs(split.query).items()
+        }
+        status, payload = dispatch(
+            self.state, method.upper(), split.path, query, body
+        )
+        self.requests_served += 1
+        wants_close = (
+            headers.get("connection", "").lower() == "close"
+            or version == "HTTP/1.0"
+        )
+        await self._respond(writer, status, payload, close=wants_close)
+        return not wants_close
+
+    async def _respond(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: Dict[str, Any],
+        close: bool,
+    ) -> None:
+        reasons = {
+            200: "OK", 201: "Created", 400: "Bad Request", 404: "Not Found",
+            405: "Method Not Allowed", 409: "Conflict",
+        }
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {reasons.get(status, 'Response')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'close' if close else 'keep-alive'}\r\n"
+            f"\r\n"
+        ).encode("ascii")
+        writer.write(head + body)
+        await writer.drain()
+
+
+class ServiceThread:
+    """A live service on a background thread, for tests and benches.
+
+    Boots an event loop + :class:`ControllerService` on its own thread
+    and blocks until the socket is bound; ``host``/``port`` are then
+    ready for any client.  The state object stays accessible (all its
+    mutations happen on the service thread; call :meth:`run_sync` to
+    inspect it without racing the event loop).
+
+    Usage::
+
+        with ServiceThread(graph) as svc:
+            client = ServiceClient(svc.host, svc.port)
+            ...
+    """
+
+    def __init__(self, graph: PortGraph, host: str = "127.0.0.1",
+                 validated_pool: bool = False):
+        self.state = ControllerState(graph, validated_pool=validated_pool)
+        self.service = ControllerService(self.state)
+        self.host = host
+        self.port: int = 0
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+
+    def __enter__(self) -> "ServiceThread":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+    def start(self) -> None:
+        self._thread = threading.Thread(
+            target=self._run, name="controller-service", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout=10):
+            raise RuntimeError("controller service failed to start")
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            loop.run_until_complete(self.service.start(host=self.host))
+            self.port = self.service.port
+            self._started.set()
+            loop.run_forever()
+        finally:
+            loop.run_until_complete(self.service.close())
+            # Cancel connection handlers still parked on idle
+            # keep-alive sockets so the loop closes quietly.
+            pending = asyncio.all_tasks(loop)
+            for task in pending:
+                task.cancel()
+            if pending:
+                loop.run_until_complete(
+                    asyncio.gather(*pending, return_exceptions=True)
+                )
+            loop.close()
+
+    def run_sync(self, fn, *args: Any, **kwargs: Any) -> Any:
+        """Run ``fn(state, ...)`` on the service thread and return it.
+
+        The safe way to audit or read stats while HTTP traffic is in
+        flight: the call serializes with request handling on the event
+        loop instead of racing it from the test thread.
+        """
+        assert self._loop is not None
+
+        async def call() -> Any:
+            return fn(self.state, *args, **kwargs)
+
+        future = asyncio.run_coroutine_threadsafe(call(), self._loop)
+        return future.result(timeout=30)
+
+    def stop(self) -> None:
+        if self._loop is not None:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+        self._loop = None
+        self._thread = None
+
+    def base_url(self) -> str:
+        return f"http://{self.host}:{self.port}"

@@ -1,0 +1,82 @@
+"""Named topologies the controller service can serve.
+
+Each builder returns a :class:`~repro.topology.graph.PortGraph` whose
+every core switch carries an edge attachment point (``E-<switch>``) —
+the multi-tenant provisioning domain shape: any edge can request a flow
+to any other edge.  Built on the repo's existing generators and zoo
+graphs via :func:`~repro.topology.generators.attach_edges`, so switch
+IDs, port numbering, and therefore every route ID are deterministic.
+
+The registry keys are what ``repro serve --topology``, the load
+generator, and the farm job kind ``service`` accept.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.topology.generators import attach_edges, clique, torus
+from repro.topology.graph import NodeKind, PortGraph
+from repro.topology.topologies import fifteen_node, six_node
+from repro.topology.zoo import abilene
+
+__all__ = ["SERVICE_TOPOLOGIES", "service_topology", "edge_names"]
+
+
+def _six_node() -> PortGraph:
+    # The paper's Fig. 1 domain already has E-S/E-D; reuse it as the
+    # smallest service target (route 44 stays the canonical check).
+    return six_node().graph
+
+
+def _fifteen_node() -> PortGraph:
+    return fifteen_node().graph
+
+
+def _clique6() -> PortGraph:
+    graph = clique(6)
+    attach_edges(graph)
+    return graph
+
+
+def _torus33() -> PortGraph:
+    graph = torus(3, 3)
+    attach_edges(graph)
+    return graph
+
+
+def _abilene() -> PortGraph:
+    graph = abilene()
+    attach_edges(graph)
+    return graph
+
+
+#: name -> builder; sorted names are the CLI's accepted values.
+SERVICE_TOPOLOGIES: Dict[str, Callable[[], PortGraph]] = {
+    "six_node": _six_node,
+    "fifteen_node": _fifteen_node,
+    "clique6": _clique6,
+    "torus33": _torus33,
+    "abilene": _abilene,
+}
+
+
+def service_topology(name: str) -> PortGraph:
+    """Build a named service topology.
+
+    Raises:
+        ValueError: unknown name (lists the valid ones).
+    """
+    try:
+        builder = SERVICE_TOPOLOGIES[name]
+    except KeyError:
+        valid = ", ".join(sorted(SERVICE_TOPOLOGIES))
+        raise ValueError(
+            f"unknown service topology {name!r}; choose one of: {valid}"
+        ) from None
+    return builder()
+
+
+def edge_names(graph: PortGraph) -> List[str]:
+    """All edge-node names, sorted (the flow endpoint universe)."""
+    return sorted(n.name for n in graph.nodes(NodeKind.EDGE))

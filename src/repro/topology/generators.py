@@ -11,10 +11,10 @@ import random
 from typing import List, Optional, Sequence, Tuple
 
 from repro.rns.coprime import greedy_coprime_pool, prime_pool
-from repro.topology.graph import NodeKind, PortGraph
+from repro.topology.graph import NodeKind, PortGraph, TopologyError
 
 __all__ = ["random_connected", "ring_lattice", "clique", "torus",
-           "attach_host_pair"]
+           "attach_host_pair", "attach_edges"]
 
 
 def _switch_ids(count: int, strategy: str, min_value: int) -> List[int]:
@@ -197,6 +197,44 @@ def torus(
             g.add_link(names[r][c], names[(r + 1) % rows][c],
                        rate_mbps=rate_mbps, delay_s=delay_s)
     return g
+
+
+def attach_edges(
+    graph: PortGraph,
+    switches: Optional[Sequence[str]] = None,
+    rate_mbps: float = 100.0,
+    delay_s: float = 0.001,
+) -> List[str]:
+    """Attach one edge node to each given core switch; returns their names.
+
+    Turns a generated core graph into a multi-tenant provisioning
+    domain: every switch gets an ingress/egress attachment point
+    ``E-<switch>``, which is what the controller service hands out
+    flows between.  Switches are taken in name-sorted order (all core
+    switches by default) so edge naming — and therefore every digest
+    downstream — is deterministic.
+
+    Raises:
+        TopologyError: if an attachment would violate the degree < ID
+            invariant (the switch has no spare residue for a new port).
+    """
+    if switches is None:
+        switches = sorted(n.name for n in graph.nodes(NodeKind.CORE))
+    edges: List[str] = []
+    for sw in switches:
+        info = graph.node(sw)
+        if info.kind != NodeKind.CORE:
+            raise TopologyError(f"{sw!r} is not a core switch")
+        if info.switch_id is not None and info.degree + 1 > info.switch_id:
+            raise TopologyError(
+                f"attaching an edge to {sw!r} would give it degree "
+                f"{info.degree + 1} > switch ID {info.switch_id}"
+            )
+        edge = f"E-{sw}"
+        graph.add_node(edge, kind=NodeKind.EDGE)
+        graph.add_link(sw, edge, rate_mbps=rate_mbps, delay_s=delay_s)
+        edges.append(edge)
+    return edges
 
 
 def attach_host_pair(

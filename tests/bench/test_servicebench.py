@@ -1,0 +1,120 @@
+"""The service bench: flags CI relies on, plus the shared artifact."""
+
+import json
+from datetime import datetime
+
+import pytest
+
+from repro.bench.artifact import (
+    environment_fields,
+    finish_artifact,
+    write_artifact,
+)
+from repro.bench.servicebench import (
+    INCREMENTAL_TARGET_REQ_PER_SEC,
+    render_service_bench,
+    run_service_bench,
+)
+
+
+@pytest.fixture(scope="module")
+def result(tmp_path_factory):
+    out = tmp_path_factory.mktemp("bench") / "BENCH_service.json"
+    return run_service_bench(quick=True, repeats=1, out=str(out)), out
+
+
+class TestRunServiceBench:
+    def test_bad_repeats_rejected(self):
+        with pytest.raises(ValueError):
+            run_service_bench(repeats=0, out=None)
+
+    def test_flags_ci_asserts(self, result):
+        res, _ = result
+        # The only two keys CI may gate on (never wall-clock).
+        assert res["bit_identical_reference"] is True
+        assert res["zero_admission_violations"] is True
+        assert res["identity_checks"]["problems"] == []
+        assert res["admission_violations"] == []
+
+    def test_cell_shapes(self, result):
+        res, _ = result
+        cells = res["cells"]
+        assert set(cells) == {
+            "provision_tree", "reroute_incremental",
+            "admission_cspf", "http_roundtrip",
+        }
+        for cell in cells.values():
+            assert cell["requests"] > 0
+            assert cell["wall_s"] > 0
+            assert cell["requests_per_sec"] > 0
+
+    def test_reroute_cell_is_purely_incremental(self, result):
+        res, _ = result
+        cell = res["cells"]["reroute_incremental"]
+        assert cell["full_solves"] == 0
+        assert cell["deltas_applied"] >= cell["requests"]
+        assert cell["target_requests_per_sec"] == \
+            INCREMENTAL_TARGET_REQ_PER_SEC
+
+    def test_admission_counts_are_complete(self, result):
+        res, _ = result
+        cell = res["cells"]["admission_cspf"]
+        assert cell["accepted"] + sum(cell["rejected"].values()) == \
+            cell["requests"]
+        assert cell["rejected"], "saturation never rejected anything"
+
+    def test_latency_percentiles_ordered(self, result):
+        res, _ = result
+        http = res["cells"]["http_roundtrip"]
+        assert 0 < http["p50_us"] <= http["p99_us"]
+        direct = res["latency_direct"]
+        assert 0 < direct["p50_us"] <= direct["p99_us"]
+
+    def test_artifact_on_disk(self, result):
+        res, out = result
+        on_disk = json.loads(out.read_text())
+        assert on_disk["bench"] == "repro.service"
+        assert on_disk["cells"] == res["cells"]
+        assert out.read_text().endswith("\n")
+
+    def test_render_mentions_the_target(self, result):
+        res, _ = result
+        text = render_service_bench(res)
+        assert "reroute (delta)" in text
+        assert str(INCREMENTAL_TARGET_REQ_PER_SEC) in text
+        assert "bit-identical to reference crt(): True" in text
+
+
+class TestSharedArtifact:
+    def test_environment_fields(self):
+        fields = environment_fields()
+        assert set(fields) == {"cpu_count", "platform", "python"}
+
+    def test_finish_artifact_stamps_and_writes(self, tmp_path):
+        out = tmp_path / "BENCH_x.json"
+        result = finish_artifact({"bench": "x"}, str(out))
+        for key in ("cpu_count", "platform", "python",
+                    "timestamp", "timestamp_iso"):
+            assert key in result
+        iso = datetime.fromisoformat(result["timestamp_iso"])
+        assert iso.timestamp() == pytest.approx(result["timestamp"])
+        assert json.loads(out.read_text()) == result
+
+    def test_explicit_fields_win(self, tmp_path):
+        # farm bench records a measured cpu_count it reasons about;
+        # stamping must never silently replace it.
+        result = finish_artifact({"bench": "x", "cpu_count": 1234}, None)
+        assert result["cpu_count"] == 1234
+
+    def test_canonical_shape(self, tmp_path):
+        out = tmp_path / "a.json"
+        write_artifact({"b": 1, "a": 2}, str(out))
+        assert out.read_text() == '{\n  "a": 2,\n  "b": 1\n}\n'
+
+    def test_every_bench_writer_stamps_identically(self, result):
+        # All four BENCH_*.json writers go through finish_artifact, so
+        # the stamp/environment key set is identical across artifacts.
+        res, _ = result
+        stamp_keys = {"cpu_count", "platform", "python",
+                      "timestamp", "timestamp_iso"}
+        assert stamp_keys <= set(res)

@@ -172,4 +172,10 @@ class TestRerouteHop:
         eng = ProvisioningEngine(six)
         p = eng.provision("E-S", "E-D")
         with pytest.raises(RoutingError, match="not a link"):
+            eng.reroute_hop(p.route, "SW4", "SW11")
+
+    def test_reroute_rejects_unknown_node(self, six):
+        eng = ProvisioningEngine(six)
+        p = eng.provision("E-S", "E-D")
+        with pytest.raises(RoutingError, match="unknown node"):
             eng.reroute_hop(p.route, "SW7", "SW4X")

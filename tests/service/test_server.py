@@ -1,0 +1,210 @@
+"""The HTTP layer: dispatch routing, framing, and concurrent clients.
+
+The concurrency test is the issue's safety satellite: many client
+threads churning QoS flows against one live server, then the service
+audit must show reservations conserved, nothing oversubscribed, and no
+orphaned ledger entries.
+"""
+
+import threading
+
+import pytest
+
+from repro.service.client import ServiceClient
+from repro.service.server import ServiceThread, dispatch
+from repro.service.state import ControllerState
+from repro.service.topology import service_topology
+
+
+@pytest.fixture()
+def state():
+    return ControllerState(service_topology("six_node"),
+                           validated_pool=True)
+
+
+class TestDispatchRouting:
+    def test_healthz(self, state):
+        assert dispatch(state, "GET", "/healthz", {}, None) == \
+            (200, {"ok": True})
+
+    def test_unknown_path_is_404(self, state):
+        status, payload = dispatch(state, "GET", "/nope", {}, None)
+        assert status == 404 and payload["error"] == "not-found"
+
+    def test_unknown_method_is_405(self, state):
+        status, payload = dispatch(state, "PUT", "/flows", {}, {})
+        assert status == 405 and payload["error"] == "method-not-allowed"
+
+    def test_provision_and_fetch(self, state):
+        status, payload = dispatch(
+            state, "POST", "/flows", {},
+            {"tenant": "t0", "src": "E-S", "dst": "E-D"},
+        )
+        assert status == 201
+        flow = payload["flow"]
+        assert (flow["route_id"], flow["modulus"]) == (44, 308)
+        status, fetched = dispatch(
+            state, "GET", f"/flows/{flow['flow_id']}", {}, None
+        )
+        assert status == 200 and fetched["flow"] == flow
+
+    def test_provision_missing_fields_is_400(self, state):
+        status, payload = dispatch(state, "POST", "/flows", {}, {})
+        assert status == 400 and payload["error"] == "bad-request"
+
+    def test_provision_non_json_body_is_400(self, state):
+        status, payload = dispatch(state, "POST", "/flows", {}, None)
+        assert status == 400 and payload["error"] == "bad-json"
+
+    def test_unknown_flow_is_404(self, state):
+        for method, path in (
+            ("GET", "/flows/f404"), ("DELETE", "/flows/f404"),
+        ):
+            status, payload = dispatch(state, method, path, {}, None)
+            assert status == 404 and payload["error"] == "unknown-flow"
+
+    def test_admission_rejection_is_409(self, state):
+        too_much = max(l.rate_mbps for l in state.graph.links()) + 1
+        status, payload = dispatch(
+            state, "POST", "/flows", {},
+            {"tenant": "t0", "src": "E-S", "dst": "E-D",
+             "bandwidth_mbps": too_much},
+        )
+        assert status == 409
+        assert payload["error"] == "insufficient-bandwidth"
+
+    def test_provision_error_is_400(self, state):
+        status, payload = dispatch(
+            state, "POST", "/flows", {},
+            {"tenant": "t0", "src": "E-S", "dst": "GHOST"},
+        )
+        assert status == 400 and payload["error"] == "unknown-node"
+
+    def test_tenant_filter_via_query(self, state):
+        for tenant in ("alice", "bob"):
+            dispatch(state, "POST", "/flows", {},
+                     {"tenant": tenant, "src": "E-S", "dst": "E-D"})
+        status, payload = dispatch(
+            state, "GET", "/flows", {"tenant": "bob"}, None
+        )
+        assert status == 200
+        assert [f["tenant"] for f in payload["flows"]] == ["bob"]
+
+    def test_topology_event_roundtrip(self, state):
+        status, summary = dispatch(
+            state, "POST", "/topology/events", {},
+            {"kind": "link_down", "a": "SW7", "b": "SW11"},
+        )
+        assert status == 200 and summary["changed"] is True
+        status, topo = dispatch(state, "GET", "/topology", {}, None)
+        assert ["SW11", "SW7"] in topo["links_down"]
+
+    def test_audit_endpoint(self, state):
+        status, payload = dispatch(state, "GET", "/audit", {}, None)
+        assert status == 200
+        assert payload == {"ok": True, "violations": []}
+
+
+class TestHttpTransport:
+    def test_end_to_end_over_a_real_socket(self):
+        graph = service_topology("six_node")
+        with ServiceThread(graph, validated_pool=True) as service:
+            client = ServiceClient("127.0.0.1", service.port)
+            try:
+                status, payload = client.get("/healthz")
+                assert (status, payload) == (200, {"ok": True})
+                status, payload = client.post(
+                    "/flows",
+                    {"tenant": "t0", "src": "E-S", "dst": "E-D"},
+                )
+                assert status == 201
+                flow = payload["flow"]
+                assert (flow["route_id"], flow["modulus"]) == (44, 308)
+                status, payload = client.delete(
+                    f"/flows/{flow['flow_id']}"
+                )
+                assert status == 200
+                status, payload = client.get("/stats")
+                assert payload["service"]["released"] == 1
+            finally:
+                client.close()
+
+    def test_concurrent_tenants_conserve_reservations(self):
+        graph = service_topology("torus33")
+        n_threads, ops_each = 4, 12
+        errors = []
+
+        def churn(worker: int):
+            client = ServiceClient("127.0.0.1", port)
+            try:
+                held = []
+                for i in range(ops_each):
+                    status, payload = client.post("/flows", {
+                        "tenant": f"w{worker}",
+                        "src": "E-SW0-0" if worker % 2 else "E-SW0-1",
+                        "dst": "E-SW2-2",
+                        "bandwidth_mbps": 3.0,
+                    })
+                    if status == 201:
+                        held.append(payload["flow"]["flow_id"])
+                    elif status != 409:
+                        errors.append((worker, status, payload))
+                    if i % 3 == 2 and held:
+                        status, payload = client.delete(
+                            f"/flows/{held.pop(0)}"
+                        )
+                        if status != 200:
+                            errors.append((worker, status, payload))
+                for flow_id in held:
+                    status, payload = client.delete(f"/flows/{flow_id}")
+                    if status != 200:
+                        errors.append((worker, status, payload))
+            finally:
+                client.close()
+
+        with ServiceThread(graph, validated_pool=True) as service:
+            port = service.port
+            threads = [
+                threading.Thread(target=churn, args=(w,))
+                for w in range(n_threads)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            client = ServiceClient("127.0.0.1", port)
+            try:
+                status, audit = client.get("/audit")
+                status2, stats = client.get("/stats")
+            finally:
+                client.close()
+
+        assert errors == []
+        # Reservations conserved: everything provisioned was released,
+        # so no link holds bandwidth, no flow is live, no orphans.
+        assert audit == {"ok": True, "violations": []}
+        assert stats["service"]["flows_live"] == 0
+        assert stats["admission"]["reserved_flows"] == 0
+        assert stats["admission"]["reserved_mbps"] == {}
+        accepted = stats["admission"]["accepted"]
+        assert accepted == stats["admission"]["released"]
+        rejected = sum(stats["admission"]["rejected"].values())
+        assert accepted + rejected == n_threads * ops_each
+
+    def test_run_sync_drives_the_same_state(self):
+        graph = service_topology("six_node")
+        with ServiceThread(graph, validated_pool=True) as service:
+            # run_sync hops onto the event loop thread, so this direct
+            # mutation cannot race the HTTP handlers.
+            record = service.run_sync(
+                ControllerState.provision, "t0", "E-S", "E-D"
+            )
+            client = ServiceClient("127.0.0.1", service.port)
+            try:
+                status, payload = client.get(
+                    f"/flows/{record.flow_id}"
+                )
+            finally:
+                client.close()
+            assert status == 200
+            assert payload["flow"]["route_id"] == record.route.route_id

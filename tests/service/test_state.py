@@ -1,0 +1,219 @@
+"""The controller state machine: flow lifecycle, repair, determinism."""
+
+import pytest
+
+from repro.controller.provision import ProvisionError
+from repro.rns.crt import crt
+from repro.service.state import ControllerState, UnknownFlowError
+from repro.service.topology import service_topology
+from repro.topology import NodeKind
+
+
+def fresh(topology="six_node"):
+    return ControllerState(service_topology(topology), validated_pool=True)
+
+
+class TestProvision:
+    def test_paper_route_on_six_node(self):
+        state = fresh()
+        record = state.provision("t0", "E-S", "E-D")
+        # The canonical Section 2.2 example: E-S→SW4→SW7→SW11→E-D
+        # encodes to route ID 44 under modulus 308.
+        assert record.node_path == ("E-S", "SW4", "SW7", "SW11", "E-D")
+        assert (record.route.route_id, record.route.modulus) == (44, 308)
+        assert record.qos is False
+        assert record.flow_id == "f00000001"
+
+    def test_flow_ids_are_sequential(self):
+        state = fresh()
+        a = state.provision("t0", "E-S", "E-D")
+        b = state.provision("t1", "E-D", "E-S")
+        assert [a.flow_id, b.flow_id] == ["f00000001", "f00000002"]
+
+    def test_qos_flow_reserves_bandwidth(self):
+        state = fresh()
+        record = state.provision("t0", "E-S", "E-D", bandwidth_mbps=10.0)
+        assert record.qos is True
+        held = state.ledger.flow_reservation(record.flow_id)
+        assert held is not None and held[0] == 10.0
+        assert state.audit() == []
+        state.release(record.flow_id)
+        assert state.ledger.flow_reservation(record.flow_id) is None
+
+    def test_latency_only_flow_is_qos_without_reservation(self):
+        state = fresh()
+        record = state.provision("t0", "E-S", "E-D", max_latency_s=1.0)
+        assert record.qos is True
+        assert state.ledger.flow_reservation(record.flow_id) is None
+
+    def test_route_matches_reference_crt(self):
+        state = fresh("torus33")
+        record = state.provision("t0", "E-SW0-0", "E-SW2-2")
+        residues = sorted(record.route.residue_map().items())
+        ref = crt([p for _, p in residues], [s for s, _ in residues])
+        assert ref == (record.route.route_id, record.route.modulus)
+
+    def test_negative_bandwidth_rejected(self):
+        with pytest.raises(ProvisionError) as exc:
+            fresh().provision("t0", "E-S", "E-D", bandwidth_mbps=-1.0)
+        assert exc.value.reason == "bad-request"
+
+    def test_release_unknown_flow(self):
+        with pytest.raises(UnknownFlowError):
+            fresh().release("f99999999")
+
+    def test_list_flows_filters_by_tenant(self):
+        state = fresh()
+        state.provision("alice", "E-S", "E-D")
+        state.provision("bob", "E-D", "E-S")
+        assert [f.tenant for f in state.list_flows()] == ["alice", "bob"]
+        assert [f.tenant for f in state.list_flows("bob")] == ["bob"]
+
+
+class TestReroute:
+    def test_best_effort_detour(self):
+        state = fresh()
+        record = state.provision("t0", "E-S", "E-D")
+        rerouted = state.reroute(record.flow_id, "SW7", "SW5")
+        assert rerouted.detoured is True
+        assert rerouted.route.residue_map()[7] == \
+            state.graph.port_of("SW7", "SW5")
+        # Untouched hops keep their residues — the incremental contract.
+        for sid, port in record.route.residue_map().items():
+            if sid != 7:
+                assert rerouted.route.residue_map()[sid] == port
+
+    def test_reserved_flow_refused(self):
+        state = fresh()
+        record = state.provision("t0", "E-S", "E-D", bandwidth_mbps=5.0)
+        with pytest.raises(ProvisionError) as exc:
+            state.reroute(record.flow_id, "SW7", "SW5")
+        assert exc.value.reason == "qos-reroute-unsupported"
+
+    def test_unknown_flow(self):
+        with pytest.raises(UnknownFlowError):
+            fresh().reroute("f00000042", "SW7", "SW5")
+
+
+class TestTopologyEvents:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ProvisionError) as exc:
+            fresh().topology_event("meteor_strike", "SW4", "SW7")
+        assert exc.value.reason == "bad-request"
+
+    def test_link_down_repairs_off_the_failed_link(self):
+        state = fresh()
+        record = state.provision("t0", "E-S", "E-D")
+        a, b = record.node_path[2], record.node_path[3]
+        summary = state.topology_event("link_down", a, b)
+        assert summary["changed"] is True
+        assert summary["repaired"] == [record.flow_id]
+        repaired = state.flow(record.flow_id)
+        down = state.engine.down_links
+        assert all(key not in down for key in repaired.links)
+        assert repaired.repairs == 1
+        assert state.audit() == []
+
+    def test_link_up_restores(self):
+        state = fresh()
+        state.topology_event("link_down", "SW4", "SW7")
+        summary = state.topology_event("link_up", "SW4", "SW7")
+        assert summary["changed"] is True
+        assert state.engine.down_links == frozenset()
+
+    def test_port_flap_leaves_link_up_but_repairs(self):
+        state = fresh()
+        record = state.provision("t0", "E-S", "E-D")
+        a, b = record.node_path[2], record.node_path[3]
+        summary = state.topology_event("port_flap", a, b)
+        assert summary["repaired"] == [record.flow_id]
+        assert state.engine.down_links == frozenset()
+
+    def test_qos_repair_moves_the_reservation(self):
+        state = fresh("torus33")
+        record = state.provision(
+            "t0", "E-SW0-0", "E-SW2-2", bandwidth_mbps=10.0
+        )
+        a, b = record.node_path[1], record.node_path[2]
+        state.topology_event("link_down", a, b)
+        repaired = state.flow(record.flow_id)
+        held = state.ledger.flow_reservation(record.flow_id)
+        assert held is not None
+        assert held[1] == repaired.links
+        assert state.audit() == []
+
+    def test_eviction_when_no_compliant_path_survives(self):
+        state = fresh()
+        record = state.provision("t0", "E-S", "E-D", bandwidth_mbps=10.0)
+        # Cut every core link that reaches E-D's attachment switch.
+        dst_switch = record.node_path[-2]
+        evicted = {}
+        for neighbor in sorted(state.graph.neighbors(dst_switch)):
+            if state.graph.node(neighbor).kind == NodeKind.CORE:
+                summary = state.topology_event(
+                    "link_down", dst_switch, neighbor
+                )
+                evicted.update(summary["evicted"])
+        assert evicted.get(record.flow_id) == "no-route"
+        assert record.flow_id not in state.flows
+        assert state.ledger.flow_reservation(record.flow_id) is None
+        assert state.evicted == {"no-route": 1}
+        assert state.audit() == []
+
+    def test_best_effort_repair_stays_incremental(self):
+        state = fresh("torus33")
+        records = [
+            state.provision("t0", "E-SW0-0", "E-SW2-2") for _ in range(3)
+        ]
+        before = state.engine.stats()
+        a, b = records[0].node_path[1], records[0].node_path[2]
+        state.topology_event("link_down", a, b)
+        after = state.engine.stats()
+        # Same-switch-set repairs fold through ReencodeDelta; no repair
+        # may ever hit the full CRT solver or the fallback encoder.
+        assert after["delta"]["full_solves"] == before["delta"]["full_solves"]
+        assert after["encoder"]["fallback"] == before["encoder"]["fallback"]
+        assert state.audit() == []
+
+
+class TestDeterminism:
+    OPS = [
+        ("provision", ("t0", "E-S", "E-D", 0.0)),
+        ("provision", ("t1", "E-D", "E-S", 5.0)),
+        ("event", ("port_flap", "SW7", "SW11")),
+        ("provision", ("t0", "E-S", "E-D", 0.0)),
+        ("release", ("f00000001",)),
+        ("event", ("link_down", "SW5", "SW7")),
+        ("event", ("link_up", "SW5", "SW7")),
+    ]
+
+    @staticmethod
+    def _transcript(state):
+        log = []
+        for op, args in TestDeterminism.OPS:
+            if op == "provision":
+                tenant, src, dst, bw = args
+                record = state.provision(tenant, src, dst,
+                                         bandwidth_mbps=bw)
+                log.append((record.flow_id, record.route.route_id,
+                            record.route.modulus, record.node_path))
+            elif op == "release":
+                log.append(state.release(*args).flow_id)
+            else:
+                log.append(tuple(sorted(state.topology_event(*args).items(),
+                                        key=lambda kv: kv[0])))
+        log.append(sorted(state.flows))
+        return log
+
+    def test_identical_op_sequences_are_bit_identical(self):
+        assert self._transcript(fresh()) == self._transcript(fresh())
+
+    def test_stats_are_json_shaped(self):
+        state = fresh()
+        state.provision("t0", "E-S", "E-D", bandwidth_mbps=1.0)
+        stats = state.stats()
+        assert set(stats) == {"service", "admission", "engine"}
+        assert stats["service"]["flows_live"] == 1
+        view = state.topology_view()
+        assert view["epoch"] == state.engine.epoch
+        assert all(link["up"] for link in view["links"])

@@ -322,3 +322,56 @@ class TestRunCommand:
         rc = main(["run", "--duration", "3.0"])
         assert rc == 0
         assert "failure=SW10-SW7" in capsys.readouterr().out
+
+
+class TestServiceParsers:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.topology == "torus33"
+        assert args.host == "127.0.0.1"
+        assert args.port == 8423
+
+    def test_serve_bad_topology_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--topology", "mobius"])
+
+    def test_loadgen_defaults(self):
+        args = build_parser().parse_args(["loadgen"])
+        assert args.topology == "torus33"
+        assert args.seeds == [0, 1]
+        assert args.users == 2000 and args.ops == 4000
+        assert args.qos == 0.3
+        assert args.transport == "http"
+        assert args.export is None
+        assert args.jobs == 1  # farm flags attached
+
+    def test_loadgen_bad_transport_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["loadgen", "--transport", "smtp"])
+
+    def test_bench_service_defaults(self):
+        args = build_parser().parse_args(["bench", "service"])
+        assert args.bench_command == "service"
+        assert args.out == "BENCH_service.json"
+        assert args.seed == 1 and args.repeats is None
+        assert not args.quick
+
+    def test_topologies_literal_matches_service_registry(self):
+        # Same pattern as _BENCH_SIZES: the CLI keeps a literal copy so
+        # the parser builds without importing the service package.
+        from repro.cli import _SERVICE_TOPOLOGIES
+        from repro.service.topology import SERVICE_TOPOLOGIES
+
+        assert sorted(_SERVICE_TOPOLOGIES) == sorted(SERVICE_TOPOLOGIES)
+
+
+class TestLoadgenCommand:
+    def test_small_direct_churn_run(self, capsys):
+        rc = main([
+            "loadgen", "--topology", "six_node", "--seeds", "1",
+            "--users", "20", "--ops", "60", "--transport", "direct",
+            "--no-cache", "--no-progress",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "[OK] six_node" in out and "0 total violations" in out
