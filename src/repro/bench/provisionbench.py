@@ -1,0 +1,381 @@
+"""``repro bench provision`` — all-pairs provisioning, naive vs vectorized.
+
+For each topology cell the benchmark provisions the **full ingress ×
+egress mesh** two ways:
+
+* **naive** — the per-flow :meth:`ProvisioningEngine.provision
+  <repro.controller.provision.ProvisioningEngine.provision>` loop, one
+  Python BFS tree per destination (memoized), one pooled CRT encode per
+  flow — the pre-bulk sequential path, exactly as a controller would
+  have run it;
+* **vectorized** — :class:`~repro.controller.bulk.BulkProvisioner`
+  cold-start: CSR conversion, frontier-batched numpy BFS per
+  destination, one :func:`~repro.rns.crt.crt_extend` per tree node.
+  The timed pass includes provisioner construction (CSR build) — the
+  cold-start number is what a controller restart pays.
+
+Honesty rules match the other benches, plus one this bench exists for:
+
+* **identity pre-pass before any timing** — every mesh pair's
+  vectorized route is compared against the per-flow engine field by
+  field (node path, hop tuple, route ID, modulus, out-port).  A cell
+  only reports a speedup after every one of its routes matched.
+* naive/vectorized repeats are interleaved; min wall time per mode.
+* On the planet-scale cell the naive mesh is too slow to repeat in
+  full, so naive timing samples whole destination blocks and
+  extrapolates — the artifact records ``pairs_timed`` and
+  ``estimated`` honestly.  The identity pre-pass is never sampled.
+* CI (``--quick``) asserts the identity flags only, never wall-clock.
+
+Results land in ``BENCH_provision.json``.  Destination blocks are
+independent, so the mesh also shards across farm workers
+(``bulkmesh`` job kind); the shard gate re-derives each block's
+canonical digest sequentially and requires equality.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.bench.artifact import finish_artifact
+from repro.controller.provision import ProvisioningEngine
+from repro.topology.generators import attach_edges
+from repro.topology.graph import NodeKind, PortGraph
+from repro.topology.zoo import abilene, fat_tree, load_zoo_graph
+
+__all__ = [
+    "CELLS",
+    "DEFAULT_CELLS",
+    "QUICK_CELLS",
+    "build_mesh_topology",
+    "run_provision_bench",
+    "render_provision_bench",
+    "shard_gate",
+]
+
+#: Topology cells.  ``naive_sample_destinations`` bounds the naive
+#: timing (None = time the full mesh); the identity pre-pass always
+#: covers every pair regardless.  ``target_s`` is the ISSUE's cold-start
+#: budget for the planet-scale cell.
+CELLS: Dict[str, Dict[str, Any]] = {
+    "abilene": dict(naive_sample_destinations=None, target_s=None),
+    "fat_tree4": dict(naive_sample_destinations=None, target_s=None),
+    "fat_tree8": dict(naive_sample_destinations=None, target_s=None),
+    "synthwan754": dict(naive_sample_destinations=4, target_s=5.0),
+}
+
+#: The committed-artifact matrix: one real WAN, one data-center fabric,
+#: one planet-scale graph.
+DEFAULT_CELLS: Tuple[str, ...] = ("abilene", "fat_tree8", "synthwan754")
+
+#: CI smoke matrix — the planet-scale cell is excluded (its identity
+#: pre-pass alone is minutes of per-flow provisioning).
+QUICK_CELLS: Tuple[str, ...] = ("abilene", "fat_tree4")
+
+
+def build_mesh_topology(name: str) -> PortGraph:
+    """A provisioning domain for one cell: core graph + edge per PoP.
+
+    Spawn-safe by name (farm workers re-import this module and call it
+    from the ``bulkmesh`` job), deterministic by construction: fat
+    trees attach edges to their edge-layer switches, WANs to every PoP.
+    """
+    if name == "abilene":
+        g = abilene()
+    elif name.startswith("fat_tree"):
+        k = int(name[len("fat_tree"):])
+        g = fat_tree(k)
+        attach_edges(
+            g,
+            sorted(
+                n.name for n in g.nodes(NodeKind.CORE)
+                if n.name.startswith("edgesw-")
+            ),
+        )
+        return g
+    elif name == "synthwan754":
+        g = load_zoo_graph("synthwan754")
+    else:
+        raise ValueError(
+            f"unknown provisioning cell {name!r}; choose from {sorted(CELLS)}"
+        )
+    attach_edges(g)
+    return g
+
+
+def _verify_identity(graph: PortGraph) -> Tuple[bool, int]:
+    """Compare EVERY vectorized mesh route against the per-flow engine.
+
+    Field-by-field: node path, hop tuple, route ID, modulus, out-port.
+    Returns ``(all_identical, pairs_checked)``.
+    """
+    from repro.controller.bulk import BulkProvisioner
+
+    engine = ProvisioningEngine(graph, validated_pool=True)
+    bp = BulkProvisioner(graph)
+    checked = 0
+    for row in bp.iter_full_mesh():
+        blk = row.block
+        for src, entry, port, rid, mod in zip(
+            row.src_edges,
+            row.entries.tolist(),
+            row.out_ports.tolist(),
+            row.route_ids,
+            row.moduli,
+        ):
+            ref = engine.provision(src, row.dst_edge)
+            if (
+                ref.route.route_id != rid
+                or ref.route.modulus != mod
+                or ref.out_port != int(port)
+                or ref.node_path != (src,) + blk.branch_names(entry)
+                or ref.route.hops != blk.hops(entry)
+            ):
+                return False, checked
+            checked += 1
+    return True, checked
+
+
+def _time_vectorized(graph: PortGraph) -> Tuple[float, str, int]:
+    """Cold-start full mesh: construction + trees + encode + digest."""
+    from repro.controller.bulk import BulkProvisioner, mesh_digest
+
+    start = time.perf_counter()
+    bp = BulkProvisioner(graph)
+    digest, routes = mesh_digest(bp.iter_full_mesh())
+    return time.perf_counter() - start, digest, routes
+
+
+def _time_naive(
+    graph: PortGraph, pairs: Sequence[Tuple[str, str]]
+) -> float:
+    """Per-flow mesh over *pairs*: cold trees, warm CRT pool.
+
+    Engine (pool) construction is excluded — that favors the naive
+    side, which keeps the reported speedup conservative.
+    """
+    engine = ProvisioningEngine(graph, validated_pool=True)
+    provision = engine.provision
+    start = time.perf_counter()
+    for src, dst in pairs:
+        provision(src, dst)
+    return time.perf_counter() - start
+
+
+def _naive_pairs(
+    graph: PortGraph, sample_destinations: Optional[int], seed: int
+) -> Tuple[List[Tuple[str, str]], bool]:
+    """The naive timing workload: full mesh, or whole sampled blocks."""
+    from repro.controller.bulk import full_mesh_pairs
+
+    pairs = full_mesh_pairs(graph)
+    if sample_destinations is None:
+        return pairs, False
+    dests = sorted({d for _, d in pairs})
+    if sample_destinations >= len(dests):
+        return pairs, False
+    rng = random.Random(seed * 6151 + len(dests))
+    picked = set(rng.sample(dests, sample_destinations))
+    return [(s, d) for s, d in pairs if d in picked], True
+
+
+def run_provision_bench(
+    cells: Optional[Sequence[str]] = None,
+    seed: int = 1,
+    quick: bool = False,
+    repeats: Optional[int] = None,
+    out: Optional[str] = "BENCH_provision.json",
+    shards: Optional[bool] = None,
+) -> Dict[str, Any]:
+    """Run the naive/vectorized mesh matrix; optionally write *out*.
+
+    ``quick`` swaps in the smoke matrix (:data:`QUICK_CELLS`) and trims
+    repeats; the identity pre-pass still covers every pair of every
+    cell that runs.  ``shards`` controls the farm shard gate (default:
+    on; it spawns worker processes, so callers embedding the bench can
+    disable it).
+    """
+    if cells is None:
+        cells = QUICK_CELLS if quick else DEFAULT_CELLS
+    for name in cells:
+        if name not in CELLS:
+            raise ValueError(
+                f"unknown cell {name!r}; choose from {sorted(CELLS)}"
+            )
+    if repeats is None:
+        repeats = 2 if quick else 3
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    if shards is None:
+        shards = True
+
+    from repro.controller.bulk import full_mesh_pairs
+
+    records: List[Dict[str, Any]] = []
+    for name in cells:
+        cfg = CELLS[name]
+        graph = build_mesh_topology(name)
+        n_core = len(list(graph.nodes(NodeKind.CORE)))
+        n_edge = len(list(graph.nodes(NodeKind.EDGE)))
+        total_pairs = len(full_mesh_pairs(graph))
+
+        # Bit-identity first — a speedup over wrong route IDs is not a
+        # speedup.  Every pair, never sampled.
+        bit_identical, verified = _verify_identity(graph)
+
+        naive_pairs, estimated = _naive_pairs(
+            graph, cfg["naive_sample_destinations"], seed
+        )
+        naive_times: List[float] = []
+        vec_times: List[float] = []
+        digest = ""
+        routes = 0
+        for _ in range(repeats):
+            naive_times.append(_time_naive(graph, naive_pairs))
+            wall, digest, routes = _time_vectorized(graph)
+            vec_times.append(wall)
+        naive_s = min(naive_times)
+        vec_s = min(vec_times)
+        naive_full_s = naive_s * (total_pairs / len(naive_pairs))
+        target_s = cfg["target_s"]
+        records.append({
+            "cell": name,
+            "core_nodes": n_core,
+            "edge_nodes": n_edge,
+            "pairs": total_pairs,
+            "identity": {
+                "bit_identical": bit_identical,
+                "verified_pairs": verified,
+            },
+            "naive": {
+                "wall_s": round(naive_s, 6),
+                "pairs_timed": len(naive_pairs),
+                "estimated": estimated,
+                "estimated_full_wall_s": round(naive_full_s, 6),
+                "routes_per_sec": round(len(naive_pairs) / naive_s),
+            },
+            "vectorized": {
+                "wall_s": round(vec_s, 6),
+                "cold_start": True,
+                "routes_per_sec": round(routes / vec_s),
+            },
+            "speedup": round(naive_full_s / vec_s, 2),
+            "mesh_digest": digest,
+            "target_s": target_s,
+            "target_met": (vec_s < target_s) if target_s else None,
+        })
+
+    gate = shard_gate(jobs=2) if shards else None
+    result: Dict[str, Any] = {
+        "bench": "repro.provision",
+        "quick": quick,
+        "repeats": repeats,
+        "seed": seed,
+        "cells": records,
+        "bit_identical_reference": all(
+            c["identity"]["bit_identical"] for c in records
+        ),
+        "targets_met": all(
+            c["target_met"] is not False for c in records
+        ),
+        "shard_gate": gate,
+    }
+    return finish_artifact(result, out)
+
+
+def shard_gate(
+    topology: str = "abilene", blocks: int = 2, jobs: int = 2
+) -> Dict[str, Any]:
+    """Shard one mesh across farm workers and gate the block digests.
+
+    Destinations split into *blocks* contiguous chunks; each chunk runs
+    as one ``bulkmesh`` job in a worker process.  The gate re-derives
+    every block's canonical digest sequentially in this process and
+    requires byte equality — a shard that drifted (stale import, wrong
+    fixture, nondeterminism) cannot slip a block into the mesh.
+    """
+    from repro.controller.bulk import BulkProvisioner, mesh_digest
+    from repro.farm.executor import FarmOptions, run_specs
+    from repro.farm.jobs import bulkmesh_spec
+
+    graph = build_mesh_topology(topology)
+    bp = BulkProvisioner(graph)
+    dests = bp.edge_names
+    if not 1 <= blocks <= len(dests):
+        raise ValueError(
+            f"blocks must be in 1..{len(dests)}, got {blocks}"
+        )
+    size = (len(dests) + blocks - 1) // blocks
+    chunks = [dests[i:i + size] for i in range(0, len(dests), size)]
+    specs = [bulkmesh_spec(topology, chunk) for chunk in chunks]
+    options = FarmOptions(
+        jobs=jobs, no_cache=True, progress=False, label="bulkmesh"
+    )
+    results = run_specs(specs, options, label="bulkmesh")
+    gates: List[Dict[str, Any]] = []
+    all_match = True
+    for chunk, record in zip(chunks, results):
+        seq_digest, seq_routes = mesh_digest(
+            bp.mesh_row(d) for d in chunk
+        )
+        mesh = record["mesh"]
+        match = (
+            mesh["mesh_digest"] == seq_digest
+            and mesh["routes"] == seq_routes
+        )
+        all_match = all_match and match
+        gates.append({
+            "destinations": len(chunk),
+            "routes": mesh["routes"],
+            "shard_digest": mesh["mesh_digest"],
+            "sequential_digest": seq_digest,
+            "match": match,
+        })
+    return {
+        "topology": topology,
+        "blocks": blocks,
+        "jobs": jobs,
+        "gates": gates,
+        "digests_match": all_match,
+    }
+
+
+def render_provision_bench(result: Dict[str, Any]) -> str:
+    lines = [
+        f"provision bench — naive per-flow vs vectorized bulk "
+        f"(seed {result['seed']}, {result['cpu_count']} CPU(s))",
+        f"  {'cell':<12} {'cores':>6} {'pairs':>8} {'naive rt/s':>11} "
+        f"{'bulk rt/s':>10} {'speedup':>8} {'cold wall':>10}  "
+        f"identical  target",
+    ]
+    for c in result["cells"]:
+        target = "-"
+        if c["target_s"]:
+            target = (
+                f"<{c['target_s']:g}s "
+                f"{'met' if c['target_met'] else 'MISSED'}"
+            )
+        naive_note = "~" if c["naive"]["estimated"] else ""
+        lines.append(
+            f"  {c['cell']:<12} {c['core_nodes']:>6} {c['pairs']:>8} "
+            f"{naive_note}{c['naive']['routes_per_sec']:>10} "
+            f"{c['vectorized']['routes_per_sec']:>10} "
+            f"{c['speedup']:>7}x "
+            f"{c['vectorized']['wall_s']:>9.3f}s  "
+            f"{'yes' if c['identity']['bit_identical'] else 'NO':<9}  "
+            f"{target}"
+        )
+    lines.append(
+        f"  bit-identical to per-flow reference: "
+        f"{result['bit_identical_reference']}"
+    )
+    gate = result.get("shard_gate")
+    if gate:
+        lines.append(
+            f"  farm shard gate ({gate['topology']}, "
+            f"{gate['blocks']} blocks x {gate['jobs']} jobs): "
+            f"digests match = {gate['digests_match']}"
+        )
+    return "\n".join(lines)

@@ -23,6 +23,10 @@ runner:
 * ``bench crt`` — control-plane encoder benchmark: naive vs pooled vs
   incremental re-encode, every cell verified bit-identical to the
   reference ``crt()`` solver.
+* ``bench provision`` — all-pairs provisioning benchmark over real ISP
+  topologies: per-flow naive vs vectorized CSR bulk path, every route
+  ID verified bit-identical to the per-flow reference before timing,
+  with a farm shard gate on destination-block digests.
 * ``bench service`` — controller-service benchmark: provision req/sec,
   reroute req/sec, p50/p99 latency and admission accept/reject counts,
   with route-ID bit-identity to the offline engine asserted first.
@@ -82,6 +86,13 @@ _ORACLE_NAMES = ("datapath", "encoder", "strategy", "walk", "wire")
 #: Kept in sync with repro.bench.crtbench.POOLS (asserted by tests);
 #: listed literally so the parser builds without importing the bench.
 _BENCH_POOLS = ("small", "medium", "large")
+
+#: Kept in sync with repro.bench.provisionbench.CELLS (asserted by
+#: tests); listed literally so the parser builds without importing the
+#: bench (which imports numpy).
+_BENCH_PROVISION_CELLS = (
+    "abilene", "fat_tree4", "fat_tree8", "synthwan754",
+)
 
 #: Kept in sync with repro.service.topology.SERVICE_TOPOLOGIES
 #: (asserted by tests); listed literally so the parser builds without
@@ -337,6 +348,33 @@ def build_parser() -> argparse.ArgumentParser:
                           "(default: 2 quick, 20 full)")
     crt.add_argument("--out", default="BENCH_crt.json",
                      help="result file (default: %(default)s)")
+    provision = perf_sub.add_parser(
+        "provision",
+        help="all-pairs provisioning benchmark: per-flow naive vs "
+             "vectorized CSR bulk path, every route ID verified "
+             "bit-identical before timing",
+    )
+    provision.add_argument("--quick", action="store_true",
+                           help="CI smoke matrix (small cells only; "
+                                "identity checks still cover every "
+                                "pair that runs)")
+    provision.add_argument("--cells", nargs="+",
+                           choices=_BENCH_PROVISION_CELLS,
+                           default=None, metavar="CELL",
+                           help="topology cells to run (choices: "
+                                f"{', '.join(_BENCH_PROVISION_CELLS)})")
+    provision.add_argument("--seed", type=int, default=1)
+    provision.add_argument("--repeats", type=int, default=None,
+                           metavar="K",
+                           help="timing repeats per mode, min is "
+                                "reported (default: 2 quick, 3 full)")
+    provision.add_argument("--shards",
+                           action=argparse.BooleanOptionalAction,
+                           default=True,
+                           help="run the farm shard gate (worker "
+                                "processes + block digest equality)")
+    provision.add_argument("--out", default="BENCH_provision.json",
+                           help="result file (default: %(default)s)")
     service = perf_sub.add_parser(
         "service",
         help="controller-service benchmark: provision req/sec, p50/p99 "
@@ -672,6 +710,30 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         if args.out:
             print(f"wrote {args.out}")
         return 0 if result["bit_identical_reference"] else 1
+    if args.bench_command == "provision":
+        from repro.bench.provisionbench import (
+            render_provision_bench,
+            run_provision_bench,
+        )
+
+        result = run_provision_bench(
+            cells=args.cells,
+            seed=args.seed,
+            quick=args.quick,
+            repeats=args.repeats,
+            out=args.out,
+            shards=args.shards,
+        )
+        print(render_provision_bench(result))
+        if args.out:
+            print(f"wrote {args.out}")
+        gate = result.get("shard_gate")
+        ok = (
+            result["bit_identical_reference"]
+            and result["targets_met"]
+            and (gate is None or gate["digests_match"])
+        )
+        return 0 if ok else 1
     if args.bench_command == "service":
         from repro.bench.servicebench import (
             render_service_bench,

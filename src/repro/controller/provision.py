@@ -142,9 +142,15 @@ class DestinationTree:
 
     ``parent[x]`` is switch x's next node toward the destination;
     ``depth[x]`` its hop distance.  Built by BFS over the core subgraph
-    with name-sorted frontier expansion, so the parent choice among
-    equal-depth alternatives is deterministic and independent of port
-    numbering or insertion order.
+    with the frontier kept **name-sorted at every level**, which pins
+    the canonical tie-break: among equal-depth alternatives,
+    ``parent[x]`` is always the *smallest-named* node at
+    ``depth[x] - 1`` adjacent to x — deterministic, independent of port
+    numbering or insertion order, and exactly reproducible by the
+    vectorized CSR pass (:func:`repro.topology.csr
+    .destination_tree_arrays` picks parents by smallest node index over
+    name-sorted indexing, which is the same rule).  Tests lock the two
+    implementations together bit-for-bit.
 
     ``down`` is the set of canonical link keys currently failed: those
     links are skipped, so the tree describes the *residual* topology.
@@ -187,7 +193,11 @@ class DestinationTree:
                     depth[nb] = depth[cur] + 1
                     parent[nb] = cur
                     nxt.append(nb)
-            frontier = nxt
+            # Keeping the next frontier name-sorted is what makes the
+            # first-wins claim above equal "smallest-named parent at the
+            # previous depth" — the canonical tie-break the vectorized
+            # pass reproduces.
+            frontier = sorted(nxt)
         self.parent = parent
         self.depth = depth
 
@@ -223,23 +233,37 @@ class ProvisioningEngine:
     instead of resetting the evidence.
     """
 
+    #: Per-destination batch-group size at which ``provision_batch``
+    #: switches from the per-flow loop to the vectorized bulk path.
+    #: Below it, CSR conversion + array trees cost more than they save.
+    BULK_MIN_SOURCES = 8
+
     def __init__(
         self,
         graph: PortGraph,
         default_ttl: int = DEFAULT_TTL,
         validated_pool: bool = False,
+        bulk_threshold: Optional[int] = None,
     ):
         self.graph = graph
         self.default_ttl = default_ttl
         self._validated_pool = validated_pool
+        self.bulk_threshold = (
+            self.BULK_MIN_SOURCES if bulk_threshold is None else bulk_threshold
+        )
         self.epoch = 0
         self._trees: Dict[str, DestinationTree] = {}
+        self._bulk: Any = None
         self._down: set = set()
         self.trees_built = 0
         self.tree_hits = 0
         self.provisions = 0
         self.batches = 0
         self.batch_flows = 0
+        self.bulk_batches = 0
+        self.bulk_routes = 0
+        self.bulk_trees_built = 0
+        self.bulk_block_hits = 0
         self.reroutes = 0
         self.epoch_bumps = 0
         self.full_rebuilds = 0
@@ -291,6 +315,7 @@ class ProvisioningEngine:
         self.epoch_bumps += 1
         self.full_rebuilds += 1
         self._trees.clear()
+        self._retire_bulk()
         self._retire_counters()
         self._rebuild_epoch_state()
 
@@ -308,6 +333,7 @@ class ProvisioningEngine:
         self.epoch_bumps += 1
         self.link_invalidations += 1
         self._trees.clear()
+        self._retire_bulk()
         self.planner = CachedProtectionPlanner(self.graph)
 
     # ------------------------------------------------------------------
@@ -353,6 +379,39 @@ class ProvisioningEngine:
         self._down.discard(key)
         self.note_link_change()
         return True
+
+    # ------------------------------------------------------------------
+    # bulk provisioner (lazy, per epoch)
+    # ------------------------------------------------------------------
+    def _retire_bulk(self) -> None:
+        """Bank the outgoing bulk provisioner's counters and drop it."""
+        bp = self._bulk
+        if bp is not None and bp is not False:
+            self.bulk_trees_built += bp.trees_built
+            self.bulk_block_hits += bp.block_hits
+        self._bulk = None
+
+    def _bulk_provisioner(self):
+        """This epoch's :class:`~repro.controller.bulk.BulkProvisioner`.
+
+        Built lazily on the first qualifying batch and invalidated with
+        the destination trees (it snapshots the same residual
+        topology).  Returns None when numpy is unavailable — callers
+        fall back to the per-flow loop, so the engine's behavior never
+        depends on the accelerator being importable.
+        """
+        if self._bulk is False:
+            return None
+        if self._bulk is None:
+            try:
+                from repro.controller.bulk import BulkProvisioner
+            except ImportError:
+                self._bulk = False
+                return None
+            self._bulk = BulkProvisioner(
+                self.graph, down=frozenset(self._down)
+            )
+        return self._bulk
 
     # ------------------------------------------------------------------
     # destination trees
@@ -468,19 +527,84 @@ class ProvisioningEngine:
         return self.encode_path(self.select_path(src_edge, dst_edge))
 
     def provision_batch(
-        self, pairs: Iterable[Tuple[str, str]]
+        self,
+        pairs: Iterable[Tuple[str, str]],
+        bulk: Optional[bool] = None,
     ) -> List[ProvisionedRoute]:
         """Provision many ``(src_edge, dst_edge)`` flows in one pass.
 
-        Order-preserving; destination trees and CRT subset contexts are
-        shared across the batch, which is where the amortization pays:
-        the first flow to a destination builds its tree, every further
-        flow reuses it.
+        Order-preserving.  Pairs are grouped by destination; groups
+        with at least :attr:`bulk_threshold` distinct sources go
+        through the vectorized bulk path
+        (:class:`~repro.controller.bulk.BulkProvisioner`: one CSR
+        conversion per epoch, one array BFS per destination, one
+        incremental CRT extension per tree node), the rest through the
+        per-flow loop.  Both paths produce object-for-object equal
+        :class:`ProvisionedRoute`\\ s — the bulk path is a strict
+        speedup, never a different answer, and the property suite in
+        ``tests/controller/test_bulk.py`` holds them bit-identical.
+
+        Args:
+            bulk: force the dispatch — True sends every destination
+                group through the bulk path regardless of size, False
+                disables it entirely, None (default) applies the
+                threshold.  numpy being unavailable silently degrades
+                to per-flow.
         """
-        routes = [self.provision(src, dst) for src, dst in pairs]
+        pair_list = list(pairs)
+        bulk_map: Dict[Tuple[str, str], ProvisionedRoute] = {}
+        if bulk is not False and pair_list:
+            by_dst: Dict[str, set] = {}
+            for src, dst in pair_list:
+                by_dst.setdefault(dst, set()).add(src)
+            floor = 1 if bulk else self.bulk_threshold
+            eligible = sorted(
+                d for d, s in by_dst.items() if len(s) >= floor
+            )
+            bp = self._bulk_provisioner() if eligible else None
+            if bp is not None:
+                for dst in eligible:
+                    srcs = by_dst[dst]
+                    if dst in srcs:
+                        raise ProvisionError(
+                            "same-edge",
+                            f"flow endpoints share the edge {dst!r}; "
+                            f"no core route to provision",
+                        )
+                    self._require_edge(dst)
+                    for src in srcs:
+                        self._require_edge(src)
+                    got = bp.routes_for(dst, sorted(srcs))
+                    for src, route in got.items():
+                        bulk_map[(src, dst)] = route
+                    self.bulk_batches += 1
+                    self.bulk_routes += len(got)
+        routes: List[ProvisionedRoute] = []
+        for src, dst in pair_list:
+            route = bulk_map.get((src, dst))
+            if route is None:
+                route = self.provision(src, dst)
+            else:
+                self.provisions += 1
+            routes.append(route)
         self.batches += 1
         self.batch_flows += len(routes)
         return routes
+
+    def provision_full_mesh(
+        self, bulk: Optional[bool] = None
+    ) -> List[ProvisionedRoute]:
+        """Provision every ordered edge pair, destination-major.
+
+        The canonical mesh order (destinations ascending by name,
+        sources ascending within each) — the order
+        :func:`repro.controller.bulk.full_mesh_pairs` enumerates and
+        the mesh digests hash.
+        """
+        edges = sorted(n.name for n in self.graph.nodes(NodeKind.EDGE))
+        return self.provision_batch(
+            [(s, d) for d in edges for s in edges if s != d], bulk=bulk
+        )
 
     # ------------------------------------------------------------------
     # failure-time updates
@@ -594,6 +718,18 @@ class ProvisioningEngine:
             "reroutes": self.reroutes,
             "links_down": len(self._down),
             "trees": {"built": self.trees_built, "hits": self.tree_hits},
+            "bulk": {
+                "batches": self.bulk_batches,
+                "routes": self.bulk_routes,
+                "trees_built": self.bulk_trees_built + (
+                    self._bulk.trees_built
+                    if self._bulk not in (None, False) else 0
+                ),
+                "block_hits": self.bulk_block_hits + (
+                    self._bulk.block_hits
+                    if self._bulk not in (None, False) else 0
+                ),
+            },
             "epochs": {
                 "bumps": self.epoch_bumps,
                 "full_rebuilds": self.full_rebuilds,

@@ -35,6 +35,7 @@ __all__ = [
     "egcd",
     "modular_inverse",
     "crt",
+    "crt_extend",
     "pairwise_coprime",
     "first_noncoprime_pair",
     "CrtError",
@@ -209,3 +210,46 @@ def crt(
         L_i = modular_inverse(M_i, s)
         total += p * M_i * L_i
     return total % M, M
+
+
+def crt_extend(
+    route_id: int, modulus: int, switch_id: int, port: int
+) -> Tuple[int, int]:
+    """Extend a solved CRT system by one congruence, incrementally.
+
+    Given the unique ``route_id`` in ``[0, modulus)`` of an existing
+    system, fold in ``x ≡ port (mod switch_id)`` and return the unique
+    solution of the extended system in ``[0, modulus * switch_id)`` —
+    bit-identical to re-solving the whole system with :func:`crt`, in
+    O(1) modular operations::
+
+        x = R + M * t   with   t = <(port - R) * M^{-1}>_{switch_id}
+
+    This is the primitive behind both incremental protection
+    (:meth:`repro.rns.encoder.RouteEncoder.with_hop`) and the bulk
+    provisioner's down-tree encoding (:mod:`repro.controller.bulk`):
+    a child's route shares every residue of its parent's route plus one
+    new hop, so the whole all-pairs mesh costs one ``crt_extend`` per
+    (destination, switch) instead of one full solve per flow.
+
+    Raises:
+        CrtError: on a residue out of range.
+        NotCoprimeError: when ``switch_id`` shares a factor with
+            ``modulus``.
+
+    >>> crt_extend(44, 308, 5, 0)
+    (660, 1540)
+    >>> crt_extend(*crt([0], [4]), 7, 2)[0] % 7
+    2
+    """
+    if switch_id <= 1:
+        raise CrtError(f"modulus must be > 1, got {switch_id}")
+    if not 0 <= port < switch_id:
+        raise CrtError(
+            f"residue {port} out of range for modulus {switch_id}: "
+            f"a switch with ID {switch_id} only has ports "
+            f"0..{switch_id - 1} addressable"
+        )
+    inv = modular_inverse(modulus, switch_id)
+    t = ((port - route_id) * inv) % switch_id
+    return route_id + modulus * t, modulus * switch_id

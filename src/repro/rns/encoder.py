@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.rns.bitlength import route_id_bit_length
-from repro.rns.crt import CrtError, crt, modular_inverse
+from repro.rns.crt import CrtError, crt, crt_extend
 
 __all__ = ["Hop", "EncodedRoute", "RouteEncoder", "DuplicateSwitchError"]
 
@@ -194,14 +194,12 @@ class RouteEncoder:
         """
         if route.encodes(hop.switch_id):
             raise DuplicateSwitchError(hop.switch_id)
-        M, s = route.modulus, hop.switch_id
-        # x = R + M * t  with  (R + M*t) ≡ port (mod s)  =>
-        # t ≡ (port - R) * M^{-1} (mod s)
-        inv = modular_inverse(M, s)  # raises NotCoprimeError when gcd != 1
-        t = ((hop.port - route.route_id) * inv) % s
-        new_id = route.route_id + M * t
+        # crt_extend raises NotCoprimeError when gcd(M, s) != 1.
+        new_id, new_modulus = crt_extend(
+            route.route_id, route.modulus, hop.switch_id, hop.port
+        )
         return EncodedRoute(
-            route_id=new_id, modulus=M * s, hops=route.hops + (hop,),
+            route_id=new_id, modulus=new_modulus, hops=route.hops + (hop,),
             _residues={**route.residue_map(), hop.switch_id: hop.port},
         )
 

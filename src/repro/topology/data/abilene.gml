@@ -1,0 +1,104 @@
+graph [
+  directed 0
+  label "Abilene (Internet2 research backbone, 11 PoPs)"
+  node [
+    id 0
+    label "Seattle"
+  ]
+  node [
+    id 1
+    label "Sunnyvale"
+  ]
+  node [
+    id 2
+    label "Denver"
+  ]
+  node [
+    id 3
+    label "LosAngeles"
+  ]
+  node [
+    id 4
+    label "Houston"
+  ]
+  node [
+    id 5
+    label "KansasCity"
+  ]
+  node [
+    id 6
+    label "Indianapolis"
+  ]
+  node [
+    id 7
+    label "Atlanta"
+  ]
+  node [
+    id 8
+    label "Chicago"
+  ]
+  node [
+    id 9
+    label "NewYork"
+  ]
+  node [
+    id 10
+    label "Washington"
+  ]
+  edge [
+    source 0
+    target 1
+  ]
+  edge [
+    source 0
+    target 2
+  ]
+  edge [
+    source 1
+    target 3
+  ]
+  edge [
+    source 1
+    target 2
+  ]
+  edge [
+    source 3
+    target 4
+  ]
+  edge [
+    source 2
+    target 5
+  ]
+  edge [
+    source 5
+    target 4
+  ]
+  edge [
+    source 5
+    target 6
+  ]
+  edge [
+    source 4
+    target 7
+  ]
+  edge [
+    source 6
+    target 8
+  ]
+  edge [
+    source 6
+    target 7
+  ]
+  edge [
+    source 8
+    target 9
+  ]
+  edge [
+    source 7
+    target 10
+  ]
+  edge [
+    source 9
+    target 10
+  ]
+]

@@ -1,0 +1,6596 @@
+graph [
+  directed 0
+  label "SynthWAN-754 (deterministic synthetic WAN, seed 20260808)"
+  node [
+    id 0
+    label "POP0000"
+  ]
+  node [
+    id 1
+    label "POP0001"
+  ]
+  node [
+    id 2
+    label "POP0002"
+  ]
+  node [
+    id 3
+    label "POP0003"
+  ]
+  node [
+    id 4
+    label "POP0004"
+  ]
+  node [
+    id 5
+    label "POP0005"
+  ]
+  node [
+    id 6
+    label "POP0006"
+  ]
+  node [
+    id 7
+    label "POP0007"
+  ]
+  node [
+    id 8
+    label "POP0008"
+  ]
+  node [
+    id 9
+    label "POP0009"
+  ]
+  node [
+    id 10
+    label "POP0010"
+  ]
+  node [
+    id 11
+    label "POP0011"
+  ]
+  node [
+    id 12
+    label "POP0012"
+  ]
+  node [
+    id 13
+    label "POP0013"
+  ]
+  node [
+    id 14
+    label "POP0014"
+  ]
+  node [
+    id 15
+    label "POP0015"
+  ]
+  node [
+    id 16
+    label "POP0016"
+  ]
+  node [
+    id 17
+    label "POP0017"
+  ]
+  node [
+    id 18
+    label "POP0018"
+  ]
+  node [
+    id 19
+    label "POP0019"
+  ]
+  node [
+    id 20
+    label "POP0020"
+  ]
+  node [
+    id 21
+    label "POP0021"
+  ]
+  node [
+    id 22
+    label "POP0022"
+  ]
+  node [
+    id 23
+    label "POP0023"
+  ]
+  node [
+    id 24
+    label "POP0024"
+  ]
+  node [
+    id 25
+    label "POP0025"
+  ]
+  node [
+    id 26
+    label "POP0026"
+  ]
+  node [
+    id 27
+    label "POP0027"
+  ]
+  node [
+    id 28
+    label "POP0028"
+  ]
+  node [
+    id 29
+    label "POP0029"
+  ]
+  node [
+    id 30
+    label "POP0030"
+  ]
+  node [
+    id 31
+    label "POP0031"
+  ]
+  node [
+    id 32
+    label "POP0032"
+  ]
+  node [
+    id 33
+    label "POP0033"
+  ]
+  node [
+    id 34
+    label "POP0034"
+  ]
+  node [
+    id 35
+    label "POP0035"
+  ]
+  node [
+    id 36
+    label "POP0036"
+  ]
+  node [
+    id 37
+    label "POP0037"
+  ]
+  node [
+    id 38
+    label "POP0038"
+  ]
+  node [
+    id 39
+    label "POP0039"
+  ]
+  node [
+    id 40
+    label "POP0040"
+  ]
+  node [
+    id 41
+    label "POP0041"
+  ]
+  node [
+    id 42
+    label "POP0042"
+  ]
+  node [
+    id 43
+    label "POP0043"
+  ]
+  node [
+    id 44
+    label "POP0044"
+  ]
+  node [
+    id 45
+    label "POP0045"
+  ]
+  node [
+    id 46
+    label "POP0046"
+  ]
+  node [
+    id 47
+    label "POP0047"
+  ]
+  node [
+    id 48
+    label "POP0048"
+  ]
+  node [
+    id 49
+    label "POP0049"
+  ]
+  node [
+    id 50
+    label "POP0050"
+  ]
+  node [
+    id 51
+    label "POP0051"
+  ]
+  node [
+    id 52
+    label "POP0052"
+  ]
+  node [
+    id 53
+    label "POP0053"
+  ]
+  node [
+    id 54
+    label "POP0054"
+  ]
+  node [
+    id 55
+    label "POP0055"
+  ]
+  node [
+    id 56
+    label "POP0056"
+  ]
+  node [
+    id 57
+    label "POP0057"
+  ]
+  node [
+    id 58
+    label "POP0058"
+  ]
+  node [
+    id 59
+    label "POP0059"
+  ]
+  node [
+    id 60
+    label "POP0060"
+  ]
+  node [
+    id 61
+    label "POP0061"
+  ]
+  node [
+    id 62
+    label "POP0062"
+  ]
+  node [
+    id 63
+    label "POP0063"
+  ]
+  node [
+    id 64
+    label "POP0064"
+  ]
+  node [
+    id 65
+    label "POP0065"
+  ]
+  node [
+    id 66
+    label "POP0066"
+  ]
+  node [
+    id 67
+    label "POP0067"
+  ]
+  node [
+    id 68
+    label "POP0068"
+  ]
+  node [
+    id 69
+    label "POP0069"
+  ]
+  node [
+    id 70
+    label "POP0070"
+  ]
+  node [
+    id 71
+    label "POP0071"
+  ]
+  node [
+    id 72
+    label "POP0072"
+  ]
+  node [
+    id 73
+    label "POP0073"
+  ]
+  node [
+    id 74
+    label "POP0074"
+  ]
+  node [
+    id 75
+    label "POP0075"
+  ]
+  node [
+    id 76
+    label "POP0076"
+  ]
+  node [
+    id 77
+    label "POP0077"
+  ]
+  node [
+    id 78
+    label "POP0078"
+  ]
+  node [
+    id 79
+    label "POP0079"
+  ]
+  node [
+    id 80
+    label "POP0080"
+  ]
+  node [
+    id 81
+    label "POP0081"
+  ]
+  node [
+    id 82
+    label "POP0082"
+  ]
+  node [
+    id 83
+    label "POP0083"
+  ]
+  node [
+    id 84
+    label "POP0084"
+  ]
+  node [
+    id 85
+    label "POP0085"
+  ]
+  node [
+    id 86
+    label "POP0086"
+  ]
+  node [
+    id 87
+    label "POP0087"
+  ]
+  node [
+    id 88
+    label "POP0088"
+  ]
+  node [
+    id 89
+    label "POP0089"
+  ]
+  node [
+    id 90
+    label "POP0090"
+  ]
+  node [
+    id 91
+    label "POP0091"
+  ]
+  node [
+    id 92
+    label "POP0092"
+  ]
+  node [
+    id 93
+    label "POP0093"
+  ]
+  node [
+    id 94
+    label "POP0094"
+  ]
+  node [
+    id 95
+    label "POP0095"
+  ]
+  node [
+    id 96
+    label "POP0096"
+  ]
+  node [
+    id 97
+    label "POP0097"
+  ]
+  node [
+    id 98
+    label "POP0098"
+  ]
+  node [
+    id 99
+    label "POP0099"
+  ]
+  node [
+    id 100
+    label "POP0100"
+  ]
+  node [
+    id 101
+    label "POP0101"
+  ]
+  node [
+    id 102
+    label "POP0102"
+  ]
+  node [
+    id 103
+    label "POP0103"
+  ]
+  node [
+    id 104
+    label "POP0104"
+  ]
+  node [
+    id 105
+    label "POP0105"
+  ]
+  node [
+    id 106
+    label "POP0106"
+  ]
+  node [
+    id 107
+    label "POP0107"
+  ]
+  node [
+    id 108
+    label "POP0108"
+  ]
+  node [
+    id 109
+    label "POP0109"
+  ]
+  node [
+    id 110
+    label "POP0110"
+  ]
+  node [
+    id 111
+    label "POP0111"
+  ]
+  node [
+    id 112
+    label "POP0112"
+  ]
+  node [
+    id 113
+    label "POP0113"
+  ]
+  node [
+    id 114
+    label "POP0114"
+  ]
+  node [
+    id 115
+    label "POP0115"
+  ]
+  node [
+    id 116
+    label "POP0116"
+  ]
+  node [
+    id 117
+    label "POP0117"
+  ]
+  node [
+    id 118
+    label "POP0118"
+  ]
+  node [
+    id 119
+    label "POP0119"
+  ]
+  node [
+    id 120
+    label "POP0120"
+  ]
+  node [
+    id 121
+    label "POP0121"
+  ]
+  node [
+    id 122
+    label "POP0122"
+  ]
+  node [
+    id 123
+    label "POP0123"
+  ]
+  node [
+    id 124
+    label "POP0124"
+  ]
+  node [
+    id 125
+    label "POP0125"
+  ]
+  node [
+    id 126
+    label "POP0126"
+  ]
+  node [
+    id 127
+    label "POP0127"
+  ]
+  node [
+    id 128
+    label "POP0128"
+  ]
+  node [
+    id 129
+    label "POP0129"
+  ]
+  node [
+    id 130
+    label "POP0130"
+  ]
+  node [
+    id 131
+    label "POP0131"
+  ]
+  node [
+    id 132
+    label "POP0132"
+  ]
+  node [
+    id 133
+    label "POP0133"
+  ]
+  node [
+    id 134
+    label "POP0134"
+  ]
+  node [
+    id 135
+    label "POP0135"
+  ]
+  node [
+    id 136
+    label "POP0136"
+  ]
+  node [
+    id 137
+    label "POP0137"
+  ]
+  node [
+    id 138
+    label "POP0138"
+  ]
+  node [
+    id 139
+    label "POP0139"
+  ]
+  node [
+    id 140
+    label "POP0140"
+  ]
+  node [
+    id 141
+    label "POP0141"
+  ]
+  node [
+    id 142
+    label "POP0142"
+  ]
+  node [
+    id 143
+    label "POP0143"
+  ]
+  node [
+    id 144
+    label "POP0144"
+  ]
+  node [
+    id 145
+    label "POP0145"
+  ]
+  node [
+    id 146
+    label "POP0146"
+  ]
+  node [
+    id 147
+    label "POP0147"
+  ]
+  node [
+    id 148
+    label "POP0148"
+  ]
+  node [
+    id 149
+    label "POP0149"
+  ]
+  node [
+    id 150
+    label "POP0150"
+  ]
+  node [
+    id 151
+    label "POP0151"
+  ]
+  node [
+    id 152
+    label "POP0152"
+  ]
+  node [
+    id 153
+    label "POP0153"
+  ]
+  node [
+    id 154
+    label "POP0154"
+  ]
+  node [
+    id 155
+    label "POP0155"
+  ]
+  node [
+    id 156
+    label "POP0156"
+  ]
+  node [
+    id 157
+    label "POP0157"
+  ]
+  node [
+    id 158
+    label "POP0158"
+  ]
+  node [
+    id 159
+    label "POP0159"
+  ]
+  node [
+    id 160
+    label "POP0160"
+  ]
+  node [
+    id 161
+    label "POP0161"
+  ]
+  node [
+    id 162
+    label "POP0162"
+  ]
+  node [
+    id 163
+    label "POP0163"
+  ]
+  node [
+    id 164
+    label "POP0164"
+  ]
+  node [
+    id 165
+    label "POP0165"
+  ]
+  node [
+    id 166
+    label "POP0166"
+  ]
+  node [
+    id 167
+    label "POP0167"
+  ]
+  node [
+    id 168
+    label "POP0168"
+  ]
+  node [
+    id 169
+    label "POP0169"
+  ]
+  node [
+    id 170
+    label "POP0170"
+  ]
+  node [
+    id 171
+    label "POP0171"
+  ]
+  node [
+    id 172
+    label "POP0172"
+  ]
+  node [
+    id 173
+    label "POP0173"
+  ]
+  node [
+    id 174
+    label "POP0174"
+  ]
+  node [
+    id 175
+    label "POP0175"
+  ]
+  node [
+    id 176
+    label "POP0176"
+  ]
+  node [
+    id 177
+    label "POP0177"
+  ]
+  node [
+    id 178
+    label "POP0178"
+  ]
+  node [
+    id 179
+    label "POP0179"
+  ]
+  node [
+    id 180
+    label "POP0180"
+  ]
+  node [
+    id 181
+    label "POP0181"
+  ]
+  node [
+    id 182
+    label "POP0182"
+  ]
+  node [
+    id 183
+    label "POP0183"
+  ]
+  node [
+    id 184
+    label "POP0184"
+  ]
+  node [
+    id 185
+    label "POP0185"
+  ]
+  node [
+    id 186
+    label "POP0186"
+  ]
+  node [
+    id 187
+    label "POP0187"
+  ]
+  node [
+    id 188
+    label "POP0188"
+  ]
+  node [
+    id 189
+    label "POP0189"
+  ]
+  node [
+    id 190
+    label "POP0190"
+  ]
+  node [
+    id 191
+    label "POP0191"
+  ]
+  node [
+    id 192
+    label "POP0192"
+  ]
+  node [
+    id 193
+    label "POP0193"
+  ]
+  node [
+    id 194
+    label "POP0194"
+  ]
+  node [
+    id 195
+    label "POP0195"
+  ]
+  node [
+    id 196
+    label "POP0196"
+  ]
+  node [
+    id 197
+    label "POP0197"
+  ]
+  node [
+    id 198
+    label "POP0198"
+  ]
+  node [
+    id 199
+    label "POP0199"
+  ]
+  node [
+    id 200
+    label "POP0200"
+  ]
+  node [
+    id 201
+    label "POP0201"
+  ]
+  node [
+    id 202
+    label "POP0202"
+  ]
+  node [
+    id 203
+    label "POP0203"
+  ]
+  node [
+    id 204
+    label "POP0204"
+  ]
+  node [
+    id 205
+    label "POP0205"
+  ]
+  node [
+    id 206
+    label "POP0206"
+  ]
+  node [
+    id 207
+    label "POP0207"
+  ]
+  node [
+    id 208
+    label "POP0208"
+  ]
+  node [
+    id 209
+    label "POP0209"
+  ]
+  node [
+    id 210
+    label "POP0210"
+  ]
+  node [
+    id 211
+    label "POP0211"
+  ]
+  node [
+    id 212
+    label "POP0212"
+  ]
+  node [
+    id 213
+    label "POP0213"
+  ]
+  node [
+    id 214
+    label "POP0214"
+  ]
+  node [
+    id 215
+    label "POP0215"
+  ]
+  node [
+    id 216
+    label "POP0216"
+  ]
+  node [
+    id 217
+    label "POP0217"
+  ]
+  node [
+    id 218
+    label "POP0218"
+  ]
+  node [
+    id 219
+    label "POP0219"
+  ]
+  node [
+    id 220
+    label "POP0220"
+  ]
+  node [
+    id 221
+    label "POP0221"
+  ]
+  node [
+    id 222
+    label "POP0222"
+  ]
+  node [
+    id 223
+    label "POP0223"
+  ]
+  node [
+    id 224
+    label "POP0224"
+  ]
+  node [
+    id 225
+    label "POP0225"
+  ]
+  node [
+    id 226
+    label "POP0226"
+  ]
+  node [
+    id 227
+    label "POP0227"
+  ]
+  node [
+    id 228
+    label "POP0228"
+  ]
+  node [
+    id 229
+    label "POP0229"
+  ]
+  node [
+    id 230
+    label "POP0230"
+  ]
+  node [
+    id 231
+    label "POP0231"
+  ]
+  node [
+    id 232
+    label "POP0232"
+  ]
+  node [
+    id 233
+    label "POP0233"
+  ]
+  node [
+    id 234
+    label "POP0234"
+  ]
+  node [
+    id 235
+    label "POP0235"
+  ]
+  node [
+    id 236
+    label "POP0236"
+  ]
+  node [
+    id 237
+    label "POP0237"
+  ]
+  node [
+    id 238
+    label "POP0238"
+  ]
+  node [
+    id 239
+    label "POP0239"
+  ]
+  node [
+    id 240
+    label "POP0240"
+  ]
+  node [
+    id 241
+    label "POP0241"
+  ]
+  node [
+    id 242
+    label "POP0242"
+  ]
+  node [
+    id 243
+    label "POP0243"
+  ]
+  node [
+    id 244
+    label "POP0244"
+  ]
+  node [
+    id 245
+    label "POP0245"
+  ]
+  node [
+    id 246
+    label "POP0246"
+  ]
+  node [
+    id 247
+    label "POP0247"
+  ]
+  node [
+    id 248
+    label "POP0248"
+  ]
+  node [
+    id 249
+    label "POP0249"
+  ]
+  node [
+    id 250
+    label "POP0250"
+  ]
+  node [
+    id 251
+    label "POP0251"
+  ]
+  node [
+    id 252
+    label "POP0252"
+  ]
+  node [
+    id 253
+    label "POP0253"
+  ]
+  node [
+    id 254
+    label "POP0254"
+  ]
+  node [
+    id 255
+    label "POP0255"
+  ]
+  node [
+    id 256
+    label "POP0256"
+  ]
+  node [
+    id 257
+    label "POP0257"
+  ]
+  node [
+    id 258
+    label "POP0258"
+  ]
+  node [
+    id 259
+    label "POP0259"
+  ]
+  node [
+    id 260
+    label "POP0260"
+  ]
+  node [
+    id 261
+    label "POP0261"
+  ]
+  node [
+    id 262
+    label "POP0262"
+  ]
+  node [
+    id 263
+    label "POP0263"
+  ]
+  node [
+    id 264
+    label "POP0264"
+  ]
+  node [
+    id 265
+    label "POP0265"
+  ]
+  node [
+    id 266
+    label "POP0266"
+  ]
+  node [
+    id 267
+    label "POP0267"
+  ]
+  node [
+    id 268
+    label "POP0268"
+  ]
+  node [
+    id 269
+    label "POP0269"
+  ]
+  node [
+    id 270
+    label "POP0270"
+  ]
+  node [
+    id 271
+    label "POP0271"
+  ]
+  node [
+    id 272
+    label "POP0272"
+  ]
+  node [
+    id 273
+    label "POP0273"
+  ]
+  node [
+    id 274
+    label "POP0274"
+  ]
+  node [
+    id 275
+    label "POP0275"
+  ]
+  node [
+    id 276
+    label "POP0276"
+  ]
+  node [
+    id 277
+    label "POP0277"
+  ]
+  node [
+    id 278
+    label "POP0278"
+  ]
+  node [
+    id 279
+    label "POP0279"
+  ]
+  node [
+    id 280
+    label "POP0280"
+  ]
+  node [
+    id 281
+    label "POP0281"
+  ]
+  node [
+    id 282
+    label "POP0282"
+  ]
+  node [
+    id 283
+    label "POP0283"
+  ]
+  node [
+    id 284
+    label "POP0284"
+  ]
+  node [
+    id 285
+    label "POP0285"
+  ]
+  node [
+    id 286
+    label "POP0286"
+  ]
+  node [
+    id 287
+    label "POP0287"
+  ]
+  node [
+    id 288
+    label "POP0288"
+  ]
+  node [
+    id 289
+    label "POP0289"
+  ]
+  node [
+    id 290
+    label "POP0290"
+  ]
+  node [
+    id 291
+    label "POP0291"
+  ]
+  node [
+    id 292
+    label "POP0292"
+  ]
+  node [
+    id 293
+    label "POP0293"
+  ]
+  node [
+    id 294
+    label "POP0294"
+  ]
+  node [
+    id 295
+    label "POP0295"
+  ]
+  node [
+    id 296
+    label "POP0296"
+  ]
+  node [
+    id 297
+    label "POP0297"
+  ]
+  node [
+    id 298
+    label "POP0298"
+  ]
+  node [
+    id 299
+    label "POP0299"
+  ]
+  node [
+    id 300
+    label "POP0300"
+  ]
+  node [
+    id 301
+    label "POP0301"
+  ]
+  node [
+    id 302
+    label "POP0302"
+  ]
+  node [
+    id 303
+    label "POP0303"
+  ]
+  node [
+    id 304
+    label "POP0304"
+  ]
+  node [
+    id 305
+    label "POP0305"
+  ]
+  node [
+    id 306
+    label "POP0306"
+  ]
+  node [
+    id 307
+    label "POP0307"
+  ]
+  node [
+    id 308
+    label "POP0308"
+  ]
+  node [
+    id 309
+    label "POP0309"
+  ]
+  node [
+    id 310
+    label "POP0310"
+  ]
+  node [
+    id 311
+    label "POP0311"
+  ]
+  node [
+    id 312
+    label "POP0312"
+  ]
+  node [
+    id 313
+    label "POP0313"
+  ]
+  node [
+    id 314
+    label "POP0314"
+  ]
+  node [
+    id 315
+    label "POP0315"
+  ]
+  node [
+    id 316
+    label "POP0316"
+  ]
+  node [
+    id 317
+    label "POP0317"
+  ]
+  node [
+    id 318
+    label "POP0318"
+  ]
+  node [
+    id 319
+    label "POP0319"
+  ]
+  node [
+    id 320
+    label "POP0320"
+  ]
+  node [
+    id 321
+    label "POP0321"
+  ]
+  node [
+    id 322
+    label "POP0322"
+  ]
+  node [
+    id 323
+    label "POP0323"
+  ]
+  node [
+    id 324
+    label "POP0324"
+  ]
+  node [
+    id 325
+    label "POP0325"
+  ]
+  node [
+    id 326
+    label "POP0326"
+  ]
+  node [
+    id 327
+    label "POP0327"
+  ]
+  node [
+    id 328
+    label "POP0328"
+  ]
+  node [
+    id 329
+    label "POP0329"
+  ]
+  node [
+    id 330
+    label "POP0330"
+  ]
+  node [
+    id 331
+    label "POP0331"
+  ]
+  node [
+    id 332
+    label "POP0332"
+  ]
+  node [
+    id 333
+    label "POP0333"
+  ]
+  node [
+    id 334
+    label "POP0334"
+  ]
+  node [
+    id 335
+    label "POP0335"
+  ]
+  node [
+    id 336
+    label "POP0336"
+  ]
+  node [
+    id 337
+    label "POP0337"
+  ]
+  node [
+    id 338
+    label "POP0338"
+  ]
+  node [
+    id 339
+    label "POP0339"
+  ]
+  node [
+    id 340
+    label "POP0340"
+  ]
+  node [
+    id 341
+    label "POP0341"
+  ]
+  node [
+    id 342
+    label "POP0342"
+  ]
+  node [
+    id 343
+    label "POP0343"
+  ]
+  node [
+    id 344
+    label "POP0344"
+  ]
+  node [
+    id 345
+    label "POP0345"
+  ]
+  node [
+    id 346
+    label "POP0346"
+  ]
+  node [
+    id 347
+    label "POP0347"
+  ]
+  node [
+    id 348
+    label "POP0348"
+  ]
+  node [
+    id 349
+    label "POP0349"
+  ]
+  node [
+    id 350
+    label "POP0350"
+  ]
+  node [
+    id 351
+    label "POP0351"
+  ]
+  node [
+    id 352
+    label "POP0352"
+  ]
+  node [
+    id 353
+    label "POP0353"
+  ]
+  node [
+    id 354
+    label "POP0354"
+  ]
+  node [
+    id 355
+    label "POP0355"
+  ]
+  node [
+    id 356
+    label "POP0356"
+  ]
+  node [
+    id 357
+    label "POP0357"
+  ]
+  node [
+    id 358
+    label "POP0358"
+  ]
+  node [
+    id 359
+    label "POP0359"
+  ]
+  node [
+    id 360
+    label "POP0360"
+  ]
+  node [
+    id 361
+    label "POP0361"
+  ]
+  node [
+    id 362
+    label "POP0362"
+  ]
+  node [
+    id 363
+    label "POP0363"
+  ]
+  node [
+    id 364
+    label "POP0364"
+  ]
+  node [
+    id 365
+    label "POP0365"
+  ]
+  node [
+    id 366
+    label "POP0366"
+  ]
+  node [
+    id 367
+    label "POP0367"
+  ]
+  node [
+    id 368
+    label "POP0368"
+  ]
+  node [
+    id 369
+    label "POP0369"
+  ]
+  node [
+    id 370
+    label "POP0370"
+  ]
+  node [
+    id 371
+    label "POP0371"
+  ]
+  node [
+    id 372
+    label "POP0372"
+  ]
+  node [
+    id 373
+    label "POP0373"
+  ]
+  node [
+    id 374
+    label "POP0374"
+  ]
+  node [
+    id 375
+    label "POP0375"
+  ]
+  node [
+    id 376
+    label "POP0376"
+  ]
+  node [
+    id 377
+    label "POP0377"
+  ]
+  node [
+    id 378
+    label "POP0378"
+  ]
+  node [
+    id 379
+    label "POP0379"
+  ]
+  node [
+    id 380
+    label "POP0380"
+  ]
+  node [
+    id 381
+    label "POP0381"
+  ]
+  node [
+    id 382
+    label "POP0382"
+  ]
+  node [
+    id 383
+    label "POP0383"
+  ]
+  node [
+    id 384
+    label "POP0384"
+  ]
+  node [
+    id 385
+    label "POP0385"
+  ]
+  node [
+    id 386
+    label "POP0386"
+  ]
+  node [
+    id 387
+    label "POP0387"
+  ]
+  node [
+    id 388
+    label "POP0388"
+  ]
+  node [
+    id 389
+    label "POP0389"
+  ]
+  node [
+    id 390
+    label "POP0390"
+  ]
+  node [
+    id 391
+    label "POP0391"
+  ]
+  node [
+    id 392
+    label "POP0392"
+  ]
+  node [
+    id 393
+    label "POP0393"
+  ]
+  node [
+    id 394
+    label "POP0394"
+  ]
+  node [
+    id 395
+    label "POP0395"
+  ]
+  node [
+    id 396
+    label "POP0396"
+  ]
+  node [
+    id 397
+    label "POP0397"
+  ]
+  node [
+    id 398
+    label "POP0398"
+  ]
+  node [
+    id 399
+    label "POP0399"
+  ]
+  node [
+    id 400
+    label "POP0400"
+  ]
+  node [
+    id 401
+    label "POP0401"
+  ]
+  node [
+    id 402
+    label "POP0402"
+  ]
+  node [
+    id 403
+    label "POP0403"
+  ]
+  node [
+    id 404
+    label "POP0404"
+  ]
+  node [
+    id 405
+    label "POP0405"
+  ]
+  node [
+    id 406
+    label "POP0406"
+  ]
+  node [
+    id 407
+    label "POP0407"
+  ]
+  node [
+    id 408
+    label "POP0408"
+  ]
+  node [
+    id 409
+    label "POP0409"
+  ]
+  node [
+    id 410
+    label "POP0410"
+  ]
+  node [
+    id 411
+    label "POP0411"
+  ]
+  node [
+    id 412
+    label "POP0412"
+  ]
+  node [
+    id 413
+    label "POP0413"
+  ]
+  node [
+    id 414
+    label "POP0414"
+  ]
+  node [
+    id 415
+    label "POP0415"
+  ]
+  node [
+    id 416
+    label "POP0416"
+  ]
+  node [
+    id 417
+    label "POP0417"
+  ]
+  node [
+    id 418
+    label "POP0418"
+  ]
+  node [
+    id 419
+    label "POP0419"
+  ]
+  node [
+    id 420
+    label "POP0420"
+  ]
+  node [
+    id 421
+    label "POP0421"
+  ]
+  node [
+    id 422
+    label "POP0422"
+  ]
+  node [
+    id 423
+    label "POP0423"
+  ]
+  node [
+    id 424
+    label "POP0424"
+  ]
+  node [
+    id 425
+    label "POP0425"
+  ]
+  node [
+    id 426
+    label "POP0426"
+  ]
+  node [
+    id 427
+    label "POP0427"
+  ]
+  node [
+    id 428
+    label "POP0428"
+  ]
+  node [
+    id 429
+    label "POP0429"
+  ]
+  node [
+    id 430
+    label "POP0430"
+  ]
+  node [
+    id 431
+    label "POP0431"
+  ]
+  node [
+    id 432
+    label "POP0432"
+  ]
+  node [
+    id 433
+    label "POP0433"
+  ]
+  node [
+    id 434
+    label "POP0434"
+  ]
+  node [
+    id 435
+    label "POP0435"
+  ]
+  node [
+    id 436
+    label "POP0436"
+  ]
+  node [
+    id 437
+    label "POP0437"
+  ]
+  node [
+    id 438
+    label "POP0438"
+  ]
+  node [
+    id 439
+    label "POP0439"
+  ]
+  node [
+    id 440
+    label "POP0440"
+  ]
+  node [
+    id 441
+    label "POP0441"
+  ]
+  node [
+    id 442
+    label "POP0442"
+  ]
+  node [
+    id 443
+    label "POP0443"
+  ]
+  node [
+    id 444
+    label "POP0444"
+  ]
+  node [
+    id 445
+    label "POP0445"
+  ]
+  node [
+    id 446
+    label "POP0446"
+  ]
+  node [
+    id 447
+    label "POP0447"
+  ]
+  node [
+    id 448
+    label "POP0448"
+  ]
+  node [
+    id 449
+    label "POP0449"
+  ]
+  node [
+    id 450
+    label "POP0450"
+  ]
+  node [
+    id 451
+    label "POP0451"
+  ]
+  node [
+    id 452
+    label "POP0452"
+  ]
+  node [
+    id 453
+    label "POP0453"
+  ]
+  node [
+    id 454
+    label "POP0454"
+  ]
+  node [
+    id 455
+    label "POP0455"
+  ]
+  node [
+    id 456
+    label "POP0456"
+  ]
+  node [
+    id 457
+    label "POP0457"
+  ]
+  node [
+    id 458
+    label "POP0458"
+  ]
+  node [
+    id 459
+    label "POP0459"
+  ]
+  node [
+    id 460
+    label "POP0460"
+  ]
+  node [
+    id 461
+    label "POP0461"
+  ]
+  node [
+    id 462
+    label "POP0462"
+  ]
+  node [
+    id 463
+    label "POP0463"
+  ]
+  node [
+    id 464
+    label "POP0464"
+  ]
+  node [
+    id 465
+    label "POP0465"
+  ]
+  node [
+    id 466
+    label "POP0466"
+  ]
+  node [
+    id 467
+    label "POP0467"
+  ]
+  node [
+    id 468
+    label "POP0468"
+  ]
+  node [
+    id 469
+    label "POP0469"
+  ]
+  node [
+    id 470
+    label "POP0470"
+  ]
+  node [
+    id 471
+    label "POP0471"
+  ]
+  node [
+    id 472
+    label "POP0472"
+  ]
+  node [
+    id 473
+    label "POP0473"
+  ]
+  node [
+    id 474
+    label "POP0474"
+  ]
+  node [
+    id 475
+    label "POP0475"
+  ]
+  node [
+    id 476
+    label "POP0476"
+  ]
+  node [
+    id 477
+    label "POP0477"
+  ]
+  node [
+    id 478
+    label "POP0478"
+  ]
+  node [
+    id 479
+    label "POP0479"
+  ]
+  node [
+    id 480
+    label "POP0480"
+  ]
+  node [
+    id 481
+    label "POP0481"
+  ]
+  node [
+    id 482
+    label "POP0482"
+  ]
+  node [
+    id 483
+    label "POP0483"
+  ]
+  node [
+    id 484
+    label "POP0484"
+  ]
+  node [
+    id 485
+    label "POP0485"
+  ]
+  node [
+    id 486
+    label "POP0486"
+  ]
+  node [
+    id 487
+    label "POP0487"
+  ]
+  node [
+    id 488
+    label "POP0488"
+  ]
+  node [
+    id 489
+    label "POP0489"
+  ]
+  node [
+    id 490
+    label "POP0490"
+  ]
+  node [
+    id 491
+    label "POP0491"
+  ]
+  node [
+    id 492
+    label "POP0492"
+  ]
+  node [
+    id 493
+    label "POP0493"
+  ]
+  node [
+    id 494
+    label "POP0494"
+  ]
+  node [
+    id 495
+    label "POP0495"
+  ]
+  node [
+    id 496
+    label "POP0496"
+  ]
+  node [
+    id 497
+    label "POP0497"
+  ]
+  node [
+    id 498
+    label "POP0498"
+  ]
+  node [
+    id 499
+    label "POP0499"
+  ]
+  node [
+    id 500
+    label "POP0500"
+  ]
+  node [
+    id 501
+    label "POP0501"
+  ]
+  node [
+    id 502
+    label "POP0502"
+  ]
+  node [
+    id 503
+    label "POP0503"
+  ]
+  node [
+    id 504
+    label "POP0504"
+  ]
+  node [
+    id 505
+    label "POP0505"
+  ]
+  node [
+    id 506
+    label "POP0506"
+  ]
+  node [
+    id 507
+    label "POP0507"
+  ]
+  node [
+    id 508
+    label "POP0508"
+  ]
+  node [
+    id 509
+    label "POP0509"
+  ]
+  node [
+    id 510
+    label "POP0510"
+  ]
+  node [
+    id 511
+    label "POP0511"
+  ]
+  node [
+    id 512
+    label "POP0512"
+  ]
+  node [
+    id 513
+    label "POP0513"
+  ]
+  node [
+    id 514
+    label "POP0514"
+  ]
+  node [
+    id 515
+    label "POP0515"
+  ]
+  node [
+    id 516
+    label "POP0516"
+  ]
+  node [
+    id 517
+    label "POP0517"
+  ]
+  node [
+    id 518
+    label "POP0518"
+  ]
+  node [
+    id 519
+    label "POP0519"
+  ]
+  node [
+    id 520
+    label "POP0520"
+  ]
+  node [
+    id 521
+    label "POP0521"
+  ]
+  node [
+    id 522
+    label "POP0522"
+  ]
+  node [
+    id 523
+    label "POP0523"
+  ]
+  node [
+    id 524
+    label "POP0524"
+  ]
+  node [
+    id 525
+    label "POP0525"
+  ]
+  node [
+    id 526
+    label "POP0526"
+  ]
+  node [
+    id 527
+    label "POP0527"
+  ]
+  node [
+    id 528
+    label "POP0528"
+  ]
+  node [
+    id 529
+    label "POP0529"
+  ]
+  node [
+    id 530
+    label "POP0530"
+  ]
+  node [
+    id 531
+    label "POP0531"
+  ]
+  node [
+    id 532
+    label "POP0532"
+  ]
+  node [
+    id 533
+    label "POP0533"
+  ]
+  node [
+    id 534
+    label "POP0534"
+  ]
+  node [
+    id 535
+    label "POP0535"
+  ]
+  node [
+    id 536
+    label "POP0536"
+  ]
+  node [
+    id 537
+    label "POP0537"
+  ]
+  node [
+    id 538
+    label "POP0538"
+  ]
+  node [
+    id 539
+    label "POP0539"
+  ]
+  node [
+    id 540
+    label "POP0540"
+  ]
+  node [
+    id 541
+    label "POP0541"
+  ]
+  node [
+    id 542
+    label "POP0542"
+  ]
+  node [
+    id 543
+    label "POP0543"
+  ]
+  node [
+    id 544
+    label "POP0544"
+  ]
+  node [
+    id 545
+    label "POP0545"
+  ]
+  node [
+    id 546
+    label "POP0546"
+  ]
+  node [
+    id 547
+    label "POP0547"
+  ]
+  node [
+    id 548
+    label "POP0548"
+  ]
+  node [
+    id 549
+    label "POP0549"
+  ]
+  node [
+    id 550
+    label "POP0550"
+  ]
+  node [
+    id 551
+    label "POP0551"
+  ]
+  node [
+    id 552
+    label "POP0552"
+  ]
+  node [
+    id 553
+    label "POP0553"
+  ]
+  node [
+    id 554
+    label "POP0554"
+  ]
+  node [
+    id 555
+    label "POP0555"
+  ]
+  node [
+    id 556
+    label "POP0556"
+  ]
+  node [
+    id 557
+    label "POP0557"
+  ]
+  node [
+    id 558
+    label "POP0558"
+  ]
+  node [
+    id 559
+    label "POP0559"
+  ]
+  node [
+    id 560
+    label "POP0560"
+  ]
+  node [
+    id 561
+    label "POP0561"
+  ]
+  node [
+    id 562
+    label "POP0562"
+  ]
+  node [
+    id 563
+    label "POP0563"
+  ]
+  node [
+    id 564
+    label "POP0564"
+  ]
+  node [
+    id 565
+    label "POP0565"
+  ]
+  node [
+    id 566
+    label "POP0566"
+  ]
+  node [
+    id 567
+    label "POP0567"
+  ]
+  node [
+    id 568
+    label "POP0568"
+  ]
+  node [
+    id 569
+    label "POP0569"
+  ]
+  node [
+    id 570
+    label "POP0570"
+  ]
+  node [
+    id 571
+    label "POP0571"
+  ]
+  node [
+    id 572
+    label "POP0572"
+  ]
+  node [
+    id 573
+    label "POP0573"
+  ]
+  node [
+    id 574
+    label "POP0574"
+  ]
+  node [
+    id 575
+    label "POP0575"
+  ]
+  node [
+    id 576
+    label "POP0576"
+  ]
+  node [
+    id 577
+    label "POP0577"
+  ]
+  node [
+    id 578
+    label "POP0578"
+  ]
+  node [
+    id 579
+    label "POP0579"
+  ]
+  node [
+    id 580
+    label "POP0580"
+  ]
+  node [
+    id 581
+    label "POP0581"
+  ]
+  node [
+    id 582
+    label "POP0582"
+  ]
+  node [
+    id 583
+    label "POP0583"
+  ]
+  node [
+    id 584
+    label "POP0584"
+  ]
+  node [
+    id 585
+    label "POP0585"
+  ]
+  node [
+    id 586
+    label "POP0586"
+  ]
+  node [
+    id 587
+    label "POP0587"
+  ]
+  node [
+    id 588
+    label "POP0588"
+  ]
+  node [
+    id 589
+    label "POP0589"
+  ]
+  node [
+    id 590
+    label "POP0590"
+  ]
+  node [
+    id 591
+    label "POP0591"
+  ]
+  node [
+    id 592
+    label "POP0592"
+  ]
+  node [
+    id 593
+    label "POP0593"
+  ]
+  node [
+    id 594
+    label "POP0594"
+  ]
+  node [
+    id 595
+    label "POP0595"
+  ]
+  node [
+    id 596
+    label "POP0596"
+  ]
+  node [
+    id 597
+    label "POP0597"
+  ]
+  node [
+    id 598
+    label "POP0598"
+  ]
+  node [
+    id 599
+    label "POP0599"
+  ]
+  node [
+    id 600
+    label "POP0600"
+  ]
+  node [
+    id 601
+    label "POP0601"
+  ]
+  node [
+    id 602
+    label "POP0602"
+  ]
+  node [
+    id 603
+    label "POP0603"
+  ]
+  node [
+    id 604
+    label "POP0604"
+  ]
+  node [
+    id 605
+    label "POP0605"
+  ]
+  node [
+    id 606
+    label "POP0606"
+  ]
+  node [
+    id 607
+    label "POP0607"
+  ]
+  node [
+    id 608
+    label "POP0608"
+  ]
+  node [
+    id 609
+    label "POP0609"
+  ]
+  node [
+    id 610
+    label "POP0610"
+  ]
+  node [
+    id 611
+    label "POP0611"
+  ]
+  node [
+    id 612
+    label "POP0612"
+  ]
+  node [
+    id 613
+    label "POP0613"
+  ]
+  node [
+    id 614
+    label "POP0614"
+  ]
+  node [
+    id 615
+    label "POP0615"
+  ]
+  node [
+    id 616
+    label "POP0616"
+  ]
+  node [
+    id 617
+    label "POP0617"
+  ]
+  node [
+    id 618
+    label "POP0618"
+  ]
+  node [
+    id 619
+    label "POP0619"
+  ]
+  node [
+    id 620
+    label "POP0620"
+  ]
+  node [
+    id 621
+    label "POP0621"
+  ]
+  node [
+    id 622
+    label "POP0622"
+  ]
+  node [
+    id 623
+    label "POP0623"
+  ]
+  node [
+    id 624
+    label "POP0624"
+  ]
+  node [
+    id 625
+    label "POP0625"
+  ]
+  node [
+    id 626
+    label "POP0626"
+  ]
+  node [
+    id 627
+    label "POP0627"
+  ]
+  node [
+    id 628
+    label "POP0628"
+  ]
+  node [
+    id 629
+    label "POP0629"
+  ]
+  node [
+    id 630
+    label "POP0630"
+  ]
+  node [
+    id 631
+    label "POP0631"
+  ]
+  node [
+    id 632
+    label "POP0632"
+  ]
+  node [
+    id 633
+    label "POP0633"
+  ]
+  node [
+    id 634
+    label "POP0634"
+  ]
+  node [
+    id 635
+    label "POP0635"
+  ]
+  node [
+    id 636
+    label "POP0636"
+  ]
+  node [
+    id 637
+    label "POP0637"
+  ]
+  node [
+    id 638
+    label "POP0638"
+  ]
+  node [
+    id 639
+    label "POP0639"
+  ]
+  node [
+    id 640
+    label "POP0640"
+  ]
+  node [
+    id 641
+    label "POP0641"
+  ]
+  node [
+    id 642
+    label "POP0642"
+  ]
+  node [
+    id 643
+    label "POP0643"
+  ]
+  node [
+    id 644
+    label "POP0644"
+  ]
+  node [
+    id 645
+    label "POP0645"
+  ]
+  node [
+    id 646
+    label "POP0646"
+  ]
+  node [
+    id 647
+    label "POP0647"
+  ]
+  node [
+    id 648
+    label "POP0648"
+  ]
+  node [
+    id 649
+    label "POP0649"
+  ]
+  node [
+    id 650
+    label "POP0650"
+  ]
+  node [
+    id 651
+    label "POP0651"
+  ]
+  node [
+    id 652
+    label "POP0652"
+  ]
+  node [
+    id 653
+    label "POP0653"
+  ]
+  node [
+    id 654
+    label "POP0654"
+  ]
+  node [
+    id 655
+    label "POP0655"
+  ]
+  node [
+    id 656
+    label "POP0656"
+  ]
+  node [
+    id 657
+    label "POP0657"
+  ]
+  node [
+    id 658
+    label "POP0658"
+  ]
+  node [
+    id 659
+    label "POP0659"
+  ]
+  node [
+    id 660
+    label "POP0660"
+  ]
+  node [
+    id 661
+    label "POP0661"
+  ]
+  node [
+    id 662
+    label "POP0662"
+  ]
+  node [
+    id 663
+    label "POP0663"
+  ]
+  node [
+    id 664
+    label "POP0664"
+  ]
+  node [
+    id 665
+    label "POP0665"
+  ]
+  node [
+    id 666
+    label "POP0666"
+  ]
+  node [
+    id 667
+    label "POP0667"
+  ]
+  node [
+    id 668
+    label "POP0668"
+  ]
+  node [
+    id 669
+    label "POP0669"
+  ]
+  node [
+    id 670
+    label "POP0670"
+  ]
+  node [
+    id 671
+    label "POP0671"
+  ]
+  node [
+    id 672
+    label "POP0672"
+  ]
+  node [
+    id 673
+    label "POP0673"
+  ]
+  node [
+    id 674
+    label "POP0674"
+  ]
+  node [
+    id 675
+    label "POP0675"
+  ]
+  node [
+    id 676
+    label "POP0676"
+  ]
+  node [
+    id 677
+    label "POP0677"
+  ]
+  node [
+    id 678
+    label "POP0678"
+  ]
+  node [
+    id 679
+    label "POP0679"
+  ]
+  node [
+    id 680
+    label "POP0680"
+  ]
+  node [
+    id 681
+    label "POP0681"
+  ]
+  node [
+    id 682
+    label "POP0682"
+  ]
+  node [
+    id 683
+    label "POP0683"
+  ]
+  node [
+    id 684
+    label "POP0684"
+  ]
+  node [
+    id 685
+    label "POP0685"
+  ]
+  node [
+    id 686
+    label "POP0686"
+  ]
+  node [
+    id 687
+    label "POP0687"
+  ]
+  node [
+    id 688
+    label "POP0688"
+  ]
+  node [
+    id 689
+    label "POP0689"
+  ]
+  node [
+    id 690
+    label "POP0690"
+  ]
+  node [
+    id 691
+    label "POP0691"
+  ]
+  node [
+    id 692
+    label "POP0692"
+  ]
+  node [
+    id 693
+    label "POP0693"
+  ]
+  node [
+    id 694
+    label "POP0694"
+  ]
+  node [
+    id 695
+    label "POP0695"
+  ]
+  node [
+    id 696
+    label "POP0696"
+  ]
+  node [
+    id 697
+    label "POP0697"
+  ]
+  node [
+    id 698
+    label "POP0698"
+  ]
+  node [
+    id 699
+    label "POP0699"
+  ]
+  node [
+    id 700
+    label "POP0700"
+  ]
+  node [
+    id 701
+    label "POP0701"
+  ]
+  node [
+    id 702
+    label "POP0702"
+  ]
+  node [
+    id 703
+    label "POP0703"
+  ]
+  node [
+    id 704
+    label "POP0704"
+  ]
+  node [
+    id 705
+    label "POP0705"
+  ]
+  node [
+    id 706
+    label "POP0706"
+  ]
+  node [
+    id 707
+    label "POP0707"
+  ]
+  node [
+    id 708
+    label "POP0708"
+  ]
+  node [
+    id 709
+    label "POP0709"
+  ]
+  node [
+    id 710
+    label "POP0710"
+  ]
+  node [
+    id 711
+    label "POP0711"
+  ]
+  node [
+    id 712
+    label "POP0712"
+  ]
+  node [
+    id 713
+    label "POP0713"
+  ]
+  node [
+    id 714
+    label "POP0714"
+  ]
+  node [
+    id 715
+    label "POP0715"
+  ]
+  node [
+    id 716
+    label "POP0716"
+  ]
+  node [
+    id 717
+    label "POP0717"
+  ]
+  node [
+    id 718
+    label "POP0718"
+  ]
+  node [
+    id 719
+    label "POP0719"
+  ]
+  node [
+    id 720
+    label "POP0720"
+  ]
+  node [
+    id 721
+    label "POP0721"
+  ]
+  node [
+    id 722
+    label "POP0722"
+  ]
+  node [
+    id 723
+    label "POP0723"
+  ]
+  node [
+    id 724
+    label "POP0724"
+  ]
+  node [
+    id 725
+    label "POP0725"
+  ]
+  node [
+    id 726
+    label "POP0726"
+  ]
+  node [
+    id 727
+    label "POP0727"
+  ]
+  node [
+    id 728
+    label "POP0728"
+  ]
+  node [
+    id 729
+    label "POP0729"
+  ]
+  node [
+    id 730
+    label "POP0730"
+  ]
+  node [
+    id 731
+    label "POP0731"
+  ]
+  node [
+    id 732
+    label "POP0732"
+  ]
+  node [
+    id 733
+    label "POP0733"
+  ]
+  node [
+    id 734
+    label "POP0734"
+  ]
+  node [
+    id 735
+    label "POP0735"
+  ]
+  node [
+    id 736
+    label "POP0736"
+  ]
+  node [
+    id 737
+    label "POP0737"
+  ]
+  node [
+    id 738
+    label "POP0738"
+  ]
+  node [
+    id 739
+    label "POP0739"
+  ]
+  node [
+    id 740
+    label "POP0740"
+  ]
+  node [
+    id 741
+    label "POP0741"
+  ]
+  node [
+    id 742
+    label "POP0742"
+  ]
+  node [
+    id 743
+    label "POP0743"
+  ]
+  node [
+    id 744
+    label "POP0744"
+  ]
+  node [
+    id 745
+    label "POP0745"
+  ]
+  node [
+    id 746
+    label "POP0746"
+  ]
+  node [
+    id 747
+    label "POP0747"
+  ]
+  node [
+    id 748
+    label "POP0748"
+  ]
+  node [
+    id 749
+    label "POP0749"
+  ]
+  node [
+    id 750
+    label "POP0750"
+  ]
+  node [
+    id 751
+    label "POP0751"
+  ]
+  node [
+    id 752
+    label "POP0752"
+  ]
+  node [
+    id 753
+    label "POP0753"
+  ]
+  edge [
+    source 0
+    target 1
+  ]
+  edge [
+    source 0
+    target 2
+  ]
+  edge [
+    source 0
+    target 3
+  ]
+  edge [
+    source 3
+    target 4
+  ]
+  edge [
+    source 0
+    target 5
+  ]
+  edge [
+    source 1
+    target 6
+  ]
+  edge [
+    source 6
+    target 7
+  ]
+  edge [
+    source 1
+    target 8
+  ]
+  edge [
+    source 7
+    target 9
+  ]
+  edge [
+    source 6
+    target 10
+  ]
+  edge [
+    source 6
+    target 11
+  ]
+  edge [
+    source 4
+    target 12
+  ]
+  edge [
+    source 7
+    target 13
+  ]
+  edge [
+    source 13
+    target 14
+  ]
+  edge [
+    source 4
+    target 15
+  ]
+  edge [
+    source 12
+    target 16
+  ]
+  edge [
+    source 14
+    target 17
+  ]
+  edge [
+    source 10
+    target 18
+  ]
+  edge [
+    source 12
+    target 19
+  ]
+  edge [
+    source 15
+    target 20
+  ]
+  edge [
+    source 14
+    target 21
+  ]
+  edge [
+    source 11
+    target 22
+  ]
+  edge [
+    source 8
+    target 23
+  ]
+  edge [
+    source 13
+    target 24
+  ]
+  edge [
+    source 23
+    target 25
+  ]
+  edge [
+    source 18
+    target 26
+  ]
+  edge [
+    source 26
+    target 27
+  ]
+  edge [
+    source 23
+    target 28
+  ]
+  edge [
+    source 23
+    target 29
+  ]
+  edge [
+    source 27
+    target 30
+  ]
+  edge [
+    source 28
+    target 31
+  ]
+  edge [
+    source 23
+    target 32
+  ]
+  edge [
+    source 2
+    target 33
+  ]
+  edge [
+    source 32
+    target 34
+  ]
+  edge [
+    source 33
+    target 35
+  ]
+  edge [
+    source 25
+    target 36
+  ]
+  edge [
+    source 9
+    target 37
+  ]
+  edge [
+    source 33
+    target 38
+  ]
+  edge [
+    source 12
+    target 39
+  ]
+  edge [
+    source 35
+    target 40
+  ]
+  edge [
+    source 26
+    target 41
+  ]
+  edge [
+    source 34
+    target 42
+  ]
+  edge [
+    source 42
+    target 43
+  ]
+  edge [
+    source 43
+    target 44
+  ]
+  edge [
+    source 39
+    target 45
+  ]
+  edge [
+    source 35
+    target 46
+  ]
+  edge [
+    source 2
+    target 47
+  ]
+  edge [
+    source 38
+    target 48
+  ]
+  edge [
+    source 45
+    target 49
+  ]
+  edge [
+    source 49
+    target 50
+  ]
+  edge [
+    source 50
+    target 51
+  ]
+  edge [
+    source 51
+    target 52
+  ]
+  edge [
+    source 51
+    target 53
+  ]
+  edge [
+    source 47
+    target 54
+  ]
+  edge [
+    source 6
+    target 55
+  ]
+  edge [
+    source 50
+    target 56
+  ]
+  edge [
+    source 47
+    target 57
+  ]
+  edge [
+    source 32
+    target 58
+  ]
+  edge [
+    source 52
+    target 59
+  ]
+  edge [
+    source 58
+    target 60
+  ]
+  edge [
+    source 51
+    target 61
+  ]
+  edge [
+    source 19
+    target 62
+  ]
+  edge [
+    source 60
+    target 63
+  ]
+  edge [
+    source 57
+    target 64
+  ]
+  edge [
+    source 36
+    target 65
+  ]
+  edge [
+    source 47
+    target 66
+  ]
+  edge [
+    source 42
+    target 67
+  ]
+  edge [
+    source 60
+    target 68
+  ]
+  edge [
+    source 58
+    target 69
+  ]
+  edge [
+    source 2
+    target 70
+  ]
+  edge [
+    source 60
+    target 71
+  ]
+  edge [
+    source 66
+    target 72
+  ]
+  edge [
+    source 65
+    target 73
+  ]
+  edge [
+    source 40
+    target 74
+  ]
+  edge [
+    source 68
+    target 75
+  ]
+  edge [
+    source 67
+    target 76
+  ]
+  edge [
+    source 66
+    target 77
+  ]
+  edge [
+    source 75
+    target 78
+  ]
+  edge [
+    source 70
+    target 79
+  ]
+  edge [
+    source 72
+    target 80
+  ]
+  edge [
+    source 72
+    target 81
+  ]
+  edge [
+    source 77
+    target 82
+  ]
+  edge [
+    source 75
+    target 83
+  ]
+  edge [
+    source 75
+    target 84
+  ]
+  edge [
+    source 73
+    target 85
+  ]
+  edge [
+    source 75
+    target 86
+  ]
+  edge [
+    source 76
+    target 87
+  ]
+  edge [
+    source 77
+    target 88
+  ]
+  edge [
+    source 85
+    target 89
+  ]
+  edge [
+    source 87
+    target 90
+  ]
+  edge [
+    source 89
+    target 91
+  ]
+  edge [
+    source 13
+    target 92
+  ]
+  edge [
+    source 88
+    target 93
+  ]
+  edge [
+    source 86
+    target 94
+  ]
+  edge [
+    source 84
+    target 95
+  ]
+  edge [
+    source 89
+    target 96
+  ]
+  edge [
+    source 86
+    target 97
+  ]
+  edge [
+    source 88
+    target 98
+  ]
+  edge [
+    source 90
+    target 99
+  ]
+  edge [
+    source 97
+    target 100
+  ]
+  edge [
+    source 41
+    target 101
+  ]
+  edge [
+    source 19
+    target 102
+  ]
+  edge [
+    source 93
+    target 103
+  ]
+  edge [
+    source 93
+    target 104
+  ]
+  edge [
+    source 102
+    target 105
+  ]
+  edge [
+    source 47
+    target 106
+  ]
+  edge [
+    source 104
+    target 107
+  ]
+  edge [
+    source 99
+    target 108
+  ]
+  edge [
+    source 108
+    target 109
+  ]
+  edge [
+    source 102
+    target 110
+  ]
+  edge [
+    source 106
+    target 111
+  ]
+  edge [
+    source 25
+    target 112
+  ]
+  edge [
+    source 108
+    target 113
+  ]
+  edge [
+    source 84
+    target 114
+  ]
+  edge [
+    source 110
+    target 115
+  ]
+  edge [
+    source 113
+    target 116
+  ]
+  edge [
+    source 110
+    target 117
+  ]
+  edge [
+    source 110
+    target 118
+  ]
+  edge [
+    source 78
+    target 119
+  ]
+  edge [
+    source 117
+    target 120
+  ]
+  edge [
+    source 119
+    target 121
+  ]
+  edge [
+    source 113
+    target 122
+  ]
+  edge [
+    source 117
+    target 123
+  ]
+  edge [
+    source 18
+    target 124
+  ]
+  edge [
+    source 47
+    target 125
+  ]
+  edge [
+    source 8
+    target 126
+  ]
+  edge [
+    source 89
+    target 127
+  ]
+  edge [
+    source 119
+    target 128
+  ]
+  edge [
+    source 79
+    target 129
+  ]
+  edge [
+    source 26
+    target 130
+  ]
+  edge [
+    source 119
+    target 131
+  ]
+  edge [
+    source 120
+    target 132
+  ]
+  edge [
+    source 122
+    target 133
+  ]
+  edge [
+    source 129
+    target 134
+  ]
+  edge [
+    source 124
+    target 135
+  ]
+  edge [
+    source 93
+    target 136
+  ]
+  edge [
+    source 133
+    target 137
+  ]
+  edge [
+    source 136
+    target 138
+  ]
+  edge [
+    source 29
+    target 139
+  ]
+  edge [
+    source 129
+    target 140
+  ]
+  edge [
+    source 116
+    target 141
+  ]
+  edge [
+    source 131
+    target 142
+  ]
+  edge [
+    source 138
+    target 143
+  ]
+  edge [
+    source 17
+    target 144
+  ]
+  edge [
+    source 56
+    target 145
+  ]
+  edge [
+    source 134
+    target 146
+  ]
+  edge [
+    source 138
+    target 147
+  ]
+  edge [
+    source 137
+    target 148
+  ]
+  edge [
+    source 143
+    target 149
+  ]
+  edge [
+    source 28
+    target 150
+  ]
+  edge [
+    source 146
+    target 151
+  ]
+  edge [
+    source 146
+    target 152
+  ]
+  edge [
+    source 145
+    target 153
+  ]
+  edge [
+    source 150
+    target 154
+  ]
+  edge [
+    source 85
+    target 155
+  ]
+  edge [
+    source 153
+    target 156
+  ]
+  edge [
+    source 35
+    target 157
+  ]
+  edge [
+    source 156
+    target 158
+  ]
+  edge [
+    source 156
+    target 159
+  ]
+  edge [
+    source 150
+    target 160
+  ]
+  edge [
+    source 156
+    target 161
+  ]
+  edge [
+    source 160
+    target 162
+  ]
+  edge [
+    source 160
+    target 163
+  ]
+  edge [
+    source 161
+    target 164
+  ]
+  edge [
+    source 28
+    target 165
+  ]
+  edge [
+    source 156
+    target 166
+  ]
+  edge [
+    source 163
+    target 167
+  ]
+  edge [
+    source 113
+    target 168
+  ]
+  edge [
+    source 55
+    target 169
+  ]
+  edge [
+    source 168
+    target 170
+  ]
+  edge [
+    source 168
+    target 171
+  ]
+  edge [
+    source 165
+    target 172
+  ]
+  edge [
+    source 100
+    target 173
+  ]
+  edge [
+    source 162
+    target 174
+  ]
+  edge [
+    source 170
+    target 175
+  ]
+  edge [
+    source 165
+    target 176
+  ]
+  edge [
+    source 165
+    target 177
+  ]
+  edge [
+    source 176
+    target 178
+  ]
+  edge [
+    source 175
+    target 179
+  ]
+  edge [
+    source 168
+    target 180
+  ]
+  edge [
+    source 125
+    target 181
+  ]
+  edge [
+    source 172
+    target 182
+  ]
+  edge [
+    source 174
+    target 183
+  ]
+  edge [
+    source 180
+    target 184
+  ]
+  edge [
+    source 178
+    target 185
+  ]
+  edge [
+    source 183
+    target 186
+  ]
+  edge [
+    source 186
+    target 187
+  ]
+  edge [
+    source 85
+    target 188
+  ]
+  edge [
+    source 183
+    target 189
+  ]
+  edge [
+    source 188
+    target 190
+  ]
+  edge [
+    source 186
+    target 191
+  ]
+  edge [
+    source 190
+    target 192
+  ]
+  edge [
+    source 192
+    target 193
+  ]
+  edge [
+    source 77
+    target 194
+  ]
+  edge [
+    source 187
+    target 195
+  ]
+  edge [
+    source 185
+    target 196
+  ]
+  edge [
+    source 194
+    target 197
+  ]
+  edge [
+    source 186
+    target 198
+  ]
+  edge [
+    source 188
+    target 199
+  ]
+  edge [
+    source 189
+    target 200
+  ]
+  edge [
+    source 66
+    target 201
+  ]
+  edge [
+    source 149
+    target 202
+  ]
+  edge [
+    source 199
+    target 203
+  ]
+  edge [
+    source 98
+    target 204
+  ]
+  edge [
+    source 194
+    target 205
+  ]
+  edge [
+    source 195
+    target 206
+  ]
+  edge [
+    source 14
+    target 207
+  ]
+  edge [
+    source 197
+    target 208
+  ]
+  edge [
+    source 54
+    target 209
+  ]
+  edge [
+    source 156
+    target 210
+  ]
+  edge [
+    source 184
+    target 211
+  ]
+  edge [
+    source 201
+    target 212
+  ]
+  edge [
+    source 201
+    target 213
+  ]
+  edge [
+    source 211
+    target 214
+  ]
+  edge [
+    source 84
+    target 215
+  ]
+  edge [
+    source 205
+    target 216
+  ]
+  edge [
+    source 213
+    target 217
+  ]
+  edge [
+    source 214
+    target 218
+  ]
+  edge [
+    source 218
+    target 219
+  ]
+  edge [
+    source 212
+    target 220
+  ]
+  edge [
+    source 111
+    target 221
+  ]
+  edge [
+    source 216
+    target 222
+  ]
+  edge [
+    source 218
+    target 223
+  ]
+  edge [
+    source 212
+    target 224
+  ]
+  edge [
+    source 0
+    target 225
+  ]
+  edge [
+    source 37
+    target 226
+  ]
+  edge [
+    source 217
+    target 227
+  ]
+  edge [
+    source 226
+    target 228
+  ]
+  edge [
+    source 75
+    target 229
+  ]
+  edge [
+    source 68
+    target 230
+  ]
+  edge [
+    source 169
+    target 231
+  ]
+  edge [
+    source 44
+    target 232
+  ]
+  edge [
+    source 227
+    target 233
+  ]
+  edge [
+    source 227
+    target 234
+  ]
+  edge [
+    source 231
+    target 235
+  ]
+  edge [
+    source 226
+    target 236
+  ]
+  edge [
+    source 40
+    target 237
+  ]
+  edge [
+    source 227
+    target 238
+  ]
+  edge [
+    source 227
+    target 239
+  ]
+  edge [
+    source 236
+    target 240
+  ]
+  edge [
+    source 235
+    target 241
+  ]
+  edge [
+    source 241
+    target 242
+  ]
+  edge [
+    source 231
+    target 243
+  ]
+  edge [
+    source 232
+    target 244
+  ]
+  edge [
+    source 44
+    target 245
+  ]
+  edge [
+    source 238
+    target 246
+  ]
+  edge [
+    source 52
+    target 247
+  ]
+  edge [
+    source 242
+    target 248
+  ]
+  edge [
+    source 243
+    target 249
+  ]
+  edge [
+    source 241
+    target 250
+  ]
+  edge [
+    source 249
+    target 251
+  ]
+  edge [
+    source 243
+    target 252
+  ]
+  edge [
+    source 249
+    target 253
+  ]
+  edge [
+    source 243
+    target 254
+  ]
+  edge [
+    source 252
+    target 255
+  ]
+  edge [
+    source 34
+    target 256
+  ]
+  edge [
+    source 246
+    target 257
+  ]
+  edge [
+    source 250
+    target 258
+  ]
+  edge [
+    source 249
+    target 259
+  ]
+  edge [
+    source 249
+    target 260
+  ]
+  edge [
+    source 255
+    target 261
+  ]
+  edge [
+    source 253
+    target 262
+  ]
+  edge [
+    source 260
+    target 263
+  ]
+  edge [
+    source 223
+    target 264
+  ]
+  edge [
+    source 257
+    target 265
+  ]
+  edge [
+    source 241
+    target 266
+  ]
+  edge [
+    source 258
+    target 267
+  ]
+  edge [
+    source 263
+    target 268
+  ]
+  edge [
+    source 260
+    target 269
+  ]
+  edge [
+    source 266
+    target 270
+  ]
+  edge [
+    source 262
+    target 271
+  ]
+  edge [
+    source 118
+    target 272
+  ]
+  edge [
+    source 68
+    target 273
+  ]
+  edge [
+    source 71
+    target 274
+  ]
+  edge [
+    source 270
+    target 275
+  ]
+  edge [
+    source 270
+    target 276
+  ]
+  edge [
+    source 271
+    target 277
+  ]
+  edge [
+    source 140
+    target 278
+  ]
+  edge [
+    source 222
+    target 279
+  ]
+  edge [
+    source 270
+    target 280
+  ]
+  edge [
+    source 272
+    target 281
+  ]
+  edge [
+    source 281
+    target 282
+  ]
+  edge [
+    source 276
+    target 283
+  ]
+  edge [
+    source 282
+    target 284
+  ]
+  edge [
+    source 99
+    target 285
+  ]
+  edge [
+    source 283
+    target 286
+  ]
+  edge [
+    source 286
+    target 287
+  ]
+  edge [
+    source 281
+    target 288
+  ]
+  edge [
+    source 47
+    target 289
+  ]
+  edge [
+    source 289
+    target 290
+  ]
+  edge [
+    source 284
+    target 291
+  ]
+  edge [
+    source 280
+    target 292
+  ]
+  edge [
+    source 28
+    target 293
+  ]
+  edge [
+    source 89
+    target 294
+  ]
+  edge [
+    source 294
+    target 295
+  ]
+  edge [
+    source 293
+    target 296
+  ]
+  edge [
+    source 290
+    target 297
+  ]
+  edge [
+    source 289
+    target 298
+  ]
+  edge [
+    source 295
+    target 299
+  ]
+  edge [
+    source 292
+    target 300
+  ]
+  edge [
+    source 297
+    target 301
+  ]
+  edge [
+    source 68
+    target 302
+  ]
+  edge [
+    source 292
+    target 303
+  ]
+  edge [
+    source 301
+    target 304
+  ]
+  edge [
+    source 202
+    target 305
+  ]
+  edge [
+    source 304
+    target 306
+  ]
+  edge [
+    source 267
+    target 307
+  ]
+  edge [
+    source 301
+    target 308
+  ]
+  edge [
+    source 297
+    target 309
+  ]
+  edge [
+    source 309
+    target 310
+  ]
+  edge [
+    source 73
+    target 311
+  ]
+  edge [
+    source 307
+    target 312
+  ]
+  edge [
+    source 312
+    target 313
+  ]
+  edge [
+    source 299
+    target 314
+  ]
+  edge [
+    source 151
+    target 315
+  ]
+  edge [
+    source 100
+    target 316
+  ]
+  edge [
+    source 312
+    target 317
+  ]
+  edge [
+    source 311
+    target 318
+  ]
+  edge [
+    source 318
+    target 319
+  ]
+  edge [
+    source 186
+    target 320
+  ]
+  edge [
+    source 318
+    target 321
+  ]
+  edge [
+    source 319
+    target 322
+  ]
+  edge [
+    source 311
+    target 323
+  ]
+  edge [
+    source 323
+    target 324
+  ]
+  edge [
+    source 321
+    target 325
+  ]
+  edge [
+    source 318
+    target 326
+  ]
+  edge [
+    source 307
+    target 327
+  ]
+  edge [
+    source 311
+    target 328
+  ]
+  edge [
+    source 324
+    target 329
+  ]
+  edge [
+    source 171
+    target 330
+  ]
+  edge [
+    source 323
+    target 331
+  ]
+  edge [
+    source 324
+    target 332
+  ]
+  edge [
+    source 324
+    target 333
+  ]
+  edge [
+    source 330
+    target 334
+  ]
+  edge [
+    source 327
+    target 335
+  ]
+  edge [
+    source 331
+    target 336
+  ]
+  edge [
+    source 332
+    target 337
+  ]
+  edge [
+    source 326
+    target 338
+  ]
+  edge [
+    source 3
+    target 339
+  ]
+  edge [
+    source 339
+    target 340
+  ]
+  edge [
+    source 118
+    target 341
+  ]
+  edge [
+    source 50
+    target 342
+  ]
+  edge [
+    source 332
+    target 343
+  ]
+  edge [
+    source 332
+    target 344
+  ]
+  edge [
+    source 101
+    target 345
+  ]
+  edge [
+    source 345
+    target 346
+  ]
+  edge [
+    source 344
+    target 347
+  ]
+  edge [
+    source 299
+    target 348
+  ]
+  edge [
+    source 231
+    target 349
+  ]
+  edge [
+    source 154
+    target 350
+  ]
+  edge [
+    source 350
+    target 351
+  ]
+  edge [
+    source 344
+    target 352
+  ]
+  edge [
+    source 350
+    target 353
+  ]
+  edge [
+    source 342
+    target 354
+  ]
+  edge [
+    source 343
+    target 355
+  ]
+  edge [
+    source 350
+    target 356
+  ]
+  edge [
+    source 348
+    target 357
+  ]
+  edge [
+    source 35
+    target 358
+  ]
+  edge [
+    source 30
+    target 359
+  ]
+  edge [
+    source 351
+    target 360
+  ]
+  edge [
+    source 349
+    target 361
+  ]
+  edge [
+    source 356
+    target 362
+  ]
+  edge [
+    source 355
+    target 363
+  ]
+  edge [
+    source 353
+    target 364
+  ]
+  edge [
+    source 353
+    target 365
+  ]
+  edge [
+    source 361
+    target 366
+  ]
+  edge [
+    source 365
+    target 367
+  ]
+  edge [
+    source 363
+    target 368
+  ]
+  edge [
+    source 368
+    target 369
+  ]
+  edge [
+    source 365
+    target 370
+  ]
+  edge [
+    source 236
+    target 371
+  ]
+  edge [
+    source 364
+    target 372
+  ]
+  edge [
+    source 361
+    target 373
+  ]
+  edge [
+    source 368
+    target 374
+  ]
+  edge [
+    source 370
+    target 375
+  ]
+  edge [
+    source 369
+    target 376
+  ]
+  edge [
+    source 370
+    target 377
+  ]
+  edge [
+    source 59
+    target 378
+  ]
+  edge [
+    source 324
+    target 379
+  ]
+  edge [
+    source 376
+    target 380
+  ]
+  edge [
+    source 8
+    target 381
+  ]
+  edge [
+    source 380
+    target 382
+  ]
+  edge [
+    source 380
+    target 383
+  ]
+  edge [
+    source 383
+    target 384
+  ]
+  edge [
+    source 375
+    target 385
+  ]
+  edge [
+    source 375
+    target 386
+  ]
+  edge [
+    source 381
+    target 387
+  ]
+  edge [
+    source 103
+    target 388
+  ]
+  edge [
+    source 383
+    target 389
+  ]
+  edge [
+    source 388
+    target 390
+  ]
+  edge [
+    source 385
+    target 391
+  ]
+  edge [
+    source 390
+    target 392
+  ]
+  edge [
+    source 391
+    target 393
+  ]
+  edge [
+    source 383
+    target 394
+  ]
+  edge [
+    source 354
+    target 395
+  ]
+  edge [
+    source 384
+    target 396
+  ]
+  edge [
+    source 273
+    target 397
+  ]
+  edge [
+    source 391
+    target 398
+  ]
+  edge [
+    source 392
+    target 399
+  ]
+  edge [
+    source 392
+    target 400
+  ]
+  edge [
+    source 393
+    target 401
+  ]
+  edge [
+    source 399
+    target 402
+  ]
+  edge [
+    source 328
+    target 403
+  ]
+  edge [
+    source 180
+    target 404
+  ]
+  edge [
+    source 244
+    target 405
+  ]
+  edge [
+    source 398
+    target 406
+  ]
+  edge [
+    source 247
+    target 407
+  ]
+  edge [
+    source 152
+    target 408
+  ]
+  edge [
+    source 398
+    target 409
+  ]
+  edge [
+    source 404
+    target 410
+  ]
+  edge [
+    source 308
+    target 411
+  ]
+  edge [
+    source 400
+    target 412
+  ]
+  edge [
+    source 412
+    target 413
+  ]
+  edge [
+    source 411
+    target 414
+  ]
+  edge [
+    source 412
+    target 415
+  ]
+  edge [
+    source 243
+    target 416
+  ]
+  edge [
+    source 408
+    target 417
+  ]
+  edge [
+    source 141
+    target 418
+  ]
+  edge [
+    source 44
+    target 419
+  ]
+  edge [
+    source 414
+    target 420
+  ]
+  edge [
+    source 17
+    target 421
+  ]
+  edge [
+    source 420
+    target 422
+  ]
+  edge [
+    source 420
+    target 423
+  ]
+  edge [
+    source 412
+    target 424
+  ]
+  edge [
+    source 413
+    target 425
+  ]
+  edge [
+    source 416
+    target 426
+  ]
+  edge [
+    source 350
+    target 427
+  ]
+  edge [
+    source 420
+    target 428
+  ]
+  edge [
+    source 428
+    target 429
+  ]
+  edge [
+    source 427
+    target 430
+  ]
+  edge [
+    source 428
+    target 431
+  ]
+  edge [
+    source 34
+    target 432
+  ]
+  edge [
+    source 425
+    target 433
+  ]
+  edge [
+    source 2
+    target 434
+  ]
+  edge [
+    source 423
+    target 435
+  ]
+  edge [
+    source 433
+    target 436
+  ]
+  edge [
+    source 432
+    target 437
+  ]
+  edge [
+    source 434
+    target 438
+  ]
+  edge [
+    source 434
+    target 439
+  ]
+  edge [
+    source 182
+    target 440
+  ]
+  edge [
+    source 436
+    target 441
+  ]
+  edge [
+    source 438
+    target 442
+  ]
+  edge [
+    source 442
+    target 443
+  ]
+  edge [
+    source 439
+    target 444
+  ]
+  edge [
+    source 434
+    target 445
+  ]
+  edge [
+    source 439
+    target 446
+  ]
+  edge [
+    source 444
+    target 447
+  ]
+  edge [
+    source 437
+    target 448
+  ]
+  edge [
+    source 437
+    target 449
+  ]
+  edge [
+    source 9
+    target 450
+  ]
+  edge [
+    source 440
+    target 451
+  ]
+  edge [
+    source 448
+    target 452
+  ]
+  edge [
+    source 448
+    target 453
+  ]
+  edge [
+    source 426
+    target 454
+  ]
+  edge [
+    source 10
+    target 455
+  ]
+  edge [
+    source 264
+    target 456
+  ]
+  edge [
+    source 453
+    target 457
+  ]
+  edge [
+    source 62
+    target 458
+  ]
+  edge [
+    source 189
+    target 459
+  ]
+  edge [
+    source 454
+    target 460
+  ]
+  edge [
+    source 288
+    target 461
+  ]
+  edge [
+    source 450
+    target 462
+  ]
+  edge [
+    source 459
+    target 463
+  ]
+  edge [
+    source 462
+    target 464
+  ]
+  edge [
+    source 275
+    target 465
+  ]
+  edge [
+    source 454
+    target 466
+  ]
+  edge [
+    source 456
+    target 467
+  ]
+  edge [
+    source 457
+    target 468
+  ]
+  edge [
+    source 464
+    target 469
+  ]
+  edge [
+    source 469
+    target 470
+  ]
+  edge [
+    source 468
+    target 471
+  ]
+  edge [
+    source 466
+    target 472
+  ]
+  edge [
+    source 462
+    target 473
+  ]
+  edge [
+    source 468
+    target 474
+  ]
+  edge [
+    source 37
+    target 475
+  ]
+  edge [
+    source 154
+    target 476
+  ]
+  edge [
+    source 475
+    target 477
+  ]
+  edge [
+    source 50
+    target 478
+  ]
+  edge [
+    source 475
+    target 479
+  ]
+  edge [
+    source 470
+    target 480
+  ]
+  edge [
+    source 480
+    target 481
+  ]
+  edge [
+    source 470
+    target 482
+  ]
+  edge [
+    source 88
+    target 483
+  ]
+  edge [
+    source 461
+    target 484
+  ]
+  edge [
+    source 179
+    target 485
+  ]
+  edge [
+    source 370
+    target 486
+  ]
+  edge [
+    source 481
+    target 487
+  ]
+  edge [
+    source 477
+    target 488
+  ]
+  edge [
+    source 408
+    target 489
+  ]
+  edge [
+    source 341
+    target 490
+  ]
+  edge [
+    source 490
+    target 491
+  ]
+  edge [
+    source 324
+    target 492
+  ]
+  edge [
+    source 31
+    target 493
+  ]
+  edge [
+    source 423
+    target 494
+  ]
+  edge [
+    source 492
+    target 495
+  ]
+  edge [
+    source 495
+    target 496
+  ]
+  edge [
+    source 492
+    target 497
+  ]
+  edge [
+    source 495
+    target 498
+  ]
+  edge [
+    source 489
+    target 499
+  ]
+  edge [
+    source 495
+    target 500
+  ]
+  edge [
+    source 451
+    target 501
+  ]
+  edge [
+    source 496
+    target 502
+  ]
+  edge [
+    source 491
+    target 503
+  ]
+  edge [
+    source 500
+    target 504
+  ]
+  edge [
+    source 496
+    target 505
+  ]
+  edge [
+    source 494
+    target 506
+  ]
+  edge [
+    source 497
+    target 507
+  ]
+  edge [
+    source 500
+    target 508
+  ]
+  edge [
+    source 239
+    target 509
+  ]
+  edge [
+    source 499
+    target 510
+  ]
+  edge [
+    source 398
+    target 511
+  ]
+  edge [
+    source 199
+    target 512
+  ]
+  edge [
+    source 506
+    target 513
+  ]
+  edge [
+    source 89
+    target 514
+  ]
+  edge [
+    source 512
+    target 515
+  ]
+  edge [
+    source 507
+    target 516
+  ]
+  edge [
+    source 514
+    target 517
+  ]
+  edge [
+    source 132
+    target 518
+  ]
+  edge [
+    source 511
+    target 519
+  ]
+  edge [
+    source 511
+    target 520
+  ]
+  edge [
+    source 520
+    target 521
+  ]
+  edge [
+    source 515
+    target 522
+  ]
+  edge [
+    source 522
+    target 523
+  ]
+  edge [
+    source 38
+    target 524
+  ]
+  edge [
+    source 418
+    target 525
+  ]
+  edge [
+    source 514
+    target 526
+  ]
+  edge [
+    source 521
+    target 527
+  ]
+  edge [
+    source 525
+    target 528
+  ]
+  edge [
+    source 240
+    target 529
+  ]
+  edge [
+    source 243
+    target 530
+  ]
+  edge [
+    source 521
+    target 531
+  ]
+  edge [
+    source 208
+    target 532
+  ]
+  edge [
+    source 131
+    target 533
+  ]
+  edge [
+    source 533
+    target 534
+  ]
+  edge [
+    source 525
+    target 535
+  ]
+  edge [
+    source 529
+    target 536
+  ]
+  edge [
+    source 527
+    target 537
+  ]
+  edge [
+    source 527
+    target 538
+  ]
+  edge [
+    source 17
+    target 539
+  ]
+  edge [
+    source 530
+    target 540
+  ]
+  edge [
+    source 531
+    target 541
+  ]
+  edge [
+    source 536
+    target 542
+  ]
+  edge [
+    source 531
+    target 543
+  ]
+  edge [
+    source 540
+    target 544
+  ]
+  edge [
+    source 57
+    target 545
+  ]
+  edge [
+    source 224
+    target 546
+  ]
+  edge [
+    source 279
+    target 547
+  ]
+  edge [
+    source 544
+    target 548
+  ]
+  edge [
+    source 290
+    target 549
+  ]
+  edge [
+    source 542
+    target 550
+  ]
+  edge [
+    source 358
+    target 551
+  ]
+  edge [
+    source 541
+    target 552
+  ]
+  edge [
+    source 412
+    target 553
+  ]
+  edge [
+    source 382
+    target 554
+  ]
+  edge [
+    source 543
+    target 555
+  ]
+  edge [
+    source 547
+    target 556
+  ]
+  edge [
+    source 397
+    target 557
+  ]
+  edge [
+    source 556
+    target 558
+  ]
+  edge [
+    source 547
+    target 559
+  ]
+  edge [
+    source 553
+    target 560
+  ]
+  edge [
+    source 226
+    target 561
+  ]
+  edge [
+    source 90
+    target 562
+  ]
+  edge [
+    source 133
+    target 563
+  ]
+  edge [
+    source 553
+    target 564
+  ]
+  edge [
+    source 91
+    target 565
+  ]
+  edge [
+    source 561
+    target 566
+  ]
+  edge [
+    source 559
+    target 567
+  ]
+  edge [
+    source 392
+    target 568
+  ]
+  edge [
+    source 558
+    target 569
+  ]
+  edge [
+    source 567
+    target 570
+  ]
+  edge [
+    source 567
+    target 571
+  ]
+  edge [
+    source 569
+    target 572
+  ]
+  edge [
+    source 566
+    target 573
+  ]
+  edge [
+    source 572
+    target 574
+  ]
+  edge [
+    source 564
+    target 575
+  ]
+  edge [
+    source 100
+    target 576
+  ]
+  edge [
+    source 575
+    target 577
+  ]
+  edge [
+    source 571
+    target 578
+  ]
+  edge [
+    source 569
+    target 579
+  ]
+  edge [
+    source 571
+    target 580
+  ]
+  edge [
+    source 575
+    target 581
+  ]
+  edge [
+    source 576
+    target 582
+  ]
+  edge [
+    source 578
+    target 583
+  ]
+  edge [
+    source 578
+    target 584
+  ]
+  edge [
+    source 580
+    target 585
+  ]
+  edge [
+    source 370
+    target 586
+  ]
+  edge [
+    source 579
+    target 587
+  ]
+  edge [
+    source 576
+    target 588
+  ]
+  edge [
+    source 577
+    target 589
+  ]
+  edge [
+    source 578
+    target 590
+  ]
+  edge [
+    source 587
+    target 591
+  ]
+  edge [
+    source 541
+    target 592
+  ]
+  edge [
+    source 583
+    target 593
+  ]
+  edge [
+    source 588
+    target 594
+  ]
+  edge [
+    source 263
+    target 595
+  ]
+  edge [
+    source 591
+    target 596
+  ]
+  edge [
+    source 321
+    target 597
+  ]
+  edge [
+    source 595
+    target 598
+  ]
+  edge [
+    source 593
+    target 599
+  ]
+  edge [
+    source 566
+    target 600
+  ]
+  edge [
+    source 592
+    target 601
+  ]
+  edge [
+    source 592
+    target 602
+  ]
+  edge [
+    source 595
+    target 603
+  ]
+  edge [
+    source 595
+    target 604
+  ]
+  edge [
+    source 593
+    target 605
+  ]
+  edge [
+    source 305
+    target 606
+  ]
+  edge [
+    source 603
+    target 607
+  ]
+  edge [
+    source 597
+    target 608
+  ]
+  edge [
+    source 597
+    target 609
+  ]
+  edge [
+    source 536
+    target 610
+  ]
+  edge [
+    source 192
+    target 611
+  ]
+  edge [
+    source 132
+    target 612
+  ]
+  edge [
+    source 611
+    target 613
+  ]
+  edge [
+    source 498
+    target 614
+  ]
+  edge [
+    source 604
+    target 615
+  ]
+  edge [
+    source 613
+    target 616
+  ]
+  edge [
+    source 607
+    target 617
+  ]
+  edge [
+    source 616
+    target 618
+  ]
+  edge [
+    source 610
+    target 619
+  ]
+  edge [
+    source 616
+    target 620
+  ]
+  edge [
+    source 66
+    target 621
+  ]
+  edge [
+    source 618
+    target 622
+  ]
+  edge [
+    source 622
+    target 623
+  ]
+  edge [
+    source 621
+    target 624
+  ]
+  edge [
+    source 624
+    target 625
+  ]
+  edge [
+    source 622
+    target 626
+  ]
+  edge [
+    source 616
+    target 627
+  ]
+  edge [
+    source 626
+    target 628
+  ]
+  edge [
+    source 623
+    target 629
+  ]
+  edge [
+    source 441
+    target 630
+  ]
+  edge [
+    source 107
+    target 631
+  ]
+  edge [
+    source 39
+    target 632
+  ]
+  edge [
+    source 280
+    target 633
+  ]
+  edge [
+    source 624
+    target 634
+  ]
+  edge [
+    source 634
+    target 635
+  ]
+  edge [
+    source 631
+    target 636
+  ]
+  edge [
+    source 355
+    target 637
+  ]
+  edge [
+    source 636
+    target 638
+  ]
+  edge [
+    source 634
+    target 639
+  ]
+  edge [
+    source 628
+    target 640
+  ]
+  edge [
+    source 241
+    target 641
+  ]
+  edge [
+    source 630
+    target 642
+  ]
+  edge [
+    source 633
+    target 643
+  ]
+  edge [
+    source 637
+    target 644
+  ]
+  edge [
+    source 597
+    target 645
+  ]
+  edge [
+    source 637
+    target 646
+  ]
+  edge [
+    source 640
+    target 647
+  ]
+  edge [
+    source 636
+    target 648
+  ]
+  edge [
+    source 567
+    target 649
+  ]
+  edge [
+    source 300
+    target 650
+  ]
+  edge [
+    source 625
+    target 651
+  ]
+  edge [
+    source 422
+    target 652
+  ]
+  edge [
+    source 130
+    target 653
+  ]
+  edge [
+    source 651
+    target 654
+  ]
+  edge [
+    source 653
+    target 655
+  ]
+  edge [
+    source 652
+    target 656
+  ]
+  edge [
+    source 647
+    target 657
+  ]
+  edge [
+    source 657
+    target 658
+  ]
+  edge [
+    source 63
+    target 659
+  ]
+  edge [
+    source 653
+    target 660
+  ]
+  edge [
+    source 561
+    target 661
+  ]
+  edge [
+    source 656
+    target 662
+  ]
+  edge [
+    source 59
+    target 663
+  ]
+  edge [
+    source 662
+    target 664
+  ]
+  edge [
+    source 657
+    target 665
+  ]
+  edge [
+    source 660
+    target 666
+  ]
+  edge [
+    source 626
+    target 667
+  ]
+  edge [
+    source 661
+    target 668
+  ]
+  edge [
+    source 27
+    target 669
+  ]
+  edge [
+    source 406
+    target 670
+  ]
+  edge [
+    source 109
+    target 671
+  ]
+  edge [
+    source 671
+    target 672
+  ]
+  edge [
+    source 668
+    target 673
+  ]
+  edge [
+    source 670
+    target 674
+  ]
+  edge [
+    source 285
+    target 675
+  ]
+  edge [
+    source 664
+    target 676
+  ]
+  edge [
+    source 467
+    target 677
+  ]
+  edge [
+    source 674
+    target 678
+  ]
+  edge [
+    source 676
+    target 679
+  ]
+  edge [
+    source 673
+    target 680
+  ]
+  edge [
+    source 674
+    target 681
+  ]
+  edge [
+    source 680
+    target 682
+  ]
+  edge [
+    source 451
+    target 683
+  ]
+  edge [
+    source 683
+    target 684
+  ]
+  edge [
+    source 626
+    target 685
+  ]
+  edge [
+    source 500
+    target 686
+  ]
+  edge [
+    source 681
+    target 687
+  ]
+  edge [
+    source 242
+    target 688
+  ]
+  edge [
+    source 684
+    target 689
+  ]
+  edge [
+    source 689
+    target 690
+  ]
+  edge [
+    source 291
+    target 691
+  ]
+  edge [
+    source 688
+    target 692
+  ]
+  edge [
+    source 452
+    target 693
+  ]
+  edge [
+    source 683
+    target 694
+  ]
+  edge [
+    source 687
+    target 695
+  ]
+  edge [
+    source 691
+    target 696
+  ]
+  edge [
+    source 689
+    target 697
+  ]
+  edge [
+    source 689
+    target 698
+  ]
+  edge [
+    source 692
+    target 699
+  ]
+  edge [
+    source 694
+    target 700
+  ]
+  edge [
+    source 430
+    target 701
+  ]
+  edge [
+    source 695
+    target 702
+  ]
+  edge [
+    source 697
+    target 703
+  ]
+  edge [
+    source 699
+    target 704
+  ]
+  edge [
+    source 347
+    target 705
+  ]
+  edge [
+    source 698
+    target 706
+  ]
+  edge [
+    source 698
+    target 707
+  ]
+  edge [
+    source 700
+    target 708
+  ]
+  edge [
+    source 351
+    target 709
+  ]
+  edge [
+    source 709
+    target 710
+  ]
+  edge [
+    source 14
+    target 711
+  ]
+  edge [
+    source 706
+    target 712
+  ]
+  edge [
+    source 703
+    target 713
+  ]
+  edge [
+    source 52
+    target 714
+  ]
+  edge [
+    source 710
+    target 715
+  ]
+  edge [
+    source 710
+    target 716
+  ]
+  edge [
+    source 161
+    target 717
+  ]
+  edge [
+    source 715
+    target 718
+  ]
+  edge [
+    source 444
+    target 719
+  ]
+  edge [
+    source 713
+    target 720
+  ]
+  edge [
+    source 715
+    target 721
+  ]
+  edge [
+    source 721
+    target 722
+  ]
+  edge [
+    source 720
+    target 723
+  ]
+  edge [
+    source 718
+    target 724
+  ]
+  edge [
+    source 723
+    target 725
+  ]
+  edge [
+    source 703
+    target 726
+  ]
+  edge [
+    source 715
+    target 727
+  ]
+  edge [
+    source 722
+    target 728
+  ]
+  edge [
+    source 442
+    target 729
+  ]
+  edge [
+    source 712
+    target 730
+  ]
+  edge [
+    source 348
+    target 731
+  ]
+  edge [
+    source 602
+    target 732
+  ]
+  edge [
+    source 729
+    target 733
+  ]
+  edge [
+    source 224
+    target 734
+  ]
+  edge [
+    source 727
+    target 735
+  ]
+  edge [
+    source 8
+    target 736
+  ]
+  edge [
+    source 732
+    target 737
+  ]
+  edge [
+    source 37
+    target 738
+  ]
+  edge [
+    source 732
+    target 739
+  ]
+  edge [
+    source 737
+    target 740
+  ]
+  edge [
+    source 401
+    target 741
+  ]
+  edge [
+    source 263
+    target 742
+  ]
+  edge [
+    source 742
+    target 743
+  ]
+  edge [
+    source 741
+    target 744
+  ]
+  edge [
+    source 741
+    target 745
+  ]
+  edge [
+    source 745
+    target 746
+  ]
+  edge [
+    source 332
+    target 747
+  ]
+  edge [
+    source 736
+    target 748
+  ]
+  edge [
+    source 459
+    target 749
+  ]
+  edge [
+    source 746
+    target 750
+  ]
+  edge [
+    source 694
+    target 751
+  ]
+  edge [
+    source 617
+    target 752
+  ]
+  edge [
+    source 741
+    target 753
+  ]
+  edge [
+    source 296
+    target 719
+  ]
+  edge [
+    source 80
+    target 245
+  ]
+  edge [
+    source 119
+    target 242
+  ]
+  edge [
+    source 707
+    target 738
+  ]
+  edge [
+    source 277
+    target 400
+  ]
+  edge [
+    source 267
+    target 510
+  ]
+  edge [
+    source 547
+    target 657
+  ]
+  edge [
+    source 87
+    target 739
+  ]
+  edge [
+    source 84
+    target 659
+  ]
+  edge [
+    source 338
+    target 590
+  ]
+  edge [
+    source 610
+    target 700
+  ]
+  edge [
+    source 192
+    target 495
+  ]
+  edge [
+    source 99
+    target 269
+  ]
+  edge [
+    source 257
+    target 694
+  ]
+  edge [
+    source 325
+    target 674
+  ]
+  edge [
+    source 55
+    target 684
+  ]
+  edge [
+    source 158
+    target 351
+  ]
+  edge [
+    source 239
+    target 470
+  ]
+  edge [
+    source 458
+    target 655
+  ]
+  edge [
+    source 9
+    target 447
+  ]
+  edge [
+    source 114
+    target 534
+  ]
+  edge [
+    source 329
+    target 384
+  ]
+  edge [
+    source 25
+    target 611
+  ]
+  edge [
+    source 29
+    target 305
+  ]
+  edge [
+    source 245
+    target 515
+  ]
+  edge [
+    source 148
+    target 720
+  ]
+  edge [
+    source 16
+    target 312
+  ]
+  edge [
+    source 152
+    target 456
+  ]
+  edge [
+    source 466
+    target 516
+  ]
+  edge [
+    source 195
+    target 305
+  ]
+  edge [
+    source 41
+    target 518
+  ]
+  edge [
+    source 183
+    target 409
+  ]
+  edge [
+    source 308
+    target 407
+  ]
+  edge [
+    source 200
+    target 639
+  ]
+  edge [
+    source 45
+    target 300
+  ]
+  edge [
+    source 724
+    target 751
+  ]
+  edge [
+    source 286
+    target 378
+  ]
+  edge [
+    source 140
+    target 613
+  ]
+  edge [
+    source 20
+    target 179
+  ]
+  edge [
+    source 11
+    target 66
+  ]
+  edge [
+    source 4
+    target 643
+  ]
+  edge [
+    source 1
+    target 363
+  ]
+  edge [
+    source 139
+    target 692
+  ]
+  edge [
+    source 361
+    target 663
+  ]
+  edge [
+    source 196
+    target 260
+  ]
+  edge [
+    source 345
+    target 432
+  ]
+  edge [
+    source 31
+    target 714
+  ]
+  edge [
+    source 50
+    target 550
+  ]
+  edge [
+    source 137
+    target 570
+  ]
+  edge [
+    source 237
+    target 691
+  ]
+  edge [
+    source 255
+    target 586
+  ]
+  edge [
+    source 45
+    target 442
+  ]
+  edge [
+    source 364
+    target 392
+  ]
+  edge [
+    source 499
+    target 690
+  ]
+  edge [
+    source 88
+    target 164
+  ]
+  edge [
+    source 191
+    target 553
+  ]
+  edge [
+    source 7
+    target 327
+  ]
+  edge [
+    source 223
+    target 363
+  ]
+  edge [
+    source 244
+    target 341
+  ]
+  edge [
+    source 289
+    target 432
+  ]
+  edge [
+    source 89
+    target 392
+  ]
+  edge [
+    source 130
+    target 504
+  ]
+  edge [
+    source 12
+    target 527
+  ]
+  edge [
+    source 43
+    target 71
+  ]
+  edge [
+    source 419
+    target 591
+  ]
+  edge [
+    source 121
+    target 135
+  ]
+  edge [
+    source 163
+    target 168
+  ]
+  edge [
+    source 134
+    target 240
+  ]
+  edge [
+    source 569
+    target 731
+  ]
+  edge [
+    source 37
+    target 45
+  ]
+  edge [
+    source 135
+    target 751
+  ]
+  edge [
+    source 28
+    target 710
+  ]
+  edge [
+    source 47
+    target 393
+  ]
+  edge [
+    source 100
+    target 181
+  ]
+  edge [
+    source 86
+    target 604
+  ]
+  edge [
+    source 460
+    target 717
+  ]
+  edge [
+    source 270
+    target 720
+  ]
+  edge [
+    source 164
+    target 465
+  ]
+  edge [
+    source 186
+    target 468
+  ]
+  edge [
+    source 384
+    target 586
+  ]
+  edge [
+    source 1
+    target 439
+  ]
+  edge [
+    source 659
+    target 695
+  ]
+  edge [
+    source 247
+    target 459
+  ]
+  edge [
+    source 400
+    target 613
+  ]
+  edge [
+    source 6
+    target 657
+  ]
+  edge [
+    source 326
+    target 512
+  ]
+  edge [
+    source 399
+    target 441
+  ]
+  edge [
+    source 128
+    target 222
+  ]
+  edge [
+    source 9
+    target 390
+  ]
+  edge [
+    source 528
+    target 752
+  ]
+  edge [
+    source 46
+    target 592
+  ]
+  edge [
+    source 156
+    target 309
+  ]
+  edge [
+    source 282
+    target 718
+  ]
+  edge [
+    source 69
+    target 183
+  ]
+  edge [
+    source 104
+    target 340
+  ]
+  edge [
+    source 354
+    target 727
+  ]
+  edge [
+    source 439
+    target 558
+  ]
+  edge [
+    source 29
+    target 292
+  ]
+  edge [
+    source 288
+    target 413
+  ]
+  edge [
+    source 75
+    target 717
+  ]
+  edge [
+    source 504
+    target 581
+  ]
+  edge [
+    source 118
+    target 208
+  ]
+  edge [
+    source 98
+    target 340
+  ]
+  edge [
+    source 211
+    target 615
+  ]
+  edge [
+    source 602
+    target 645
+  ]
+  edge [
+    source 188
+    target 387
+  ]
+  edge [
+    source 93
+    target 125
+  ]
+  edge [
+    source 60
+    target 574
+  ]
+  edge [
+    source 42
+    target 242
+  ]
+  edge [
+    source 472
+    target 592
+  ]
+  edge [
+    source 73
+    target 321
+  ]
+  edge [
+    source 422
+    target 550
+  ]
+  edge [
+    source 160
+    target 549
+  ]
+  edge [
+    source 374
+    target 504
+  ]
+  edge [
+    source 16
+    target 413
+  ]
+  edge [
+    source 133
+    target 286
+  ]
+  edge [
+    source 350
+    target 508
+  ]
+  edge [
+    source 186
+    target 303
+  ]
+  edge [
+    source 95
+    target 694
+  ]
+  edge [
+    source 240
+    target 439
+  ]
+  edge [
+    source 117
+    target 690
+  ]
+  edge [
+    source 168
+    target 680
+  ]
+  edge [
+    source 606
+    target 652
+  ]
+  edge [
+    source 34
+    target 165
+  ]
+  edge [
+    source 246
+    target 405
+  ]
+  edge [
+    source 60
+    target 735
+  ]
+  edge [
+    source 90
+    target 180
+  ]
+  edge [
+    source 283
+    target 346
+  ]
+  edge [
+    source 390
+    target 566
+  ]
+  edge [
+    source 35
+    target 477
+  ]
+  edge [
+    source 122
+    target 417
+  ]
+  edge [
+    source 79
+    target 627
+  ]
+  edge [
+    source 280
+    target 325
+  ]
+  edge [
+    source 53
+    target 299
+  ]
+  edge [
+    source 341
+    target 697
+  ]
+  edge [
+    source 91
+    target 751
+  ]
+  edge [
+    source 304
+    target 451
+  ]
+  edge [
+    source 4
+    target 266
+  ]
+  edge [
+    source 380
+    target 657
+  ]
+  edge [
+    source 642
+    target 711
+  ]
+  edge [
+    source 87
+    target 546
+  ]
+]

@@ -58,6 +58,18 @@ def shortest_path(
 ) -> List[str]:
     """Dijkstra shortest path as a list of node names (src ... dst).
 
+    Deterministic tie-breaking (locked by tests, relied on by the
+    vectorized bulk provisioner): among predecessors that all achieve a
+    node's final distance, the chosen one minimizes
+    ``(dist[predecessor], predecessor name)``.  For unit weights that
+    degenerates to *the smallest-named neighbor one hop closer to the
+    source* — the same canonical rule
+    :class:`repro.controller.provision.DestinationTree` and
+    :func:`repro.topology.csr.destination_tree_arrays` use, so every
+    path algorithm in the repo agrees bit-for-bit on equal-cost
+    choices.  The rule is enforced by an explicit comparison below, not
+    by incidental heap order.
+
     Args:
         weight: optional ``f(a, b) -> cost`` per link; defaults to hop
             count.  Costs must be non-negative.
@@ -95,10 +107,18 @@ def shortest_path(
             if w < 0:
                 raise TopologyError(f"negative link weight on {cur}-{nb}: {w}")
             nd = d + w
-            if nd < dist.get(nb, float("inf")):
+            old = dist.get(nb, float("inf"))
+            if nd < old:
                 dist[nb] = nd
                 prev[nb] = cur
                 heapq.heappush(heap, (nd, nb))
+            elif nd == old and nb in prev:
+                # Canonical tie-break: keep the predecessor minimal by
+                # (distance, name).  Pops arrive in that order already,
+                # so this comparison is a lock, not a behavior change.
+                p = prev[nb]
+                if (d, cur) < (dist[p], p):
+                    prev[nb] = cur
     if dst not in prev and dst != src:
         note = "with constraints" if (banned_links or banned_nodes) else ""
         raise NoPathError(src, dst, note)

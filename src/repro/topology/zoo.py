@@ -7,7 +7,18 @@ suite and benchmarks exercise KAR where readers expect it to live:
 * :func:`fat_tree` — the k-ary data-center fat tree (SlickFlow's
   setting, cited by the paper),
 * :func:`abilene` — the 11-PoP Abilene/Internet2 research backbone (a
-  real intra-domain WAN like the RNP).
+  real intra-domain WAN like the RNP),
+* :func:`load_zoo_graph` — Topology Zoo GML ingest
+  (stdlib-only parser, committed fixtures under ``data/``), so
+  provisioning benchmarks run over real ISP topologies at planet
+  scale.
+
+GML handling is deliberately self-contained: :func:`parse_gml` is a
+small recursive-descent reader for the subset of GML the Topology Zoo
+emits (nested ``key [ ... ]`` sections, quoted strings, numbers), and
+:func:`dump_gml` writes the same subset back canonically — fixtures
+round-trip byte-for-byte, which is how the committed files are pinned
+to the generators that produced them (see ``data/README.md``).
 
 Switch IDs are planned automatically with
 :func:`repro.controller.idassign.assign_switch_ids`, demonstrating the
@@ -16,12 +27,28 @@ controller's ID-handling role on networks with no hand-picked IDs.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+import os
+import random
+from typing import Dict, List, Sequence, Tuple, Union
 
 from repro.controller.idassign import assign_switch_ids
-from repro.topology.graph import NodeKind, PortGraph
+from repro.topology.graph import NodeKind, PortGraph, TopologyError
 
-__all__ = ["fat_tree", "abilene", "ABILENE_LINKS"]
+__all__ = [
+    "fat_tree",
+    "abilene",
+    "ABILENE_LINKS",
+    "GmlError",
+    "parse_gml",
+    "dump_gml",
+    "graph_from_gml",
+    "gml_from_links",
+    "synth_wan_links",
+    "synth_wan_gml",
+    "zoo_fixture_path",
+    "load_zoo_graph",
+    "ZOO_FIXTURES",
+]
 
 
 def fat_tree(k: int = 4, rate_mbps: float = 100.0,
@@ -94,3 +121,395 @@ def abilene(rate_mbps: float = 100.0, delay_s: float = 0.002,
     for a, b in ABILENE_LINKS:
         g.add_link(a, b, rate_mbps=rate_mbps, delay_s=delay_s)
     return g
+
+
+# ----------------------------------------------------------------------
+# Topology Zoo GML ingest
+# ----------------------------------------------------------------------
+
+class GmlError(TopologyError):
+    """Malformed GML input (parse error or unusable graph section)."""
+
+
+# A parsed GML document/section: ordered (key, value) pairs, where a
+# value is an int, float, quoted string, or a nested section.
+GmlValue = Union[int, float, str, "GmlSection"]
+GmlSection = List[Tuple[str, GmlValue]]
+
+
+def _tokenize_gml(text: str) -> List[str]:
+    tokens: List[str] = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c in " \t\r\n":
+            i += 1
+        elif c == "#":  # comment to end of line (some zoo exports)
+            while i < n and text[i] != "\n":
+                i += 1
+        elif c in "[]":
+            tokens.append(c)
+            i += 1
+        elif c == '"':
+            j = i + 1
+            while j < n and text[j] != '"':
+                j += 1
+            if j >= n:
+                raise GmlError("unterminated string in GML input")
+            tokens.append(text[i:j + 1])
+            i = j + 1
+        else:
+            j = i
+            while j < n and text[j] not in ' \t\r\n[]"#':
+                j += 1
+            tokens.append(text[i:j])
+            i = j
+    return tokens
+
+
+def _parse_value(tok: str) -> GmlValue:
+    if tok.startswith('"'):
+        return tok[1:-1]
+    try:
+        return int(tok)
+    except ValueError:
+        pass
+    try:
+        return float(tok)
+    except ValueError:
+        pass
+    # GML bare words (e.g. boolean-ish flags) are kept as strings.
+    return tok
+
+
+def parse_gml(text: str) -> GmlSection:
+    """Parse GML text into ordered ``(key, value)`` pairs.
+
+    Handles the Topology Zoo subset: nested ``key [ ... ]`` sections,
+    double-quoted strings, integers, floats, bare words, and ``#``
+    comments.  Unknown keys are preserved — callers pick out what they
+    need.
+
+    Raises:
+        GmlError: on unbalanced brackets, a dangling key, or an
+            unterminated string.
+    """
+    tokens = _tokenize_gml(text)
+    pos = 0
+
+    def section() -> GmlSection:
+        nonlocal pos
+        out: GmlSection = []
+        while pos < len(tokens) and tokens[pos] != "]":
+            key = tokens[pos]
+            if key == "[":
+                raise GmlError("unexpected '[' without a key")
+            pos += 1
+            if pos >= len(tokens):
+                raise GmlError(f"dangling key {key!r} at end of input")
+            if tokens[pos] == "[":
+                pos += 1
+                value: GmlValue = section()
+                if pos >= len(tokens) or tokens[pos] != "]":
+                    raise GmlError(f"unclosed section for key {key!r}")
+                pos += 1
+            else:
+                value = _parse_value(tokens[pos])
+                pos += 1
+            out.append((key, value))
+        return out
+
+    doc = section()
+    if pos != len(tokens):
+        raise GmlError("unbalanced ']' in GML input")
+    return doc
+
+
+def dump_gml(doc: GmlSection, _indent: int = 0) -> str:
+    """Write a parsed GML document back out, canonically.
+
+    Two-space indentation, strings quoted, section order preserved —
+    ``parse_gml(dump_gml(doc)) == doc``, and the committed fixtures are
+    exactly ``dump_gml`` output (tests regenerate and byte-compare).
+    """
+    pad = "  " * _indent
+    lines: List[str] = []
+    for key, value in doc:
+        if isinstance(value, list):
+            lines.append(f"{pad}{key} [")
+            lines.append(dump_gml(value, _indent + 1))
+            lines.append(f"{pad}]")
+        elif isinstance(value, str):
+            lines.append(f'{pad}{key} "{value}"')
+        else:
+            lines.append(f"{pad}{key} {value}")
+    return "\n".join(lines)
+
+
+def _graph_section(doc: GmlSection) -> GmlSection:
+    for key, value in doc:
+        if key == "graph" and isinstance(value, list):
+            return value
+    raise GmlError("no 'graph' section in GML input")
+
+
+def _largest_component(
+    names: Sequence[str], links: Sequence[Tuple[str, str]]
+) -> List[str]:
+    adj: Dict[str, List[str]] = {n: [] for n in names}
+    for a, b in links:
+        adj[a].append(b)
+        adj[b].append(a)
+    seen: set = set()
+    best: List[str] = []
+    for start in names:
+        if start in seen:
+            continue
+        comp = [start]
+        seen.add(start)
+        stack = [start]
+        while stack:
+            cur = stack.pop()
+            for nb in adj[cur]:
+                if nb not in seen:
+                    seen.add(nb)
+                    comp.append(nb)
+                    stack.append(nb)
+        if len(comp) > len(best):
+            best = comp
+    return best
+
+
+def graph_from_gml(
+    text: str,
+    rate_mbps: float = 100.0,
+    delay_s: float = 0.002,
+    id_strategy: str = "greedy",
+    largest_component: bool = True,
+) -> PortGraph:
+    """Build a KAR core from Topology Zoo GML text.
+
+    Normalization (all deterministic, so the same file always yields
+    the same graph, ports, and switch IDs):
+
+    * node labels are the node names; missing or duplicate labels get
+      a ``_<id>`` suffix (zoo files reuse city labels across PoPs);
+    * self-loops and parallel links are dropped (KAR ports are
+      per-neighbor);
+    * with *largest_component* (the default), smaller components are
+      dropped — several zoo snapshots ship disconnected fragments that
+      could never carry a provisioned route.
+
+    Every node becomes a CORE switch with one spare port for edge
+    attachment (:func:`repro.topology.generators.attach_edges`).
+
+    Raises:
+        GmlError: no graph section, no usable nodes, or an edge
+            referencing an unknown node id.
+    """
+    graph_sec = _graph_section(parse_gml(text))
+    labels: Dict[int, str] = {}
+    used: Dict[str, int] = {}
+    order: List[int] = []
+    raw_edges: List[Tuple[int, int]] = []
+    for key, value in graph_sec:
+        if key == "node" and isinstance(value, list):
+            fields = dict(
+                (k, v) for k, v in value if not isinstance(v, list)
+            )
+            if "id" not in fields:
+                raise GmlError("node section without an 'id'")
+            nid = int(fields["id"])
+            label = str(fields.get("label", "")).strip() or f"node{nid}"
+            if label in used:
+                label = f"{label}_{nid}"
+            used[label] = nid
+            labels[nid] = label
+            order.append(nid)
+        elif key == "edge" and isinstance(value, list):
+            fields = dict(
+                (k, v) for k, v in value if not isinstance(v, list)
+            )
+            if "source" not in fields or "target" not in fields:
+                raise GmlError("edge section without source/target")
+            raw_edges.append((int(fields["source"]), int(fields["target"])))
+    if not labels:
+        raise GmlError("GML graph has no nodes")
+
+    links: List[Tuple[str, str]] = []
+    seen: set = set()
+    for s, t in raw_edges:
+        if s not in labels or t not in labels:
+            raise GmlError(f"edge references unknown node id {s} or {t}")
+        if s == t:
+            continue  # self-loop: meaningless for a port graph
+        a, b = labels[s], labels[t]
+        key2 = (a, b) if a <= b else (b, a)
+        if key2 in seen:
+            continue  # parallel link: one port pair is enough
+        seen.add(key2)
+        links.append((a, b))
+
+    names = [labels[nid] for nid in order]
+    if largest_component:
+        keep = set(_largest_component(names, links))
+        names = [n for n in names if n in keep]
+        links = [(a, b) for a, b in links if a in keep]
+    if not names:
+        raise GmlError("GML graph has no usable nodes")
+
+    degree: Dict[str, int] = {n: 0 for n in names}
+    for a, b in links:
+        degree[a] += 1
+        degree[b] += 1
+    ids = assign_switch_ids(
+        {n: d + 1 for n, d in degree.items()}, strategy=id_strategy
+    )
+    g = PortGraph()
+    for n in names:
+        g.add_node(n, kind=NodeKind.CORE, switch_id=ids[n])
+    for a, b in links:
+        g.add_link(a, b, rate_mbps=rate_mbps, delay_s=delay_s)
+    return g
+
+
+def gml_from_links(
+    label: str, links: Sequence[Tuple[str, str]]
+) -> str:
+    """Canonical Topology Zoo-style GML for a named link list.
+
+    Node ids follow first-appearance order in *links*; output is
+    byte-stable, which is what lets fixture tests regenerate committed
+    files and compare exactly.
+    """
+    ids: Dict[str, int] = {}
+    for a, b in links:
+        for n in (a, b):
+            if n not in ids:
+                ids[n] = len(ids)
+    body: GmlSection = [("directed", 0), ("label", label)]
+    for n, nid in ids.items():
+        body.append(("node", [("id", nid), ("label", n)]))
+    for a, b in links:
+        body.append(("edge", [("source", ids[a]), ("target", ids[b])]))
+    return dump_gml([("graph", body)]) + "\n"
+
+
+# ----------------------------------------------------------------------
+# Synthetic planet-scale WAN (deterministic stand-in for a large zoo file)
+# ----------------------------------------------------------------------
+
+#: Parameters of the committed large fixture: ~Kentucky-Datalink scale
+#: (the largest Topology Zoo graph: 754 nodes, ~895 links, sparse and
+#: chain-heavy).  The fixture is *synthesized* — this container has no
+#: network access, so the real file cannot be downloaded — but the
+#: generator is committed and seeded, and the fixture test regenerates
+#: the bytes and compares them, so provenance is total.
+SYNTH_WAN_NODES = 754
+SYNTH_WAN_EXTRA = 141
+SYNTH_WAN_SEED = 20260808
+
+
+def synth_wan_links(
+    n: int = SYNTH_WAN_NODES,
+    extra: int = SYNTH_WAN_EXTRA,
+    seed: int = SYNTH_WAN_SEED,
+) -> List[Tuple[str, str]]:
+    """Deterministic sparse WAN adjacency: ``n`` PoPs, ``n-1+extra`` links.
+
+    Construction mimics the shape of very large Topology Zoo graphs
+    (regional metro chains stitched by a few long-haul shortcuts): a
+    locality-biased random spanning tree — node *i* usually attaches to
+    one of its twelve predecessors, occasionally anywhere earlier —
+    plus *extra* random cross links.  Connected by construction;
+    reproducible from the seed alone (``random.Random``, so stable
+    across platforms and Python builds).
+    """
+    if n < 2:
+        raise ValueError(f"need at least 2 nodes, got {n}")
+    rng = random.Random(seed)
+    name = [f"POP{i:04d}" for i in range(n)]
+    links: List[Tuple[str, str]] = []
+    seen: set = set()
+    for i in range(1, n):
+        if i == 1 or rng.random() < 0.7:
+            j = rng.randrange(max(0, i - 12), i)
+        else:
+            j = rng.randrange(i)
+        links.append((name[j], name[i]))
+        seen.add((j, i))
+    added = 0
+    while added < extra:
+        a = rng.randrange(n)
+        b = rng.randrange(n)
+        if a == b:
+            continue
+        key = (a, b) if a < b else (b, a)
+        if key in seen:
+            continue
+        seen.add(key)
+        links.append((name[key[0]], name[key[1]]))
+        added += 1
+    return links
+
+
+def synth_wan_gml(
+    n: int = SYNTH_WAN_NODES,
+    extra: int = SYNTH_WAN_EXTRA,
+    seed: int = SYNTH_WAN_SEED,
+) -> str:
+    """The GML text of the synthetic WAN — byte-identical to the fixture."""
+    return gml_from_links(
+        f"SynthWAN-{n} (deterministic synthetic WAN, seed {seed})",
+        synth_wan_links(n, extra, seed),
+    )
+
+
+# ----------------------------------------------------------------------
+# Committed fixtures
+# ----------------------------------------------------------------------
+
+_DATA_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "data")
+
+#: Fixture name -> file name under ``topology/data/``.
+ZOO_FIXTURES: Dict[str, str] = {
+    "abilene": "abilene.gml",
+    "synthwan754": "synthwan754.gml",
+}
+
+
+def zoo_fixture_path(name: str) -> str:
+    """Absolute path of a committed GML fixture.
+
+    Raises:
+        GmlError: unknown fixture name.
+    """
+    try:
+        return os.path.join(_DATA_DIR, ZOO_FIXTURES[name])
+    except KeyError:
+        raise GmlError(
+            f"unknown zoo fixture {name!r} "
+            f"(have: {', '.join(sorted(ZOO_FIXTURES))})"
+        ) from None
+
+
+def load_zoo_graph(
+    name: str,
+    rate_mbps: float = 100.0,
+    delay_s: float = 0.002,
+    id_strategy: str = "greedy",
+) -> PortGraph:
+    """Load a committed GML fixture as a KAR core.
+
+    >>> g = load_zoo_graph("abilene")
+    >>> len(list(g.nodes()))
+    11
+    """
+    with open(zoo_fixture_path(name), "r", encoding="utf-8") as fh:
+        text = fh.read()
+    return graph_from_gml(
+        text,
+        rate_mbps=rate_mbps,
+        delay_s=delay_s,
+        id_strategy=id_strategy,
+    )

@@ -1,0 +1,121 @@
+"""Tests for the all-pairs provisioning benchmark."""
+
+import json
+
+import pytest
+
+from repro.bench.provisionbench import (
+    CELLS,
+    DEFAULT_CELLS,
+    QUICK_CELLS,
+    build_mesh_topology,
+    render_provision_bench,
+    run_provision_bench,
+    shard_gate,
+)
+from repro.topology.graph import NodeKind
+
+
+class TestTopologyRegistry:
+    def test_default_matrix_covers_scales(self):
+        # One real WAN, one fabric, one planet-scale graph.
+        assert set(DEFAULT_CELLS) <= set(CELLS)
+        assert "synthwan754" in DEFAULT_CELLS
+
+    def test_quick_matrix_excludes_planet_scale(self):
+        assert set(QUICK_CELLS) <= set(CELLS)
+        assert "synthwan754" not in QUICK_CELLS
+
+    def test_builders_are_deterministic(self):
+        a = build_mesh_topology("abilene")
+        b = build_mesh_topology("abilene")
+        assert sorted(a.node_names()) == sorted(b.node_names())
+        assert a.switch_ids() == b.switch_ids()
+
+    def test_fat_tree_attaches_edges_to_edge_layer(self):
+        g = build_mesh_topology("fat_tree4")
+        edges = [n.name for n in g.nodes(NodeKind.EDGE)]
+        assert len(edges) == 8  # one per edgesw in a k=4 tree
+        assert all(e.startswith("E-edgesw-") for e in edges)
+
+    def test_unknown_cell_rejected(self):
+        with pytest.raises(ValueError, match="unknown provisioning cell"):
+            build_mesh_topology("nope")
+
+
+class TestRunBench:
+    @pytest.fixture(scope="class")
+    def result(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("bench") / "BENCH_provision.json"
+        return run_provision_bench(
+            cells=["abilene"],
+            quick=True,
+            repeats=1,
+            out=str(out),
+            shards=False,
+        ), out
+
+    def test_identity_verified_before_timing(self, result):
+        res, _ = result
+        cell = res["cells"][0]
+        assert cell["identity"]["bit_identical"] is True
+        assert cell["identity"]["verified_pairs"] == cell["pairs"]
+        assert res["bit_identical_reference"] is True
+
+    def test_cell_shape(self, result):
+        res, _ = result
+        cell = res["cells"][0]
+        assert cell["cell"] == "abilene"
+        assert cell["core_nodes"] == 11
+        assert cell["edge_nodes"] == 11
+        assert cell["pairs"] == 110
+        assert cell["naive"]["pairs_timed"] == 110
+        assert cell["naive"]["estimated"] is False
+        assert cell["vectorized"]["cold_start"] is True
+        assert len(cell["mesh_digest"]) == 64
+        assert cell["target_met"] is None  # no target on small cells
+
+    def test_artifact_written_and_stamped(self, result):
+        res, out = result
+        with open(out, encoding="utf-8") as fh:
+            loaded = json.load(fh)
+        assert loaded["bench"] == "repro.provision"
+        assert loaded["cells"][0]["mesh_digest"] == (
+            res["cells"][0]["mesh_digest"]
+        )
+        for key in ("cpu_count", "platform", "python"):
+            assert key in loaded
+
+    def test_render(self, result):
+        res, _ = result
+        text = render_provision_bench(res)
+        assert "abilene" in text
+        assert "bit-identical to per-flow reference: True" in text
+
+    def test_unknown_cell_rejected(self):
+        with pytest.raises(ValueError, match="unknown cell"):
+            run_provision_bench(cells=["bogus"], out=None, shards=False)
+
+    def test_bad_repeats_rejected(self):
+        with pytest.raises(ValueError, match="repeats"):
+            run_provision_bench(
+                cells=["abilene"], repeats=0, out=None, shards=False
+            )
+
+
+class TestShardGate:
+    def test_block_digests_match_sequential(self):
+        # jobs=1 runs the farm inline — the gate logic (per-block
+        # digest re-derivation and comparison) is what's under test;
+        # CI's provision-smoke job exercises real worker processes.
+        gate = shard_gate(topology="abilene", blocks=3, jobs=1)
+        assert gate["digests_match"] is True
+        assert len(gate["gates"]) == 3
+        assert sum(g["destinations"] for g in gate["gates"]) == 11
+        assert sum(g["routes"] for g in gate["gates"]) == 110
+        for g in gate["gates"]:
+            assert g["shard_digest"] == g["sequential_digest"]
+
+    def test_bad_blocks_rejected(self):
+        with pytest.raises(ValueError, match="blocks"):
+            shard_gate(topology="abilene", blocks=0)

@@ -1,0 +1,232 @@
+"""Tests for the vectorized bulk provisioner.
+
+The contract under test is *bit identity*: every route the bulk path
+produces — node path, hop tuple, route ID, modulus, out-port — must
+equal what the per-flow :class:`ProvisioningEngine` produces for the
+same pair, on paper topologies, reference WANs, random graphs
+(Hypothesis), and under link failures.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.controller.bulk import (
+    BulkProvisioner,
+    full_mesh_pairs,
+    mesh_digest,
+    mesh_digest_reference,
+)
+from repro.controller.provision import ProvisionError, ProvisioningEngine
+from repro.topology import (
+    NodeKind,
+    fifteen_node,
+    random_connected,
+    six_node,
+)
+from repro.topology.generators import attach_edges
+from repro.topology.zoo import abilene, fat_tree
+
+
+@pytest.fixture(scope="module")
+def six():
+    return six_node().graph
+
+
+@pytest.fixture(scope="module")
+def abilene_mesh():
+    g = abilene()
+    attach_edges(g)
+    return g
+
+
+def _edge_names(graph):
+    return sorted(n.name for n in graph.nodes(NodeKind.EDGE))
+
+
+def _assert_mesh_identical(graph):
+    """Every pair: bulk ProvisionedRoute == per-flow ProvisionedRoute."""
+    engine = ProvisioningEngine(graph, validated_pool=True)
+    bp = BulkProvisioner(graph)
+    edges = _edge_names(graph)
+    for dst in edges:
+        got = bp.routes_for(dst, [s for s in edges if s != dst])
+        for src, route in got.items():
+            ref = engine.provision(src, dst)
+            assert route == ref, (src, dst)
+            assert route.route.hops == ref.route.hops
+
+
+class TestBitIdentity:
+    def test_paper_route_id_44(self, six):
+        bp = BulkProvisioner(six)
+        p = bp.routes_for("E-D", ["E-S"])["E-S"]
+        assert p.node_path == ("E-S", "SW4", "SW7", "SW11", "E-D")
+        assert (p.route.route_id, p.route.modulus) == (44, 308)
+        assert p.out_port == six.port_of("E-S", "SW4")
+
+    def test_six_node_mesh(self, six):
+        _assert_mesh_identical(six)
+
+    def test_fifteen_node_mesh(self):
+        _assert_mesh_identical(fifteen_node().graph)
+
+    def test_abilene_mesh(self, abilene_mesh):
+        _assert_mesh_identical(abilene_mesh)
+
+    def test_fat_tree_mesh(self):
+        g = fat_tree(4)
+        attach_edges(g)
+        _assert_mesh_identical(g)
+
+    def test_mesh_digest_equals_reference(self, abilene_mesh):
+        engine = ProvisioningEngine(abilene_mesh, validated_pool=True)
+        bp = BulkProvisioner(abilene_mesh)
+        pairs = full_mesh_pairs(abilene_mesh)
+        d_bulk, n_bulk = mesh_digest(bp.iter_full_mesh())
+        d_ref, n_ref = mesh_digest_reference(engine, pairs)
+        assert (d_bulk, n_bulk) == (d_ref, n_ref)
+        assert n_bulk == len(pairs)
+
+    def test_shared_entry_shares_route_object(self, abilene_mesh):
+        bp = BulkProvisioner(abilene_mesh)
+        edges = _edge_names(abilene_mesh)
+        dst = edges[0]
+        routes = bp.routes_for(dst, [s for s in edges if s != dst])
+        by_entry = {}
+        for p in routes.values():
+            by_entry.setdefault(p.node_path[1], p.route)
+            assert routes[p.src_edge].route is by_entry[p.node_path[1]]
+
+    def test_identity_under_link_failure(self, six):
+        down = frozenset({tuple(sorted(("SW7", "SW11")))})
+        engine = ProvisioningEngine(six, validated_pool=True)
+        engine.set_link_down("SW7", "SW11")
+        bp = BulkProvisioner(six, down=down)
+        p = bp.routes_for("E-D", ["E-S"])["E-S"]
+        assert p == engine.provision("E-S", "E-D")
+
+
+class TestErrors:
+    def test_unreachable_destination(self, six):
+        # Cut E-D off entirely: no source can reach it.
+        down = frozenset({tuple(sorted(("E-D", "SW11")))})
+        bp = BulkProvisioner(six, down=down)
+        with pytest.raises(ProvisionError, match="no core neighbor") as e:
+            bp.routes_for("E-D", ["E-S"])
+        assert e.value.reason == "no-core-path"
+
+    def test_non_edge_destination(self, six):
+        bp = BulkProvisioner(six)
+        with pytest.raises(ProvisionError, match="not an edge node") as e:
+            bp.routes_for("SW4", ["E-S"])
+        assert e.value.reason == "not-an-edge"
+
+
+class TestProvisionBatchWiring:
+    def test_forced_bulk_equals_per_flow(self, abilene_mesh):
+        pairs = full_mesh_pairs(abilene_mesh)
+        eng_bulk = ProvisioningEngine(abilene_mesh, validated_pool=True)
+        eng_flow = ProvisioningEngine(abilene_mesh, validated_pool=True)
+        got = eng_bulk.provision_batch(pairs, bulk=True)
+        ref = eng_flow.provision_batch(pairs, bulk=False)
+        assert got == ref
+        assert eng_bulk.bulk_routes == len(pairs)
+        assert eng_flow.bulk_routes == 0
+
+    def test_order_preserved_and_duplicates_allowed(self, abilene_mesh):
+        edges = _edge_names(abilene_mesh)
+        dst = edges[0]
+        pairs = [(s, dst) for s in edges[1:]]
+        pairs = pairs + pairs[:3]  # duplicates
+        eng = ProvisioningEngine(abilene_mesh, validated_pool=True)
+        got = eng.provision_batch(pairs, bulk=True)
+        assert [(p.src_edge, p.dst_edge) for p in got] == pairs
+        assert eng.provisions == len(pairs)
+
+    def test_auto_threshold_keeps_small_batches_per_flow(self, six):
+        eng = ProvisioningEngine(six, validated_pool=True)
+        eng.provision_batch([("E-S", "E-D")])
+        assert eng.bulk_batches == 0
+        assert eng.trees_built == 1  # the per-flow Python tree
+
+    def test_auto_threshold_engages_on_large_groups(self, abilene_mesh):
+        eng = ProvisioningEngine(
+            abilene_mesh, validated_pool=True, bulk_threshold=4
+        )
+        pairs = full_mesh_pairs(abilene_mesh)
+        eng.provision_batch(pairs)
+        assert eng.bulk_batches == len(_edge_names(abilene_mesh))
+        assert eng.trees_built == 0  # no Python trees were needed
+
+    def test_bulk_tree_builds_bounded_by_distinct_destinations(
+        self, abilene_mesh
+    ):
+        eng = ProvisioningEngine(abilene_mesh, validated_pool=True)
+        pairs = full_mesh_pairs(abilene_mesh) * 2
+        eng.provision_batch(pairs, bulk=True)
+        distinct = len({d for _, d in pairs})
+        assert eng.stats()["bulk"]["trees_built"] <= distinct
+
+    def test_link_change_invalidates_bulk_state(self, abilene_mesh):
+        eng = ProvisioningEngine(abilene_mesh, validated_pool=True)
+        pairs = full_mesh_pairs(abilene_mesh)
+        before = eng.provision_batch(pairs, bulk=True)
+        eng.set_link_down("Denver", "KansasCity")
+        after = eng.provision_batch(pairs, bulk=True)
+        flow = ProvisioningEngine(abilene_mesh, validated_pool=True)
+        flow.set_link_down("Denver", "KansasCity")
+        assert after == flow.provision_batch(pairs, bulk=False)
+        assert before != after  # the failure moved at least one route
+
+    def test_same_edge_rejected_on_bulk_path(self, abilene_mesh):
+        edges = _edge_names(abilene_mesh)
+        dst = edges[0]
+        pairs = [(s, dst) for s in edges]  # includes (dst, dst)
+        eng = ProvisioningEngine(abilene_mesh, validated_pool=True)
+        with pytest.raises(ProvisionError, match="share the edge") as e:
+            eng.provision_batch(pairs, bulk=True)
+        assert e.value.reason == "same-edge"
+
+    def test_full_mesh_convenience(self, abilene_mesh):
+        eng = ProvisioningEngine(abilene_mesh, validated_pool=True)
+        routes = eng.provision_full_mesh(bulk=True)
+        pairs = full_mesh_pairs(abilene_mesh)
+        assert [(p.src_edge, p.dst_edge) for p in routes] == pairs
+
+
+class TestPropertyRandomTopologies:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(0, 500),
+        n=st.integers(4, 11),
+        extra=st.integers(0, 6),
+    )
+    def test_random_mesh_bit_identical(self, seed, n, extra):
+        graph = random_connected(
+            n, extra_links=extra, seed=seed, min_switch_id=53
+        )
+        attach_edges(graph)
+        engine = ProvisioningEngine(graph, validated_pool=True)
+        bp = BulkProvisioner(graph)
+        edges = _edge_names(graph)
+        for dst in edges:
+            got = bp.routes_for(dst, [s for s in edges if s != dst])
+            for src, route in got.items():
+                ref = engine.provision(src, dst)
+                assert route == ref
+                assert route.route.hops == ref.route.hops
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 500), n=st.integers(5, 10))
+    def test_random_mesh_digest_matches_reference(self, seed, n):
+        graph = random_connected(
+            n, extra_links=3, seed=seed, min_switch_id=53
+        )
+        attach_edges(graph)
+        engine = ProvisioningEngine(graph, validated_pool=True)
+        bp = BulkProvisioner(graph)
+        pairs = full_mesh_pairs(graph)
+        assert mesh_digest(bp.iter_full_mesh()) == mesh_digest_reference(
+            engine, pairs
+        )

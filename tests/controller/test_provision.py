@@ -179,3 +179,32 @@ class TestRerouteHop:
         p = eng.provision("E-S", "E-D")
         with pytest.raises(RoutingError, match="unknown node"):
             eng.reroute_hop(p.route, "SW7", "SW4X")
+
+
+class TestTreeMemoization:
+    def test_batch_tree_builds_bounded_by_distinct_destinations(
+        self, fifteen
+    ):
+        # Satellite invariant: however a batch mixes flows, the engine
+        # never builds more trees than it has distinct destinations.
+        eng = ProvisioningEngine(fifteen)
+        edges = _edge_names(fifteen)
+        pairs = [
+            (s, d) for d in edges for s in edges if s != d
+        ] * 4  # heavy repetition across two passes
+        eng.provision_batch(pairs)
+        eng.provision_batch(pairs)
+        assert eng.trees_built <= len({d for _, d in pairs})
+        assert eng.tree_hits == len(pairs) * 2 - eng.trees_built
+
+    def test_epoch_bump_resets_the_bound_not_the_counter(self, fifteen):
+        eng = ProvisioningEngine(fifteen)
+        edges = _edge_names(fifteen)
+        pairs = [(s, d) for d in edges for s in edges if s != d]
+        eng.provision_batch(pairs)
+        built_first = eng.trees_built
+        eng.note_link_change()
+        eng.provision_batch(pairs)
+        distinct = len({d for _, d in pairs})
+        assert built_first <= distinct
+        assert eng.trees_built <= 2 * distinct  # cumulative across epochs

@@ -122,6 +122,44 @@ class TestBenchParser:
         assert sorted(_BENCH_SIZES) == sorted(SIZES)
 
 
+class TestBenchProvisionParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["bench", "provision"])
+        assert not args.quick
+        assert args.cells is None
+        assert args.seed == 1
+        assert args.repeats is None
+        assert args.shards is True
+        assert args.out == "BENCH_provision.json"
+
+    def test_flags(self):
+        args = build_parser().parse_args([
+            "bench", "provision", "--quick", "--cells", "abilene",
+            "fat_tree4", "--seed", "7", "--repeats", "2", "--no-shards",
+            "--out", "x.json",
+        ])
+        assert args.quick
+        assert args.cells == ["abilene", "fat_tree4"]
+        assert args.seed == 7
+        assert args.repeats == 2
+        assert args.shards is False
+        assert args.out == "x.json"
+
+    def test_bad_cell_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["bench", "provision", "--cells", "huge"]
+            )
+
+    def test_cells_literal_matches_bench_registry(self):
+        # Same pattern as _BENCH_SIZES: the CLI keeps a literal copy so
+        # the parser builds without importing numpy-backed bench code.
+        from repro.bench.provisionbench import CELLS
+        from repro.cli import _BENCH_PROVISION_CELLS
+
+        assert sorted(_BENCH_PROVISION_CELLS) == sorted(CELLS)
+
+
 class TestProfileFlag:
     def test_off_by_default(self):
         assert build_parser().parse_args(["table1"]).profile is None

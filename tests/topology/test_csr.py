@@ -1,0 +1,125 @@
+"""Tests for the CSR topology arrays and the vectorized tree pass."""
+
+import numpy as np
+import pytest
+
+from repro.controller.provision import DestinationTree
+from repro.topology import NodeKind, fifteen_node, six_node
+from repro.topology.csr import CsrTopology, destination_tree_arrays
+from repro.topology.generators import attach_edges
+from repro.topology.zoo import abilene, fat_tree
+
+
+@pytest.fixture(scope="module")
+def six():
+    return six_node().graph
+
+
+@pytest.fixture(scope="module")
+def fifteen():
+    return fifteen_node().graph
+
+
+def _edge_names(graph):
+    return sorted(n.name for n in graph.nodes(NodeKind.EDGE))
+
+
+class TestCsrTopology:
+    def test_names_sorted_and_indexed(self, six):
+        csr = CsrTopology.from_graph(six)
+        assert list(csr.names) == sorted(n.name for n in six.nodes())
+        for i, name in enumerate(csr.names):
+            assert csr.index[name] == i
+            assert csr.node_index(name) == i
+
+    def test_adjacency_matches_graph(self, six):
+        csr = CsrTopology.from_graph(six)
+        for name in csr.names:
+            got = [csr.names[j] for j in csr.neighbors_of(name)]
+            assert got == sorted(six.neighbors(name))
+
+    def test_ports_mirror_port_of(self, six):
+        csr = CsrTopology.from_graph(six)
+        for u, name in enumerate(csr.names):
+            sl = csr.edge_slice(u)
+            for e in range(sl.start, sl.stop):
+                v = csr.names[csr.indices[e]]
+                assert csr.ports_out[e] == six.port_of(name, v)
+                assert csr.ports_back[e] == six.port_of(v, name)
+
+    def test_core_mask_and_switch_ids(self, six):
+        csr = CsrTopology.from_graph(six)
+        for i, name in enumerate(csr.names):
+            info = six.node(name)
+            assert bool(csr.core_mask[i]) == (info.kind == NodeKind.CORE)
+            expected = info.switch_id if info.switch_id is not None else -1
+            assert csr.switch_ids[i] == expected
+
+    def test_down_links_excluded(self, six):
+        down = frozenset({tuple(sorted(("SW4", "SW7")))})
+        csr = CsrTopology.from_graph(six, down=down)
+        sw4 = csr.node_index("SW4")
+        assert csr.node_index("SW7") not in csr.neighbors_of("SW4").tolist()
+        full = CsrTopology.from_graph(six)
+        assert len(full.neighbors_of("SW4")) == len(csr.neighbors_of("SW4")) + 1
+        assert sw4 == full.node_index("SW4")  # indexing is unaffected
+
+    def test_arrays_read_only(self, six):
+        csr = CsrTopology.from_graph(six)
+        with pytest.raises(ValueError):
+            csr.indptr[0] = 1
+        with pytest.raises(ValueError):
+            csr.switch_ids[0] = 99
+
+
+class TestDestinationTreeArrays:
+    def _assert_matches_reference(self, graph, dst, down=frozenset()):
+        csr = CsrTopology.from_graph(graph, down=down)
+        tree = destination_tree_arrays(csr, csr.node_index(dst))
+        ref = DestinationTree(graph, dst, epoch=0, down=down)
+        got_depth = {
+            csr.names[i]: int(tree.depth[i])
+            for i in range(csr.n)
+            if tree.depth[i] >= 0 and bool(csr.core_mask[i])
+        }
+        ref_depth = {k: v for k, v in ref.depth.items() if k != dst}
+        assert got_depth == ref_depth
+        for name, parent in ref.parent.items():
+            i = csr.node_index(name)
+            assert csr.names[int(tree.parent[i])] == parent
+            assert int(tree.parent_port[i]) == graph.port_of(name, parent)
+
+    def test_matches_reference_six(self, six):
+        for dst in _edge_names(six):
+            self._assert_matches_reference(six, dst)
+
+    def test_matches_reference_fifteen(self, fifteen):
+        for dst in _edge_names(fifteen):
+            self._assert_matches_reference(fifteen, dst)
+
+    def test_matches_reference_abilene_and_fat_tree(self):
+        for graph in (abilene(), fat_tree(4)):
+            attach_edges(graph)
+            for dst in _edge_names(graph):
+                self._assert_matches_reference(graph, dst)
+
+    def test_matches_reference_under_link_failure(self, six):
+        down = frozenset({tuple(sorted(("SW7", "SW11")))})
+        self._assert_matches_reference(six, "E-D", down=down)
+
+    def test_order_is_breadth_first(self, six):
+        csr = CsrTopology.from_graph(six)
+        tree = destination_tree_arrays(csr, csr.node_index("E-D"))
+        depths = tree.depth[tree.order]
+        assert (np.diff(depths) >= 0).all()
+        assert set(tree.order.tolist()) == {
+            i for i in range(csr.n) if tree.depth[i] >= 1
+        }
+
+    def test_isolated_root_yields_empty_tree(self, six):
+        # Cut E-D off from its only switch: nothing is reachable.
+        down = frozenset({tuple(sorted(("E-D", "SW11")))})
+        csr = CsrTopology.from_graph(six, down=down)
+        tree = destination_tree_arrays(csr, csr.node_index("E-D"))
+        assert tree.order.size == 0
+        assert (tree.depth[csr.core_mask] < 0).all()

@@ -139,3 +139,73 @@ class TestReachabilityAndBridges:
         nxg = _to_nx(g)
         theirs = sorted(tuple(sorted(e)) for e in nx.bridges(nxg))
         assert articulation_links(g) == theirs
+
+
+class TestTieBreaking:
+    """The canonical equal-cost rule: among predecessors achieving a
+    node's final distance, keep the one minimal by (distance, name).
+    Locked here because the vectorized bulk provisioner reproduces it
+    from the other end of the path (see repro.topology.csr)."""
+
+    def _square(self, link_order):
+        # S - B - T and S - C - T: two equal-cost paths to T.
+        g = PortGraph()
+        for name, sid in (("S", 5), ("B", 7), ("C", 11), ("T", 13)):
+            g.add_node(name, switch_id=sid)
+        for a, b in link_order:
+            g.add_link(a, b)
+        return g
+
+    def test_equal_cost_prefers_smallest_named_predecessor(self):
+        g = self._square([("S", "B"), ("S", "C"), ("B", "T"), ("C", "T")])
+        assert shortest_path(g, "S", "T") == ["S", "B", "T"]
+
+    def test_choice_is_insertion_order_independent(self):
+        # Same graph, links wired in the opposite order: the canonical
+        # rule must still pick B, not whichever was relaxed first.
+        g = self._square([("C", "T"), ("B", "T"), ("S", "C"), ("S", "B")])
+        assert shortest_path(g, "S", "T") == ["S", "B", "T"]
+
+    def test_weighted_tie_prefers_smaller_distance_predecessor(self):
+        #  S -2- A -1- T   and   S -1- B -2- T: both cost 3, but the
+        #  canonical rule compares (dist[pred], name): B at dist 1
+        #  beats A at dist 2 regardless of name order.
+        g = PortGraph()
+        for name, sid in (("S", 5), ("A", 7), ("B", 11), ("T", 13)):
+            g.add_node(name, switch_id=sid)
+        g.add_link("S", "A")
+        g.add_link("A", "T")
+        g.add_link("S", "B")
+        g.add_link("B", "T")
+        costs = {("S", "A"): 2.0, ("A", "T"): 1.0,
+                 ("S", "B"): 1.0, ("B", "T"): 2.0}
+
+        def weight(a, b):
+            return costs.get((a, b), costs.get((b, a)))
+
+        assert shortest_path(g, "S", "T", weight=weight) == ["S", "B", "T"]
+
+    def test_every_equal_cost_hop_uses_smallest_parent(self):
+        # On random unit-weight graphs the rule degenerates to: each
+        # path node's predecessor is the smallest-named neighbor one
+        # hop closer to the source.
+        for seed in range(6):
+            g = random_connected(9, extra_links=5, seed=seed,
+                                 min_switch_id=53)
+            names = sorted(g.node_names())
+            src, dst = names[0], names[-1]
+            path = shortest_path(g, src, dst)
+            dist = {src: 0}
+            frontier = [src]
+            while frontier:
+                nxt = []
+                for cur in frontier:
+                    for nb in g.neighbors(cur):
+                        if nb not in dist:
+                            dist[nb] = dist[cur] + 1
+                            nxt.append(nb)
+                frontier = nxt
+            for prev_node, node in zip(path, path[1:]):
+                candidates = [nb for nb in g.neighbors(node)
+                              if dist[nb] == dist[node] - 1]
+                assert prev_node == min(candidates)

@@ -112,3 +112,149 @@ class TestAbilene:
         probe.start()
         ks.run(until=2.0)
         assert sink.received == probe.sent
+
+
+class TestGmlParser:
+    def test_round_trip(self):
+        from repro.topology.zoo import dump_gml, parse_gml
+
+        doc = [("graph", [
+            ("directed", 0),
+            ("label", "tiny"),
+            ("node", [("id", 0), ("label", "A")]),
+            ("node", [("id", 1), ("label", "B")]),
+            ("edge", [("source", 0), ("target", 1), ("weight", 1.5)]),
+        ])]
+        text = dump_gml(doc)
+        assert parse_gml(text) == doc
+        assert parse_gml(dump_gml(parse_gml(text))) == doc
+
+    def test_comments_and_bare_words(self):
+        from repro.topology.zoo import parse_gml
+
+        doc = parse_gml('graph [\n  # a comment\n  directed 0\n'
+                        '  flag yes\n]')
+        assert doc == [("graph", [("directed", 0), ("flag", "yes")])]
+
+    @pytest.mark.parametrize("bad", [
+        'graph [ node [ id 0 ]',          # unclosed section
+        'graph [ label "oops ]',          # unterminated string
+        'graph [ node [ id 0 ] ] ]',      # unbalanced close
+        'graph [ directed ',              # dangling key
+        'graph [ [ 1 ] ]',                # bracket without key
+    ])
+    def test_malformed_rejected(self, bad):
+        from repro.topology.zoo import GmlError, parse_gml
+
+        with pytest.raises(GmlError):
+            parse_gml(bad)
+
+
+class TestGraphFromGml:
+    def test_no_graph_section_rejected(self):
+        from repro.topology.zoo import GmlError, graph_from_gml
+
+        with pytest.raises(GmlError, match="no 'graph' section"):
+            graph_from_gml('notagraph [ x 1 ]')
+
+    def test_node_without_id_rejected(self):
+        from repro.topology.zoo import GmlError, graph_from_gml
+
+        with pytest.raises(GmlError, match="without an 'id'"):
+            graph_from_gml('graph [ node [ label "A" ] ]')
+
+    def test_edge_to_unknown_node_rejected(self):
+        from repro.topology.zoo import GmlError, graph_from_gml
+
+        with pytest.raises(GmlError, match="unknown node id"):
+            graph_from_gml(
+                'graph [ node [ id 0 label "A" ] '
+                'edge [ source 0 target 9 ] ]'
+            )
+
+    def test_duplicate_labels_deduped(self):
+        from repro.topology.zoo import graph_from_gml
+
+        g = graph_from_gml(
+            'graph [ node [ id 0 label "X" ] node [ id 1 label "X" ] '
+            'edge [ source 0 target 1 ] ]'
+        )
+        assert sorted(g.node_names()) == ["X", "X_1"]
+
+    def test_self_loops_and_parallel_edges_dropped(self):
+        from repro.topology.zoo import graph_from_gml
+
+        g = graph_from_gml(
+            'graph [ node [ id 0 label "A" ] node [ id 1 label "B" ] '
+            'edge [ source 0 target 0 ] '
+            'edge [ source 0 target 1 ] '
+            'edge [ source 1 target 0 ] ]'
+        )
+        assert len(g.links()) == 1
+
+    def test_largest_component_kept(self):
+        from repro.topology.zoo import graph_from_gml
+
+        text = (
+            'graph [ '
+            'node [ id 0 label "A" ] node [ id 1 label "B" ] '
+            'node [ id 2 label "C" ] node [ id 3 label "Z" ] '
+            'edge [ source 0 target 1 ] edge [ source 1 target 2 ] ]'
+        )
+        g = graph_from_gml(text)
+        assert sorted(g.node_names()) == ["A", "B", "C"]
+        g_all = graph_from_gml(text, largest_component=False)
+        assert sorted(g_all.node_names()) == ["A", "B", "C", "Z"]
+
+    def test_ids_coprime_and_exceed_degree(self):
+        from repro.topology.zoo import load_zoo_graph
+
+        g = load_zoo_graph("abilene")
+        assert pairwise_coprime(list(g.switch_ids().values()))
+        for n in g.nodes():
+            assert n.switch_id > n.degree
+
+
+class TestZooFixtures:
+    def test_abilene_fixture_matches_builder(self):
+        from repro.topology.zoo import load_zoo_graph
+
+        fixture = load_zoo_graph("abilene")
+        built = abilene()
+        assert sorted(fixture.node_names()) == sorted(built.node_names())
+        assert sorted(l.key for l in fixture.links()) == sorted(
+            l.key for l in built.links()
+        )
+
+    def test_abilene_fixture_bytes_pinned_to_recipe(self):
+        from repro.topology.zoo import gml_from_links, zoo_fixture_path
+
+        with open(zoo_fixture_path("abilene"), encoding="utf-8") as fh:
+            committed = fh.read()
+        assert committed == gml_from_links(
+            "Abilene (Internet2 research backbone, 11 PoPs)",
+            list(ABILENE_LINKS),
+        )
+
+    def test_synthwan_fixture_bytes_pinned_to_generator(self):
+        from repro.topology.zoo import synth_wan_gml, zoo_fixture_path
+
+        with open(zoo_fixture_path("synthwan754"), encoding="utf-8") as fh:
+            committed = fh.read()
+        assert committed == synth_wan_gml()
+
+    def test_synthwan_scale_and_validity(self):
+        from repro.topology.zoo import load_zoo_graph
+
+        g = load_zoo_graph("synthwan754")
+        assert len(g) == 754
+        assert len(g.links()) == 894
+        assert g.is_connected()
+        for n in g.nodes():
+            assert n.switch_id > n.degree
+
+    def test_unknown_fixture_rejected(self):
+        from repro.topology.zoo import GmlError, zoo_fixture_path
+
+        with pytest.raises(GmlError, match="unknown zoo fixture"):
+            zoo_fixture_path("nope")
