@@ -18,9 +18,20 @@ A separate microbenchmark times raw CRT encodes of the primary route
 (``crt_encodes_per_sec``) — the controller-side cost that incremental
 re-encoding (PR 1) and the farm (PR 2) care about.
 
+Since PR 9 the benchmark covers two datapath families (``--modes``):
+
+* ``des`` — the discrete-event engine, fast path vs in-process
+  reference (the original matrix);
+* ``epoch`` — the million-packet datapath: the epoch-quantized model's
+  vectorized engine (:mod:`repro.sim.vector`) and 2-shard engine
+  (:mod:`repro.sim.shard`) against the untouched-KarSwitch scalar
+  reference.  **Every cell is digest-verified against the reference
+  engine before a single timing repeat runs** — same discipline, one
+  order of magnitude more packets.
+
 Results land in ``BENCH_sim.json``; CI runs ``--quick`` and asserts
-only ``digests_match_reference`` (never wall-clock — shared runners
-make absolute thresholds flaky).
+only ``digests_match_reference`` and run-to-run digest identity (never
+wall-clock — shared runners make absolute thresholds flaky).
 """
 
 from __future__ import annotations
@@ -45,7 +56,25 @@ from repro.topology import (
     shortest_path,
 )
 
-__all__ = ["SIZES", "run_sim_bench", "render_sim_bench"]
+__all__ = ["SIZES", "MODES", "EPOCH_WORKLOADS", "run_sim_bench",
+           "render_sim_bench"]
+
+#: Datapath families the benchmark can exercise.
+MODES: Tuple[str, ...] = ("des", "epoch")
+
+#: Epoch-model workload scale per topology size.  Sized so the large
+#: cell pushes well past the ROADMAP's 10M forwarded packets/min on a
+#: single core while the scalar oracle pass stays affordable.
+EPOCH_WORKLOADS: Dict[str, Dict[str, int]] = {
+    "small": dict(flows=8, inject_per_epoch=6, inject_epochs=12, ttl=32),
+    "medium": dict(flows=24, inject_per_epoch=12, inject_epochs=20, ttl=40),
+    "large": dict(flows=48, inject_per_epoch=24, inject_epochs=28, ttl=48),
+}
+
+#: The 10M+ forwarded-packets/min target for the vectorized engine on
+#: the large topology (tracked in the artifact, asserted by eye — CI
+#: never gates on wall-clock).
+EPOCH_TARGET_PER_MIN = 10_000_000
 
 #: Topology size presets.  ``min_switch_id`` scales with size so larger
 #: nets also mean larger route IDs (more big-int work on the reference
@@ -186,6 +215,125 @@ def _crt_bench(scenario: Scenario, repeats: int) -> Dict[str, Any]:
     }
 
 
+def _epoch_spec(size: str, strategy: str, seed: int) -> Dict[str, Any]:
+    """Epoch-model workload spec for one benchmark cell."""
+    from repro.sim.vector import synthetic_spec
+
+    cfg = SIZES[size]
+    scale = EPOCH_WORKLOADS[size]
+    return synthetic_spec(
+        num_switches=cfg["num_switches"],
+        extra_links=cfg["extra_links"],
+        min_switch_id=cfg["min_switch_id"],
+        seed=seed,
+        strategy=strategy,
+        flows=scale["flows"],
+        ttl=scale["ttl"],
+        inject_per_epoch=scale["inject_per_epoch"],
+        inject_epochs=scale["inject_epochs"],
+        link_failures=2,
+        fail_epoch=max(1, scale["inject_epochs"] // 3),
+        repair_epoch=max(2, 2 * scale["inject_epochs"] // 3),
+    )
+
+
+def _per_min(count: int, wall_s: float) -> Optional[int]:
+    return round(count / wall_s * 60) if wall_s > 0 else None
+
+
+def _run_epoch_cells(
+    sizes: Sequence[str],
+    strategies: Sequence[str],
+    seed: int,
+    repeats: int,
+    shard_processes: bool,
+) -> List[Dict[str, Any]]:
+    """The epoch-datapath matrix: verify every engine's digest against
+    the scalar reference **before** any timing repeat runs."""
+    from repro.sim.shard import run_epoch_sharded
+    from repro.sim.vector import (
+        build_workload,
+        run_epoch_reference,
+        run_epoch_vector,
+    )
+
+    cells: List[Dict[str, Any]] = []
+    for size in sizes:
+        for strategy in strategies:
+            spec = _epoch_spec(size, strategy, seed)
+            workload = build_workload(spec)
+
+            # --- verify pass: digests first, timing only if they hold.
+            ref_start = time.perf_counter()
+            ref = run_epoch_reference(workload)
+            ref_wall = time.perf_counter() - ref_start
+            vec = run_epoch_vector(workload)
+            sh = run_epoch_sharded(
+                workload, shards=2, processes=shard_processes
+            )
+            for engine, outcome in (("vector", vec), ("shard2", sh)):
+                if outcome.digest != ref.digest:
+                    raise RuntimeError(
+                        f"epoch {engine} engine diverged from reference: "
+                        f"{size}/{strategy} ({outcome.digest} vs "
+                        f"{ref.digest})"
+                    )
+
+            # --- timing pass (interleaved, min wall per engine).
+            vec_times: List[float] = []
+            shard_times: List[float] = []
+            for _ in range(repeats):
+                start = time.perf_counter()
+                timed = run_epoch_vector(workload)
+                vec_times.append(time.perf_counter() - start)
+                if timed.digest != ref.digest:
+                    raise RuntimeError(
+                        f"non-deterministic vector run: {size}/{strategy}"
+                    )
+                start = time.perf_counter()
+                timed = run_epoch_sharded(
+                    workload, shards=2, processes=shard_processes
+                )
+                shard_times.append(time.perf_counter() - start)
+                if timed.digest != ref.digest:
+                    raise RuntimeError(
+                        f"non-deterministic shard run: {size}/{strategy}"
+                    )
+            vec_s, shard_s = min(vec_times), min(shard_times)
+            forwarded = ref.record["hops"]
+            cells.append({
+                "size": size,
+                "strategy": strategy,
+                "packets": ref.record["injected"],
+                "forwarded": forwarded,
+                "epochs": ref.record["epochs"],
+                "delivered": ref.record["delivered"],
+                "reference_epoch": {
+                    "wall_s": round(ref_wall, 4),
+                    "forwarded_per_min": _per_min(forwarded, ref_wall),
+                },
+                "vector": {
+                    "wall_s": round(vec_s, 4),
+                    "forwarded_per_sec": (
+                        round(forwarded / vec_s) if vec_s > 0 else None
+                    ),
+                    "forwarded_per_min": _per_min(forwarded, vec_s),
+                },
+                "shard2": {
+                    "wall_s": round(shard_s, 4),
+                    "processes": shard_processes,
+                    "handoff_checks": sh.meta["handoff_checks"],
+                    "forwarded_per_min": _per_min(forwarded, shard_s),
+                },
+                "speedup_vs_reference": (
+                    round(ref_wall / vec_s, 3) if vec_s > 0 else None
+                ),
+                "digest": ref.digest,
+                "digests_match": True,  # enforced above, before timing
+            })
+    return cells
+
+
 def run_sim_bench(
     sizes: Optional[Sequence[str]] = None,
     strategies: Optional[Sequence[str]] = None,
@@ -193,27 +341,37 @@ def run_sim_bench(
     quick: bool = False,
     repeats: Optional[int] = None,
     out: Optional[str] = "BENCH_sim.json",
+    modes: Optional[Sequence[str]] = None,
 ) -> Dict[str, Any]:
-    """Run the reference-vs-fast matrix; optionally write *out*.
+    """Run the datapath benchmark matrix; optionally write *out*.
 
-    ``quick`` trims the matrix for CI smoke runs (small+medium, the
-    digest check still covers every cell).
+    ``modes`` selects the datapath families (default: both): ``des``
+    (event loop, fast vs reference) and ``epoch`` (vectorized + 2-shard
+    batch engines vs the scalar reference engine).  ``quick`` trims the
+    matrix for CI smoke runs (small+medium, the digest checks still
+    cover every cell).
 
-    Each cell runs ``repeats`` times per mode (interleaved
-    ref/fast/ref/fast, so OS scheduling drift hits both modes alike)
-    and reports the **minimum** wall time per mode — the standard
-    estimator for wall-clock microbenchmarks, since noise on a quiet
-    deterministic workload is strictly additive.  Every repeat must
-    produce the same digest (the simulation is seeded), which doubles
-    as a determinism check.
+    Each timed cell runs ``repeats`` times per engine (interleaved, so
+    OS scheduling drift hits all engines alike) and reports the
+    **minimum** wall time — the standard estimator for wall-clock
+    microbenchmarks, since noise on a quiet deterministic workload is
+    strictly additive.  Every repeat must produce the same digest (the
+    simulation is seeded), which doubles as a determinism check; epoch
+    cells additionally verify vector and sharded digests against the
+    reference engine *before* the first timing repeat.
     """
     if sizes is None:
         sizes = ("small", "medium") if quick else ("small", "medium", "large")
     if strategies is None:
         strategies = STRATEGY_NAMES
+    if modes is None:
+        modes = MODES
     for size in sizes:
         if size not in SIZES:
             raise ValueError(f"unknown size {size!r}; choose from {sorted(SIZES)}")
+    for mode in modes:
+        if mode not in MODES:
+            raise ValueError(f"unknown mode {mode!r}; choose from {list(MODES)}")
     if repeats is None:
         repeats = 2 if quick else 3
     if repeats < 1:
@@ -222,7 +380,7 @@ def run_sim_bench(
 
     runs: List[Dict[str, Any]] = []
     crt: Dict[str, Any] = {}
-    for size in sizes:
+    for size in sizes if "des" in modes else ():
         scenario = _bench_scenario(size, seed)
         crt[size] = _crt_bench(scenario, crt_repeats)
         for strategy in strategies:
@@ -249,26 +407,37 @@ def run_sim_bench(
                 fast_record = record
             ref_s, fast_s = min(ref_times), min(fast_times)
             packets = ref_record["sent"]
+            forwarded = sum(v[0] for v in ref_record["switches"].values())
             runs.append({
                 "size": size,
                 "strategy": strategy,
                 "packets": packets,
                 "events": ref_record["events"],
+                "forwarded": forwarded,
                 "reference": {
                     "wall_s": round(ref_s, 4),
                     "packets_per_sec": round(packets / ref_s),
                     "events_per_sec": round(ref_record["events"] / ref_s),
+                    "forwarded_per_min": _per_min(forwarded, ref_s),
                 },
                 "fast": {
                     "wall_s": round(fast_s, 4),
                     "packets_per_sec": round(packets / fast_s),
                     "events_per_sec": round(fast_record["events"] / fast_s),
+                    "forwarded_per_min": _per_min(forwarded, fast_s),
                 },
                 "speedup": round(ref_s / fast_s, 3) if fast_s > 0 else None,
                 "digest_reference": ref_record["digest"],
                 "digest_fast": fast_record["digest"],
                 "digests_match": ref_record["digest"] == fast_record["digest"],
             })
+
+    epoch_runs: List[Dict[str, Any]] = []
+    if "epoch" in modes:
+        epoch_runs = _run_epoch_cells(
+            sizes, strategies, seed, repeats,
+            shard_processes=not quick,
+        )
 
     def _aggregate(size: str) -> Optional[float]:
         cells = [r for r in runs if r["size"] == size]
@@ -278,41 +447,115 @@ def run_sim_bench(
         fast = sum(c["fast"]["wall_s"] for c in cells)
         return round(ref / fast, 3) if fast > 0 else None
 
+    def _epoch_vs_des(size: str) -> Optional[Dict[str, Any]]:
+        """Vectorized epoch datapath vs the PR-3 DES fast path, as
+        aggregate forwarded-packets/min over the size's cells."""
+        des_cells = [r for r in runs if r["size"] == size]
+        ep_cells = [r for r in epoch_runs if r["size"] == size]
+        if not des_cells or not ep_cells:
+            return None
+        des_fwd = sum(c["forwarded"] for c in des_cells)
+        des_wall = sum(c["fast"]["wall_s"] for c in des_cells)
+        ep_fwd = sum(c["forwarded"] for c in ep_cells)
+        ep_wall = sum(c["vector"]["wall_s"] for c in ep_cells)
+        des_per_min = _per_min(des_fwd, des_wall)
+        ep_per_min = _per_min(ep_fwd, ep_wall)
+        return {
+            "des_fast_forwarded_per_min": des_per_min,
+            "vector_forwarded_per_min": ep_per_min,
+            "ratio": (
+                round(ep_per_min / des_per_min, 2)
+                if des_per_min else None
+            ),
+        }
+
+    best_vector_per_min = max(
+        (c["vector"]["forwarded_per_min"] or 0 for c in epoch_runs),
+        default=0,
+    )
     result: Dict[str, Any] = {
         "bench": "repro.sim",
         "quick": quick,
         "repeats": repeats,
         "seed": seed,
+        "modes": list(modes),
         "sizes": {s: SIZES[s] for s in sizes},
         "runs": runs,
         "crt": crt,
         "speedup_by_size": {s: _aggregate(s) for s in sizes},
-        "digests_match_reference": all(r["digests_match"] for r in runs),
+        "epoch": {
+            "workloads": {s: EPOCH_WORKLOADS[s] for s in sizes},
+            "runs": epoch_runs,
+            "vs_des_fast": {s: _epoch_vs_des(s) for s in sizes},
+            "target_forwarded_per_min": EPOCH_TARGET_PER_MIN,
+            "best_vector_forwarded_per_min": best_vector_per_min,
+            "target_met": best_vector_per_min >= EPOCH_TARGET_PER_MIN,
+        } if "epoch" in modes else None,
+        "digests_match_reference": (
+            all(r["digests_match"] for r in runs)
+            and all(r["digests_match"] for r in epoch_runs)
+        ),
     }
     return finish_artifact(result, out)
 
 
 def render_sim_bench(result: Dict[str, Any]) -> str:
     lines = [
-        f"sim bench — fast path vs in-process reference "
+        f"sim bench — datapath modes {result.get('modes', ['des'])} "
         f"(seed {result['seed']}, {result['cpu_count']} CPU(s))",
-        f"  {'size':<8} {'strategy':<9} {'pkts/s ref':>11} "
-        f"{'pkts/s fast':>12} {'speedup':>8}  digests",
     ]
-    for r in result["runs"]:
+    if result["runs"]:
         lines.append(
-            f"  {r['size']:<8} {r['strategy']:<9} "
-            f"{r['reference']['packets_per_sec']:>11} "
-            f"{r['fast']['packets_per_sec']:>12} "
-            f"{r['speedup']:>7}x  "
-            f"{'match' if r['digests_match'] else 'MISMATCH'}"
+            f"  {'size':<8} {'strategy':<9} {'pkts/s ref':>11} "
+            f"{'pkts/s fast':>12} {'speedup':>8}  digests"
         )
-    for size, agg in result["speedup_by_size"].items():
-        crt = result["crt"][size]
+        for r in result["runs"]:
+            lines.append(
+                f"  {r['size']:<8} {r['strategy']:<9} "
+                f"{r['reference']['packets_per_sec']:>11} "
+                f"{r['fast']['packets_per_sec']:>12} "
+                f"{r['speedup']:>7}x  "
+                f"{'match' if r['digests_match'] else 'MISMATCH'}"
+            )
+        for size, agg in result["speedup_by_size"].items():
+            crt = result["crt"].get(size)
+            if crt is None:
+                continue
+            lines.append(
+                f"  {size}: aggregate speedup {agg}x, CRT "
+                f"{crt['encodes_per_sec']} encodes/s "
+                f"({crt['route_hops']} hops, {crt['route_bits']} bits)"
+            )
+    epoch = result.get("epoch")
+    if epoch:
         lines.append(
-            f"  {size}: aggregate speedup {agg}x, CRT "
-            f"{crt['encodes_per_sec']} encodes/s "
-            f"({crt['route_hops']} hops, {crt['route_bits']} bits)"
+            f"  epoch datapath (vectorized / 2-shard vs scalar reference):"
+        )
+        lines.append(
+            f"  {'size':<8} {'strategy':<9} {'forwarded':>10} "
+            f"{'fwd/min vec':>12} {'fwd/min sh2':>12} {'vs ref':>8}  digests"
+        )
+        for r in epoch["runs"]:
+            lines.append(
+                f"  {r['size']:<8} {r['strategy']:<9} "
+                f"{r['forwarded']:>10} "
+                f"{r['vector']['forwarded_per_min']:>12} "
+                f"{r['shard2']['forwarded_per_min']:>12} "
+                f"{r['speedup_vs_reference']:>7}x  "
+                f"{'match' if r['digests_match'] else 'MISMATCH'}"
+            )
+        for size, cmp in epoch["vs_des_fast"].items():
+            if cmp is None:
+                continue
+            lines.append(
+                f"  {size}: vector {cmp['vector_forwarded_per_min']} "
+                f"fwd/min vs DES fast {cmp['des_fast_forwarded_per_min']} "
+                f"fwd/min = {cmp['ratio']}x"
+            )
+        lines.append(
+            f"  epoch target: {epoch['best_vector_forwarded_per_min']} "
+            f"fwd/min best vs {epoch['target_forwarded_per_min']} target "
+            f"-> {'met' if epoch['target_met'] else 'NOT met'}"
         )
     lines.append(
         "  digests match reference: "

@@ -81,7 +81,12 @@ _BENCH_SIZES = ("small", "medium", "large")
 #: Kept in sync with repro.verify.oracles.ORACLE_NAMES (asserted by
 #: tests); listed literally so the parser builds without importing the
 #: verifier (which pulls in the whole sim stack).
-_ORACLE_NAMES = ("datapath", "encoder", "strategy", "walk", "wire")
+_ORACLE_NAMES = ("datapath", "encoder", "strategy", "vector", "walk", "wire")
+
+#: Kept in sync with repro.bench.simbench.MODES (asserted by tests);
+#: listed literally so the parser builds without importing the bench
+#: (whose epoch mode imports numpy).
+_BENCH_SIM_MODES = ("des", "epoch")
 
 #: Kept in sync with repro.bench.crtbench.POOLS (asserted by tests);
 #: listed literally so the parser builds without importing the bench.
@@ -321,6 +326,13 @@ def build_parser() -> argparse.ArgumentParser:
                      default=None, metavar="STRAT",
                      help="deflection strategies "
                           f"(choices: {', '.join(STRATEGY_NAMES)})")
+    sim.add_argument("--modes", nargs="+", choices=_BENCH_SIM_MODES,
+                     default=None, metavar="MODE",
+                     help="datapath families to benchmark: des (event "
+                          "loop, fast vs reference) and/or epoch "
+                          "(vectorized + sharded batch engines) "
+                          f"(choices: {', '.join(_BENCH_SIM_MODES)}; "
+                          "default: both)")
     sim.add_argument("--seed", type=int, default=1)
     sim.add_argument("--repeats", type=int, default=None, metavar="K",
                      help="timing repeats per mode, min is reported "
@@ -690,6 +702,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             quick=args.quick,
             repeats=args.repeats,
             out=args.out,
+            modes=args.modes,
         )
         print(render_sim_bench(result))
         if args.out:

@@ -72,8 +72,17 @@ class EventHandle:
         return self._fn is None
 
     def _fire(self) -> None:
-        if self._fn is not None:
-            self._fn(*self._args)
+        # Clear the handle *before* invoking: a fired event must look
+        # cancelled to a late cancel() call, or that cancel would
+        # decrement the simulator's live counter a second time and
+        # pending() could go negative.  (Consequence: `cancelled` is
+        # True for fired handles too — it means "cancel is a no-op".)
+        fn = self._fn
+        if fn is not None:
+            args = self._args
+            self._fn = None
+            self._args = ()
+            fn(*args)
 
 
 class Simulator:

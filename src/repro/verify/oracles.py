@@ -781,6 +781,111 @@ def check_encoder(case: FuzzCase) -> OracleResult:
 
 
 # ---------------------------------------------------------------------------
+# (f) epoch datapath: reference KarSwitch engine vs vector vs sharded
+# ---------------------------------------------------------------------------
+
+def vector_workload_spec(case: FuzzCase) -> Dict[str, Any]:
+    """Map a fuzz case onto an epoch-model workload spec.
+
+    Topology parameters carry over verbatim (the epoch builder runs the
+    same seeded generator, so the core graph is identical); the
+    continuous-time failure schedule quantizes onto epochs
+    deterministically.
+    """
+    extra_flips: List[Tuple[int, str, str]] = []
+    for i, (a, b, _at, repair) in enumerate(case.failures):
+        fail_epoch = 1 + (i % 3)
+        extra_flips.append((fail_epoch, a, b))
+        if repair is not None:
+            extra_flips.append((fail_epoch + 3, a, b))
+    return {
+        "kind": "synthetic",
+        "num_switches": case.num_switches,
+        "extra_links": case.extra_links,
+        "min_switch_id": case.min_switch_id,
+        "id_strategy": case.id_strategy,
+        "seed": case.seed,
+        "strategy": case.strategy,
+        "flows": min(4, max(2, case.num_switches // 3)),
+        "ttl": min(case.ttl, 48),
+        "inject_per_epoch": 2,
+        "inject_epochs": 4,
+        "link_failures": 0,
+        "fail_epoch": 0,
+        "repair_epoch": None,
+        "extra_flips": [list(f) for f in extra_flips],
+    }
+
+
+def check_vector(case: FuzzCase) -> OracleResult:
+    """Vector and sharded epoch engines vs the reference engine.
+
+    Decision-by-decision: full outcome records (counters, drop reasons,
+    RNG fingerprints), record digests, per-packet hop traces (port and
+    deflected flag at every hop) and terminal fates must all match the
+    untouched-KarSwitch reference run.
+    """
+    from repro.sim.shard import run_epoch_sharded
+    from repro.sim.vector import (
+        build_workload,
+        run_epoch_reference,
+        run_epoch_vector,
+    )
+
+    result = OracleResult("vector")
+    workload = build_workload(vector_workload_spec(case))
+    ref = run_epoch_reference(workload, trace=True)
+    shards = min(2, len(workload.topo.core_indices))
+    contenders = [
+        ("vector", run_epoch_vector(workload, trace=True)),
+        ("sharded", run_epoch_sharded(workload, shards=shards, trace=True)),
+    ]
+    for engine, out in contenders:
+        for key in ref.record:
+            result.check(
+                out.record[key] == ref.record[key],
+                lambda key=key, engine=engine, out=out: (
+                    f"{engine}: record[{key}] differs: "
+                    f"reference={ref.record[key]!r} {engine}={out.record[key]!r}"
+                ),
+            )
+        result.check(
+            out.digest == ref.digest,
+            lambda engine=engine, out=out: (
+                f"{engine}: digest differs: reference={ref.digest} "
+                f"{engine}={out.digest}"
+            ),
+        )
+        ref_traces = ref.traces or {}
+        out_traces = out.traces or {}
+        if result.check(
+            sorted(out_traces) == sorted(ref_traces),
+            lambda engine=engine, out_traces=out_traces: (
+                f"{engine}: traced uid sets differ: "
+                f"reference={len(ref_traces)} {engine}={len(out_traces)}"
+            ),
+        ):
+            for uid in sorted(ref_traces):
+                result.check(
+                    out_traces[uid] == ref_traces[uid],
+                    lambda uid=uid, engine=engine, out_traces=out_traces: (
+                        f"{engine}: hop trace differs for uid {uid}: "
+                        f"reference={ref_traces[uid]!r} "
+                        f"{engine}={out_traces[uid]!r}"
+                    ),
+                )
+        result.check(
+            (out.fates or {}) == (ref.fates or {}),
+            lambda engine=engine, out=out: (
+                f"{engine}: terminal fates differ "
+                f"(reference={len(ref.fates or {})} fates, "
+                f"{engine}={len(out.fates or {})})"
+            ),
+        )
+    return result
+
+
+# ---------------------------------------------------------------------------
 # dispatch
 # ---------------------------------------------------------------------------
 
@@ -790,6 +895,7 @@ _ORACLES: Dict[str, Callable[..., OracleResult]] = {
     "wire": check_wire,
     "walk": check_walk,
     "encoder": check_encoder,
+    "vector": check_vector,
 }
 
 #: All oracle names, in stable order.

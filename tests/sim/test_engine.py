@@ -191,6 +191,37 @@ class TestCancellation:
         h1.cancel()
         assert sim.pending() == 1
 
+    def test_cancel_after_fire_does_not_corrupt_pending(self):
+        # Regression: cancelling a handle whose event already fired
+        # used to decrement the live counter a second time, driving
+        # pending() negative and corrupting later accounting.
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.pending() == 0
+        handle.cancel()
+        assert sim.pending() == 0
+        handle.cancel()  # still idempotent after firing
+        assert sim.pending() == 0
+        # The counter must stay coherent for events scheduled later.
+        sim.schedule(1.0, lambda: None)
+        assert sim.pending() == 1
+        sim.run()
+        assert sim.pending() == 0
+
+    def test_cancel_after_fire_inside_run(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(1.0, fired.append, 1)
+        # A later event cancels the earlier, already-fired one: the
+        # cancel must be a no-op, not a second live-counter decrement.
+        sim.schedule(2.0, handle.cancel)
+        sim.run()
+        assert fired == [1]
+        assert handle.cancelled  # fired handles read as cancelled
+        assert sim.pending() == 0
+        assert sim.events_processed == 2
+
 
 class TestStop:
     def test_stop_halts_processing(self):

@@ -67,7 +67,9 @@ class TestBookkeeping:
 
 class TestDispatch:
     def test_oracle_names(self):
-        assert ORACLE_NAMES == ("datapath", "encoder", "strategy", "walk", "wire")
+        assert ORACLE_NAMES == (
+            "datapath", "encoder", "strategy", "vector", "walk", "wire"
+        )
 
     def test_unknown_oracle_rejected(self):
         with pytest.raises(ValueError, match="unknown oracle"):
@@ -95,6 +97,18 @@ class TestOraclesCleanOnHealthyCode:
         result = check_walk(SMALL_CASE)
         assert result.ok, result.divergences[:3]
         assert result.checks > 10
+
+    def test_vector(self):
+        # The epoch-model oracle: vectorized and sharded engines are
+        # decision-identical to the scalar reference on a fuzz case.
+        result = run_oracle("vector", SMALL_CASE)
+        assert result.ok, result.divergences[:3]
+        assert result.checks > 10
+
+    def test_vector_with_failures(self):
+        case = generate_case(0)
+        result = run_oracle("vector", case)
+        assert result.ok, result.divergences[:3]
 
     def test_full_generated_case(self):
         # One all-oracle pass over a generated case with failures.
