@@ -249,6 +249,11 @@ class WalkVerdict:
 #: None when the controller knows no route from that edge.
 ReencodeFn = Callable[[str, str], Optional[Tuple[int, int]]]
 
+#: switch decode hook: ``(route_id, switch_id) -> port``.  ``None``
+#: means the classic integer ``R mod s``; the XSR backend passes the
+#: carry-less polynomial remainder instead.
+PortAtFn = Callable[[int, int], int]
+
 
 def deterministic_route_walk(
     graph: PortGraph,
@@ -259,6 +264,7 @@ def deterministic_route_walk(
     dst_host: str,
     down_links: Collection[Tuple[str, str]] = (),
     reencode: Optional[ReencodeFn] = None,
+    port_at: Optional[PortAtFn] = None,
 ) -> WalkVerdict:
     """Predict one packet's path and fate without running the simulator.
 
@@ -273,8 +279,10 @@ def deterministic_route_walk(
     wandering (fuzzed) route ID ends in a ``ttl-expired`` verdict,
     which is exactly the loop verdict the verifier diffs.
 
-    The drop-reason strings deliberately match the dataplane's so
-    verdicts are directly comparable.
+    *port_at* swaps the per-hop decode for an encoding backend's (the
+    XSR polynomial remainder); by default the integer ``R mod s`` runs,
+    unchanged.  The drop-reason strings deliberately match the
+    dataplane's so verdicts are directly comparable.
     """
     hops: List[WalkHop] = []
 
@@ -291,7 +299,10 @@ def deterministic_route_walk(
             if ttl <= 0:
                 return dropped(current, "ttl-expired")
             ttl -= 1
-            computed = rid % graph.switch_id(current)
+            if port_at is None:
+                computed = rid % graph.switch_id(current)
+            else:
+                computed = port_at(rid, graph.switch_id(current))
             if computed >= graph.degree(current):
                 return dropped(current, "no-usable-port(none)")
             neighbor = graph.neighbor_on_port(current, computed)
@@ -377,6 +388,7 @@ def deterministic_strategy_walk(
     dst_host: str,
     down_links: Collection[Tuple[str, str]] = (),
     reencode: Optional[ReencodeFn] = None,
+    port_at: Optional[PortAtFn] = None,
 ) -> WalkVerdict:
     """Predict a packet's fate under per-switch *deterministic* strategies.
 
@@ -411,7 +423,10 @@ def deterministic_strategy_walk(
                 return dropped(current, "ttl-expired")
             ttl -= 1
             strategy = strategies[current]
-            computed = rid % graph.switch_id(current)
+            if port_at is None:
+                computed = rid % graph.switch_id(current)
+            else:
+                computed = port_at(rid, graph.switch_id(current))
             view = _StaticPortView(graph, current, down)
             decision = strategy.select_port(view, None, in_port, computed, rng)
             if decision.port is None:

@@ -7,6 +7,10 @@
   incremental route encoding, every cell verified bit-identical to the
   reference :func:`~repro.rns.crt.crt` solver (writes
   ``BENCH_crt.json``).
+* :mod:`repro.bench.encodingbench` — ``repro bench encoding``: the
+  backend x assigner matrix over the zoo corpus — bits per route and
+  encode/decode throughput per backend, every backend run through the
+  verify oracles before any timing (writes ``BENCH_encoding.json``).
 * :mod:`repro.bench.stamp` — dual float/ISO-8601-UTC timestamps for
   bench artifacts.
 * :mod:`repro.bench.profiler` — the ``--profile N`` CLI wrapper:
@@ -18,6 +22,7 @@ of a single run.
 """
 
 from repro.bench.crtbench import render_crt_bench, run_crt_bench
+from repro.bench.encodingbench import render_encoding_bench, run_encoding_bench
 from repro.bench.profiler import profile_call
 from repro.bench.simbench import render_sim_bench, run_sim_bench
 from repro.bench.stamp import timestamp_fields, utc_stamp
@@ -27,6 +32,8 @@ __all__ = [
     "render_sim_bench",
     "run_crt_bench",
     "render_crt_bench",
+    "run_encoding_bench",
+    "render_encoding_bench",
     "profile_call",
     "utc_stamp",
     "timestamp_fields",

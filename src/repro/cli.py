@@ -30,6 +30,11 @@ runner:
 * ``bench service`` — controller-service benchmark: provision req/sec,
   reroute req/sec, p50/p99 latency and admission accept/reject counts,
   with route-ID bit-identity to the offline engine asserted first.
+* ``bench encoding`` — encoding-backend benchmark over the Topology
+  Zoo corpus: bits/route, encode+decode ops/sec per backend (integer
+  CRT, pooled CRT, XSR), and the weighted assigner's % header-bit
+  reduction vs greedy — every backend driven through the verify
+  oracles before any timing.
 * ``serve`` — run the controller service: the HTTP/JSON multi-tenant
   provisioning API with QoS admission control and topology events.
 * ``loadgen`` — farm-driven churn against a live service
@@ -81,7 +86,8 @@ _BENCH_SIZES = ("small", "medium", "large")
 #: Kept in sync with repro.verify.oracles.ORACLE_NAMES (asserted by
 #: tests); listed literally so the parser builds without importing the
 #: verifier (which pulls in the whole sim stack).
-_ORACLE_NAMES = ("datapath", "encoder", "strategy", "vector", "walk", "wire")
+_ORACLE_NAMES = ("backend", "datapath", "encoder", "strategy", "vector",
+                 "walk", "wire")
 
 #: Kept in sync with repro.bench.simbench.MODES (asserted by tests);
 #: listed literally so the parser builds without importing the bench
@@ -98,6 +104,16 @@ _BENCH_POOLS = ("small", "medium", "large")
 _BENCH_PROVISION_CELLS = (
     "abilene", "fat_tree4", "fat_tree8", "synthwan754",
 )
+
+#: Kept in sync with repro.bench.encodingbench.CELLS (asserted by
+#: tests); listed literally so the parser builds without importing the
+#: bench (which pulls in the verify stack).
+_BENCH_ENCODING_CELLS = ("abilene", "synthwan754")
+
+#: Kept in sync with repro.rns.backends.BACKEND_NAMES (asserted by
+#: tests); listed literally so the parser builds without importing the
+#: rns stack.
+_BACKEND_NAMES = ("crt", "pooled", "xsr")
 
 #: Kept in sync with repro.service.topology.SERVICE_TOPOLOGIES
 #: (asserted by tests); listed literally so the parser builds without
@@ -402,6 +418,31 @@ def build_parser() -> argparse.ArgumentParser:
                               "(default: 2 quick, 3 full)")
     service.add_argument("--out", default="BENCH_service.json",
                          help="result file (default: %(default)s)")
+    encoding = perf_sub.add_parser(
+        "encoding",
+        help="encoding-backend benchmark over the zoo corpus: bits/route "
+             "and encode+decode ops/sec per backend, weighted-assigner "
+             "% reduction vs greedy — backends driven through the "
+             "verify oracles before any timing",
+    )
+    encoding.add_argument("--quick", action="store_true",
+                          help="CI smoke run (fewer iterations and oracle "
+                               "cases; per-route decode-back checks still "
+                               "cover every timed route)")
+    encoding.add_argument("--cells", nargs="+",
+                          choices=_BENCH_ENCODING_CELLS,
+                          default=None, metavar="CELL",
+                          help="topology cells to run (choices: "
+                               f"{', '.join(_BENCH_ENCODING_CELLS)})")
+    encoding.add_argument("--seed", type=int, default=1)
+    encoding.add_argument("--repeats", type=int, default=None, metavar="K",
+                          help="timing repeats per cell, min is reported "
+                               "(default: 2 quick, 3 full)")
+    encoding.add_argument("--iters", type=int, default=None, metavar="N",
+                          help="batch passes per timing repeat "
+                               "(default: 2 quick, 10 full)")
+    encoding.add_argument("--out", default="BENCH_encoding.json",
+                          help="result file (default: %(default)s)")
 
     serve = sub.add_parser(
         "serve",
@@ -767,6 +808,24 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             and result["zero_admission_violations"]
         )
         return 0 if ok else 1
+    if args.bench_command == "encoding":
+        from repro.bench.encodingbench import (
+            render_encoding_bench,
+            run_encoding_bench,
+        )
+
+        result = run_encoding_bench(
+            cells=args.cells,
+            seed=args.seed,
+            quick=args.quick,
+            repeats=args.repeats,
+            iters=args.iters,
+            out=args.out,
+        )
+        print(render_encoding_bench(result))
+        if args.out:
+            print(f"wrote {args.out}")
+        return 0 if result["verified_before_timing"] else 1
     raise AssertionError(f"unhandled bench command {args.bench_command!r}")
 
 

@@ -2,21 +2,50 @@
 
 The controller (or local setup) must give every core switch a unique ID
 such that the ID set is pairwise coprime and each ID exceeds its
-switch's port count.  Two strategies are provided and compared in the
-``ablation_idassign`` benchmark:
+switch's port count.  Four strategies are provided and compared in the
+``ablation_idassign`` and ``bench encoding`` benchmarks:
 
 * ``prime`` — consecutive primes.
 * ``greedy`` — smallest pairwise-coprime integers (admits 4, 9, 25...),
-  minimising route-ID bit growth (Eq. 9).
+  minimising route-ID bit growth (Eq. 9), processed in ascending degree
+  order.
+* ``weighted`` — header-bit-optimal assignment à la Hari/Niesen/Wilfong:
+  same greedy coprime pool, but the **highest-traffic** switches take
+  the smallest feasible IDs.  A route's header costs
+  ``ceil(log2(prod ids - 1))`` bits, so the expected header bill is
+  ``~ sum_s w_s · log2(id_s)`` where ``w_s`` counts provisioned routes
+  through switch *s* — and by the rearrangement inequality that sum is
+  minimised by pairing the largest weights with the smallest IDs the
+  port constraint allows.  Weights come from
+  :func:`route_frequency_weights` (or the caller); with no weights the
+  switch degree stands in, which is the right proxy on shortest-path
+  provisioning (hubs carry routes).
+* ``xsr`` — *dual-coprime* assignment for the XSR (GF(2)[X]) backend:
+  IDs are simultaneously pairwise coprime in Z (so
+  :meth:`~repro.topology.graph.PortGraph.validate` keeps its invariant
+  and the integer backends still work on the same graph) and pairwise
+  coprime as binary polynomials, each with a remainder space covering
+  the switch's ports.  Ordered by weight like ``weighted``.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Mapping, Optional
 
 from repro.rns.coprime import greedy_coprime_pool, min_id_for_ports, prime_pool
+from repro.rns.gf2 import dual_coprime_pool, min_gf2_id_for_ports
 
-__all__ = ["assign_switch_ids", "AssignmentError"]
+__all__ = [
+    "assign_switch_ids",
+    "reassign_switch_ids",
+    "route_frequency_weights",
+    "ASSIGN_STRATEGIES",
+    "AssignmentError",
+]
+
+#: All accepted ``strategy`` spellings, sorted — the CLI mirrors this
+#: tuple literally and a test asserts they stay in sync.
+ASSIGN_STRATEGIES = ("greedy", "prime", "weighted", "xsr")
 
 
 class AssignmentError(ValueError):
@@ -26,30 +55,49 @@ class AssignmentError(ValueError):
 def _pool(strategy: str, size: int) -> List[int]:
     if strategy == "prime":
         return prime_pool(size, min_value=2)
-    if strategy == "greedy":
+    if strategy in ("greedy", "weighted"):
         return greedy_coprime_pool(size, min_value=2)
+    if strategy == "xsr":
+        return dual_coprime_pool(size, min_value=2)
     raise AssignmentError(
-        f"unknown strategy {strategy!r}; use 'greedy' or 'prime'"
+        f"unknown strategy {strategy!r}; use one of {list(ASSIGN_STRATEGIES)}"
     )
+
+
+def _min_id(strategy: str, port_count: int) -> int:
+    need = min_id_for_ports(port_count)
+    if strategy == "xsr":
+        # The polynomial remainder space must also cover every port.
+        need = max(need, min_gf2_id_for_ports(port_count))
+    return need
 
 
 def assign_switch_ids(
     degrees: Dict[str, int],
     strategy: str = "greedy",
+    weights: Optional[Mapping[str, float]] = None,
 ) -> Dict[str, int]:
     """Assign pairwise-coprime IDs to switches given their port counts.
 
-    Switches are processed in ascending degree order and each takes the
-    smallest unused pool value that can address its ports, keeping the
-    product of IDs — and therefore route-ID bit length (Eq. 9) — small.
+    With ``greedy``/``prime`` (and no *weights*), switches are processed
+    in ascending degree order and each takes the smallest unused pool
+    value that can address its ports — the historical baseline.  With
+    ``weighted``/``xsr`` (or whenever *weights* is given), switches are
+    processed in **descending weight** order instead, so the switches
+    that appear in the most routes get the smallest IDs the feasibility
+    constraint allows (see the module docstring for why that is the
+    bit-optimal pairing).
 
     Args:
         degrees: switch name -> number of ports.
-        strategy: ``"greedy"`` or ``"prime"``.
+        strategy: one of :data:`ASSIGN_STRATEGIES`.
+        weights: optional switch name -> traffic weight (e.g. from
+            :func:`route_frequency_weights`).  Missing names weigh 0.
+            Defaults to *degrees* for the weight-ordered strategies.
 
     Returns:
         switch name -> assigned ID; every ID > the switch's max port
-        index and the set pairwise coprime.
+        index and the set pairwise coprime (for ``xsr``: in both rings).
 
     Raises:
         AssignmentError: on empty input, negative degrees, or an unknown
@@ -60,19 +108,33 @@ def assign_switch_ids(
     for name, deg in degrees.items():
         if deg < 0:
             raise AssignmentError(f"negative degree for {name!r}: {deg}")
+    if strategy not in ASSIGN_STRATEGIES:
+        raise AssignmentError(
+            f"unknown strategy {strategy!r}; use one of {list(ASSIGN_STRATEGIES)}"
+        )
+
+    if weights is None and strategy in ("weighted", "xsr"):
+        weights = {name: float(deg) for name, deg in degrees.items()}
+    if weights is not None:
+        # Heaviest first; ties broken like the baseline for determinism.
+        order = sorted(
+            degrees,
+            key=lambda n: (-float(weights.get(n, 0.0)), degrees[n], n),
+        )
+    else:
+        order = sorted(degrees, key=lambda n: (degrees[n], n))
 
     count = len(degrees)
     # Generate generously: some pool values may be skipped because they
     # are too small for high-degree switches.
     pool_size = count
     values = _pool(strategy, pool_size)
-    by_degree = sorted(degrees, key=lambda n: (degrees[n], n))
     for _attempt in range(64):
         assignment: Dict[str, int] = {}
         available = sorted(values)
         feasible = True
-        for name in by_degree:
-            need = min_id_for_ports(degrees[name])
+        for name in order:
+            need = _min_id(strategy, degrees[name])
             pick = next((v for v in available if v >= need), None)
             if pick is None:
                 feasible = False
@@ -87,3 +149,83 @@ def assign_switch_ids(
         "could not find a feasible coprime ID assignment "
         f"(max degree {max(degrees.values())})"
     )
+
+
+def route_frequency_weights(graph) -> Dict[str, float]:
+    """Per-switch provisioned-route frequency over shortest-path trees.
+
+    For every destination switch, a deterministic BFS predecessor tree
+    gives the route each source would be provisioned with; a switch's
+    weight is the number of (source, destination) routes whose path
+    contains it.  Computed by subtree counting — one BFS per
+    destination, O(N·(N+E)) total — so it is exact for single-shortest-
+    path provisioning and a faithful proxy for the repo's bulk
+    provisioner (which builds the same per-destination down-trees).
+
+    Hosts are skipped (they terminate routes, they don't forward).
+    Returns a weight for every non-host node; callers that only assign
+    core IDs simply ignore the edge entries.
+    """
+    names = sorted(
+        n.name for n in graph.nodes() if n.kind != "host"
+    )
+    name_set = set(names)
+    weights: Dict[str, float] = {n: 0.0 for n in names}
+    for dst in names:
+        parent: Dict[str, Optional[str]] = {dst: None}
+        order: List[str] = [dst]
+        head = 0
+        while head < len(order):
+            cur = order[head]
+            head += 1
+            for nb in sorted(graph.neighbors(cur)):
+                if nb in name_set and nb not in parent:
+                    parent[nb] = cur
+                    order.append(nb)
+        counts = {n: 1 for n in order}
+        for node in reversed(order[1:]):
+            counts[parent[node]] += counts[node]  # type: ignore[index]
+        for node, c in counts.items():
+            weights[node] += float(c)
+    return weights
+
+
+def reassign_switch_ids(
+    graph,
+    strategy: str = "weighted",
+    weights: Optional[Mapping[str, float]] = None,
+) -> Dict[str, int]:
+    """Re-plan the core switch IDs of an already-built topology in place.
+
+    Used when a graph built with one strategy must serve another backend
+    or a better assignment: e.g. re-IDing a paper scenario with
+    ``strategy="xsr"`` before running it through the XSR datapath, or
+    re-IDing a zoo graph with ``strategy="weighted"`` and
+    :func:`route_frequency_weights` once the traffic matrix is known
+    (IDs are a control-plane planning output, so this is exactly the
+    controller's re-provisioning step, not a hack).
+
+    Degrees are taken from the built graph's port counts.  The new
+    assignment is validated through ``graph.validate()`` before
+    returning; on failure the original IDs are restored.
+
+    Returns the new name -> ID mapping (cores only).
+    """
+    cores = [n for n in graph.nodes() if n.kind == "core"]
+    if not cores:
+        raise AssignmentError("graph has no core switches to re-ID")
+    degrees = {n.name: n.degree for n in cores}
+    if weights is None and strategy in ("weighted", "xsr"):
+        freq = route_frequency_weights(graph)
+        weights = {name: freq.get(name, 0.0) for name in degrees}
+    assignment = assign_switch_ids(degrees, strategy=strategy, weights=weights)
+    previous = {n.name: n.switch_id for n in cores}
+    for n in cores:
+        n.switch_id = assignment[n.name]
+    try:
+        graph.validate()
+    except Exception:
+        for n in cores:
+            n.switch_id = previous[n.name]
+        raise
+    return assignment

@@ -70,6 +70,9 @@ class NotificationService:
             log; when True, behave like the traditional reroute-on-
             notification controller.
         default_ttl: TTL for recomputed routes.
+        encoder: the route encoder reroutes go through (defaults to the
+            reference integer CRT; the runner passes its controller's so
+            reroutes match the run's encoding backend).
     """
 
     def __init__(
@@ -79,6 +82,7 @@ class NotificationService:
         notification_delay_s: float = 0.01,
         reactive: bool = False,
         default_ttl: int = 64,
+        encoder=None,
     ):
         if notification_delay_s < 0:
             raise ValueError("notification delay must be non-negative")
@@ -87,6 +91,7 @@ class NotificationService:
         self.notification_delay_s = notification_delay_s
         self.reactive = reactive
         self.default_ttl = default_ttl
+        self.encoder = encoder
         self.log: List[LinkNotification] = []
         self.down_links: Set[LinkKey] = set()
         self.reroutes = 0
@@ -160,7 +165,7 @@ class NotificationService:
                 )
             except NoPathError:
                 continue  # nothing the controller can do for this flow
-            route = encode_node_path(self.graph, node_path)
+            route = encode_node_path(self.graph, node_path, encoder=self.encoder)
             ingress = self.network.node(flow.src_edge)
             assert isinstance(ingress, EdgeNode)
             ingress.install_ingress(

@@ -142,14 +142,28 @@ def run_failure_experiment(
     seed: int,
     timeline: Timeline = DEFAULT_TIMELINE,
     control_rtt_s: float = 0.005,
+    backend: Optional[str] = "env",
 ) -> RunOutcome:
-    """Run one scaled iperf-under-failure experiment."""
+    """Run one scaled iperf-under-failure experiment.
+
+    *backend* selects the route-encoding backend
+    (:data:`repro.rns.BACKEND_NAMES`); None is the default integer
+    datapath.  The default sentinel ``"env"`` resolves the
+    ``REPRO_BACKEND`` environment variable, so a whole figure pipeline
+    (fig4/5/7/8) can be swept under e.g. XSR without touching its
+    module — the farm resolves the variable at *spec-build* time
+    (:func:`repro.farm.jobs.failure_spec`) so a backend sweep can never
+    alias a default run in the content-addressed cache.
+    """
+    if backend == "env":
+        backend = os.environ.get("REPRO_BACKEND") or None
     ks = KarSimulation(
         scenario,
         deflection=deflection,
         protection=protection,
         seed=seed,
         control_rtt_s=control_rtt_s,
+        backend=backend,
     )
     if failure is not None:
         ks.schedule_failure(

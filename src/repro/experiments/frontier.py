@@ -39,6 +39,7 @@ invocations — the CI smoke job does exactly that.
 
 from __future__ import annotations
 
+import copy
 import hashlib
 import random
 from collections import Counter
@@ -57,6 +58,10 @@ from typing import (
 from repro.baselines import BASELINE_SCHEMES, plan_baseline_strategies
 from repro.baselines.arborescence import ArborescenceFailoverStrategy
 from repro.baselines.fastfailover import FastFailoverStrategy
+from repro.controller.idassign import reassign_switch_ids
+from repro.rns.backends import BACKEND_NAMES, backend_by_name
+from repro.rns.crt import CrtError
+from repro.rns.encoder import Hop
 from repro.runner import KarSimulation
 from repro.sim.invariants import InvariantChecker
 from repro.topology import (
@@ -166,6 +171,11 @@ class FrontierCell:
     chaos_events: int
     digest: str
     failed_links: Tuple[str, ...]
+    #: (backend name, primary-route header bits) per encoding backend —
+    #: what the *same* route costs under each encoding (Eq. 9 for the
+    #: integer CRT, polynomial degree for XSR on the re-IDed dual pool).
+    #: Empty on records predating the encoding-backend study.
+    header_bits_by_backend: Tuple[Tuple[str, int], ...] = ()
 
     @property
     def delivery_ratio(self) -> float:
@@ -225,6 +235,36 @@ def _failures_digest(failed: Sequence[Tuple[str, str]]) -> str:
     for a, b in failed:
         h.update(f"{a}|{b}\n".encode("utf-8"))
     return h.hexdigest()[:16]
+
+
+def _backend_header_bits(
+    graph, route_nodes: Sequence[str], scheme: str
+) -> Tuple[Tuple[str, int], ...]:
+    """The primary route's header cost under each encoding backend.
+
+    ``arb`` recovers its tree from the in-port and carries no route ID,
+    so every backend prices it at zero.  A backend whose ID-feasibility
+    rules reject the graph's integer pool (XSR needs GF(2)-pairwise
+    coprimality) prices the route on a re-IDed copy — exactly what the
+    runner does when simulating under that backend.
+    """
+    if scheme == "arb":
+        return tuple((name, 0) for name in BACKEND_NAMES)
+    ids_sorted = sorted(graph.switch_ids().values())
+    out = []
+    for name in BACKEND_NAMES:
+        backend = backend_by_name(name)
+        g = graph
+        try:
+            backend.validate_switch_ids(ids_sorted)
+        except (ValueError, CrtError):
+            g = copy.deepcopy(graph)
+            reassign_switch_ids(g, strategy=backend.id_strategy)
+        route = backend.encode(
+            [Hop(g.switch_id(n), 0) for n in route_nodes]
+        )
+        out.append((name, route.bit_length))
+    return tuple(out)
 
 
 def _scheme_costs(
@@ -373,6 +413,9 @@ def run_frontier_once(
         chaos_events=len(injector.events) if injector is not None else 0,
         digest=digest,
         failed_links=tuple(f"{a}-{b}" for a, b in failed),
+        header_bits_by_backend=_backend_header_bits(
+            scenario.graph, scenario.primary_route, scheme
+        ),
     )
 
 
@@ -466,11 +509,18 @@ def render_frontier(cells: Sequence[FrontierCell]) -> str:
             if s in FRONTIER_SCHEMES else 99,
         )
         has_dynamic = any(c.mode == "dynamic" for c in here)
+        backend_cols = sorted(
+            {name for c in here for name, _ in c.header_bits_by_backend},
+            key=lambda n: BACKEND_NAMES.index(n)
+            if n in BACKEND_NAMES else 99,
+        )
         lines.append(f"frontier — {topology}")
         header = (
             f"  {'scheme':>8s} {'max-static-k':>12s} {'stretch':>8s} "
             f"{'hdr-bits':>8s} {'state':>6s}"
         )
+        for name in backend_cols:
+            header += f" {name + '-bits':>11s}"
         if has_dynamic:
             header += f" {'dyn-delivery':>12s}"
         lines.append(header)
@@ -489,6 +539,12 @@ def render_frontier(cells: Sequence[FrontierCell]) -> str:
                 f"  {scheme:>8s} {tolerated_k:>12d} {stretch:>8.2f} "
                 f"{sample.header_bits:>8d} {sample.state_entries:>6d}"
             )
+            per_backend = dict(sample.header_bits_by_backend)
+            for name in backend_cols:
+                bits = per_backend.get(name)
+                row += (
+                    f" {bits:>11d}" if bits is not None else f" {'—':>11s}"
+                )
             if has_dynamic:
                 dyn = [c for c in mine if c.mode == "dynamic"]
                 if dyn:
@@ -520,6 +576,10 @@ def frontier_rows(cells: Sequence[FrontierCell]) -> List[Dict]:
             "delivery_ratio": c.delivery_ratio,
             "violations": c.violation_count,
             "header_bits": c.header_bits,
+            **{
+                f"header_bits_{name}": bits
+                for name, bits in c.header_bits_by_backend
+            },
             "state_entries": c.state_entries,
             "mean_stretch": c.mean_stretch,
             "max_stretch": c.max_stretch,

@@ -140,20 +140,30 @@ def failure_spec(
     seed: int,
     timeline: Any,
     control_rtt_s: float = 0.005,
+    backend: Optional[str] = "env",
 ) -> RunSpec:
-    """Spec for one :func:`run_failure_experiment` call."""
-    return RunSpec.make(
-        "failure",
-        scenario,
-        seed,
-        {
-            "deflection": deflection,
-            "protection": protection,
-            "failure": list(failure) if failure is not None else None,
-            "timeline": _timeline_record(timeline),
-            "control_rtt_s": control_rtt_s,
-        },
-    )
+    """Spec for one :func:`run_failure_experiment` call.
+
+    ``backend`` is the encoding backend; the default sentinel ``"env"``
+    resolves ``REPRO_BACKEND`` *here*, at spec-build time, so the
+    resolved name lands in the content key — a figure swept under XSR
+    can never collide with a cached default-datapath run.  ``None``
+    (the default datapath) is omitted from the params entirely, keeping
+    every pre-PR-10 content key — and therefore the whole existing
+    farm cache — valid.
+    """
+    if backend == "env":
+        backend = os.environ.get("REPRO_BACKEND") or None
+    params = {
+        "deflection": deflection,
+        "protection": protection,
+        "failure": list(failure) if failure is not None else None,
+        "timeline": _timeline_record(timeline),
+        "control_rtt_s": control_rtt_s,
+    }
+    if backend is not None:
+        params["backend"] = backend
+    return RunSpec.make("failure", scenario, seed, params)
 
 
 def failure_outcome_record(outcome: Any) -> Dict[str, Any]:
@@ -225,6 +235,7 @@ def _run_failure(spec: RunSpec) -> Dict[str, Any]:
         spec.seed,
         timeline=_timeline_from(p["timeline"]),
         control_rtt_s=p.get("control_rtt_s", 0.005),
+        backend=p.get("backend"),  # never "env": resolved at spec time
     )
     return failure_outcome_record(outcome)
 
@@ -373,6 +384,12 @@ def frontier_cell_from_record(record: Mapping[str, Any]) -> Any:
         (name, count) for name, count in fields["violations"]
     )
     fields["failed_links"] = tuple(fields["failed_links"])
+    # Absent on cached records predating the encoding-backend columns —
+    # the dataclass default () keeps those records loadable.
+    if "header_bits_by_backend" in fields:
+        fields["header_bits_by_backend"] = tuple(
+            (name, bits) for name, bits in fields["header_bits_by_backend"]
+        )
     return FrontierCell(**fields)
 
 

@@ -14,8 +14,21 @@ Public surface:
   re-encodes).
 * :mod:`repro.rns.coprime` — switch-ID pool generation/validation.
 * :mod:`repro.rns.bitlength` — header-size analysis (Eq. 9, Table 1).
+* :mod:`repro.rns.backends` — pluggable encoding backends
+  (:class:`~repro.rns.backends.EncodingBackend`): reference CRT, pooled
+  CRT, and the carry-less XSR datapath built on :mod:`repro.rns.gf2`.
 """
 
+from repro.rns.backends import (
+    BACKEND_NAMES,
+    CrtBackend,
+    EncodingBackend,
+    PooledCrtBackend,
+    XsrBackend,
+    XsrEncodedRoute,
+    XsrEncoder,
+    backend_by_name,
+)
 from repro.rns.bitlength import (
     BitLengthReport,
     bit_length_for_switches,
@@ -40,6 +53,17 @@ from repro.rns.crt import (
     pairwise_coprime,
 )
 from repro.rns.encoder import DuplicateSwitchError, EncodedRoute, Hop, RouteEncoder
+from repro.rns.gf2 import (
+    Gf2NotCoprimeError,
+    dual_coprime_pool,
+    gf2_crt,
+    gf2_crt_extend,
+    gf2_degree,
+    gf2_mod,
+    gf2_mul,
+    gf2_pairwise_coprime,
+    min_gf2_id_for_ports,
+)
 from repro.rns.pool import PoolContext, PooledEncoder, ReencodeDelta, product_tree
 
 __all__ = [
@@ -68,4 +92,21 @@ __all__ = [
     "validate_pool",
     "is_prime",
     "min_id_for_ports",
+    "EncodingBackend",
+    "CrtBackend",
+    "PooledCrtBackend",
+    "XsrBackend",
+    "XsrEncodedRoute",
+    "XsrEncoder",
+    "BACKEND_NAMES",
+    "backend_by_name",
+    "gf2_crt",
+    "gf2_crt_extend",
+    "gf2_degree",
+    "gf2_mod",
+    "gf2_mul",
+    "gf2_pairwise_coprime",
+    "dual_coprime_pool",
+    "min_gf2_id_for_ports",
+    "Gf2NotCoprimeError",
 ]

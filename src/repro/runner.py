@@ -21,8 +21,12 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Optional, Tuple
 
+import copy
+
 from repro.controller.controller import KarController
+from repro.controller.idassign import reassign_switch_ids
 from repro.controller.retry import RetryPolicy
+from repro.rns.backends import EncodingBackend, backend_by_name
 from repro.rns.encoder import EncodedRoute
 from repro.sim.chaos import CHAOS_MODES, ChaosInjector, ControllerOutageChaos
 from repro.sim.engine import Simulator
@@ -76,6 +80,18 @@ class KarSimulation:
             core switches (pass ``deflection="none"`` for clarity);
             strategies returned here are not shared, so they may carry
             switch-local state.
+        backend: encoding backend name (:data:`repro.rns.BACKEND_NAMES`)
+            or instance, or None for the historical default (identical
+            to ``"crt"`` but with the switch decode hook left unset, so
+            the PR-3 fast path stays byte-for-byte).  The backend's
+            encoder drives the controller (flows, protection hops,
+            misdelivery re-encodes) and its ``port_at`` drives every
+            core switch.  When the scenario's switch IDs violate the
+            backend's coprimality ring (e.g. a paper scenario's integer
+            pool under ``"xsr"``), the scenario is deep-copied and its
+            cores re-IDed with the backend's ``idassign`` strategy —
+            ID planning is the controller's job, so a backend change is
+            a re-provisioning step, never a silent failure.
     """
 
     def __init__(
@@ -95,7 +111,21 @@ class KarSimulation:
         strategy_factory: Optional[
             Callable[[str], DeflectionStrategy]
         ] = None,
+        backend: str | EncodingBackend | None = None,
     ):
+        if isinstance(backend, str):
+            backend = backend_by_name(backend)
+        self.backend = backend
+        if backend is not None:
+            core_ids = sorted(scenario.graph.switch_ids().values())
+            try:
+                backend.validate_switch_ids(core_ids)
+            except ValueError:
+                scenario = copy.deepcopy(scenario)
+                reassign_switch_ids(
+                    scenario.graph, strategy=backend.id_strategy
+                )
+            backend.prepare(scenario.graph.switch_ids().values())
         self.edge_node_cls = edge_node_cls
         self.misdelivery_policy = misdelivery_policy
         self.retry_policy = retry_policy
@@ -132,7 +162,10 @@ class KarSimulation:
             invariants=self.invariants,
         )
         self.controller = KarController(
-            graph, control_rtt_s=control_rtt_s, default_ttl=ttl
+            graph, control_rtt_s=control_rtt_s, default_ttl=ttl,
+            encoder=(
+                self.backend.encoder() if self.backend is not None else None
+            ),
         )
         self._wire_edges()
 
@@ -162,6 +195,11 @@ class KarSimulation:
             rng=self.rng.stream(f"deflect:{info.name}"),
             tracer=self.tracer,
             invariants=self.invariants,
+            decode=(
+                self.backend.switch_decode()
+                if self.backend is not None
+                else None
+            ),
         )
 
     def _make_edge(self, info: NodeInfo, sim: Simulator) -> Node:
@@ -244,6 +282,7 @@ class KarSimulation:
             notification_delay_s=delay_s,
             reactive=reactive,
             default_ttl=self.controller.default_ttl,
+            encoder=self.controller.encoder,
         )
         service.wire()
         service.track_flow(self.scenario.src_host, self.scenario.dst_host)

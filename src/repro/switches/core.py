@@ -17,7 +17,7 @@ Failure awareness is local only: the switch sees port carrier state
 from __future__ import annotations
 
 import random
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.sim.engine import Simulator
 from repro.sim.fastpath import fastpath_enabled
@@ -47,6 +47,11 @@ class KarSwitch(Node):
         strategy: deflection technique (HP/AVP/NIP/none).
         rng: this switch's private random stream (deflection choices).
         tracer: optional packet tracer.
+        decode: optional encoding-backend decode ``(route_id, switch_id)
+            -> port`` (e.g. the XSR carry-less remainder).  ``None``
+            keeps the default integer ``route_id % switch_id`` datapath
+            byte-identical to PR 3's — the hook costs one ``is None``
+            test on the residue-cache miss path only.
     """
 
     def __init__(
@@ -59,6 +64,7 @@ class KarSwitch(Node):
         rng: random.Random,
         tracer: Optional[PacketTracer] = None,
         invariants: Optional[InvariantChecker] = None,
+        decode: Optional[Callable[[int, int], int]] = None,
     ):
         super().__init__(name, sim, num_ports)
         if switch_id <= num_ports - 1:
@@ -68,6 +74,7 @@ class KarSwitch(Node):
             )
         self.switch_id = switch_id
         self.strategy = strategy
+        self._decode = decode
         self._rng = rng
         self.tracer = tracer
         self.invariants = invariants
@@ -118,7 +125,10 @@ class KarSwitch(Node):
                     computed = cached[1]
                     self.residue_hits += 1
                 else:
-                    computed = rid % sid
+                    if self._decode is None:
+                        computed = rid % sid
+                    else:
+                        computed = self._decode(rid, sid)
                     cache = self._residue_cache
                     if len(cache) >= RESIDUE_CACHE_SIZE:
                         cache.clear()
@@ -143,7 +153,10 @@ class KarSwitch(Node):
                 self, packet, in_port, computed, self._rng
             )
         else:
-            computed = kar.route_id % sid
+            if self._decode is None:
+                computed = kar.route_id % sid
+            else:
+                computed = self._decode(kar.route_id, sid)
             decision = self.strategy.select_port(
                 self, packet, in_port, computed, self._rng
             )

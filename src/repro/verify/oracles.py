@@ -1,4 +1,4 @@
-"""The five differential oracles.
+"""The differential oracles.
 
 Each oracle takes a :class:`~repro.verify.cases.FuzzCase` and replays
 it through two *independent* evaluations of the same semantics, then
@@ -32,6 +32,13 @@ diffs the outcomes:
   :func:`~repro.rns.crt.crt` solver on the case's switch-ID pool:
   fuzzed subsets, mutation chains, identity mutations, off-pool
   fallback, and error parity on malformed systems.
+* ``vector`` — the vectorized and sharded epoch engines vs the
+  reference per-event KarSwitch engine: records, digests, hop traces
+  and terminal fates.
+* ``backend`` — every pluggable encoding backend
+  (:data:`repro.rns.backends.BACKEND_NAMES`) vs the reference
+  semantics: encoder contract fuzzing, bit-identical integer datapath
+  digests, and XSR's full-sim walk-model equivalence.
 
 Every oracle returns an :class:`OracleResult`; a non-empty
 ``divergences`` list means the two sides disagreed, and the attached
@@ -79,6 +86,7 @@ __all__ = [
     "check_wire",
     "check_walk",
     "check_encoder",
+    "check_backend",
     "run_oracle",
     "run_case",
 ]
@@ -143,10 +151,11 @@ def _run_case_sim(
     scenario,
     deflection,
     ttl: int,
+    backend: Optional[str] = None,
 ) -> Tuple[KarSimulation, Any, Any]:
     ks = KarSimulation(
         scenario, deflection=deflection, protection="none",
-        seed=case.seed, ttl=ttl, trace_paths=True,
+        seed=case.seed, ttl=ttl, trace_paths=True, backend=backend,
     )
     src, sink = ks.add_udp_probe(
         rate_pps=case.rate_pps, duration_s=case.traffic_s
@@ -781,6 +790,222 @@ def check_encoder(case: FuzzCase) -> OracleResult:
 
 
 # ---------------------------------------------------------------------------
+# (g) pluggable encoding backends vs the reference datapath / walk model
+# ---------------------------------------------------------------------------
+
+def check_backend(case: FuzzCase) -> OracleResult:
+    """Encoding backends vs the reference semantics (oracle g).
+
+    Three layers, every backend in :data:`~repro.rns.backends.BACKEND_NAMES`:
+
+    * **encoder contract** — fuzzed hop systems over a pool the backend
+      accepts: ``decode(encode(hops))`` recovers every port,
+      ``with_hop`` chains land exactly where a fresh encode lands,
+      ``without_switch`` inverts them, and the advertised
+      ``header_bits`` matches the route's own ``bit_length``.  Integer
+      backends must be *bit-identical* to the reference
+      :class:`~repro.rns.encoder.RouteEncoder`.
+    * **integer datapath digests** — full case runs under ``crt`` and
+      ``pooled`` must reproduce the default datapath's outcome record
+      and hop-by-hop traces byte for byte (these backends change how
+      the controller computes, never what the network does).
+    * **XSR walk equivalence** — a full case run under ``xsr`` (the
+      runner transparently re-IDs the graph onto the dual-coprime
+      pool), diffed packet-by-packet against
+      :func:`~repro.analysis.walk.deterministic_route_walk` driven by
+      the backend's own ``port_at`` — the same differential contract
+      the ``walk`` oracle pins on the integer datapath.
+    """
+    from repro.rns.backends import BACKEND_NAMES, backend_by_name
+    from repro.rns.gf2 import dual_coprime_pool
+
+    result = OracleResult("backend")
+    scenario = build_scenario(case)
+    reference = RouteEncoder()
+    rng = random.Random(f"verify-backend-{case.seed}")
+    graph_ids = sorted(scenario.graph.switch_ids().values())
+
+    for name in BACKEND_NAMES:
+        backend = backend_by_name(name)
+        try:
+            backend.validate_switch_ids(graph_ids)
+            ids_pool = list(graph_ids)
+        except (ValueError, CrtError):
+            # the graph's integer pool is infeasible for this backend
+            # (XSR on non-GF(2)-coprime IDs) — fuzz on its native pool.
+            ids_pool = dual_coprime_pool(max(len(graph_ids), 6))
+        backend.prepare(ids_pool)
+        for trial in range(_ENCODER_TRIALS):
+            k = rng.randrange(2, min(len(ids_pool), 8) + 1)
+            ids = rng.sample(ids_pool, k)
+            ports = [rng.randrange(backend.residue_space(s)) for s in ids]
+            hops = [Hop(s, p) for s, p in zip(ids, ports)]
+            label = f"[{name}] trial {trial}: system {list(zip(ports, ids))}"
+
+            route = backend.encode(hops)
+            result.check(
+                backend.decode(route.route_id, ids) == ports
+                and [route.port_at(s) for s in ids] == ports,
+                lambda l=label, r=route: (
+                    f"decode(encode(hops)) does not recover the ports at "
+                    f"{l}: route={r!r}"
+                ),
+            )
+            result.check(
+                backend.header_bits(route.modulus) == route.bit_length,
+                lambda l=label, r=route: (
+                    f"header_bits({r.modulus}) disagrees with the route's "
+                    f"bit_length {r.bit_length} at {l}"
+                ),
+            )
+            if name != "xsr":
+                ref_route = reference.encode(hops)
+                result.check(
+                    route == ref_route
+                    and route.residue_map() == ref_route.residue_map(),
+                    lambda l=label, g=route, w=ref_route: (
+                        f"integer backend differs from RouteEncoder at "
+                        f"{l}: backend={g!r} reference={w!r}"
+                    ),
+                )
+
+            # Incremental with_hop must land where a fresh encode lands;
+            # without_switch must invert it.
+            enc = backend.encoder()
+            grown = enc.encode(hops[:-1])
+            grown = enc.with_hop(grown, hops[-1])
+            result.check(
+                (grown.route_id, grown.modulus)
+                == (route.route_id, route.modulus),
+                lambda l=label, g=grown, w=route: (
+                    f"with_hop chain differs from fresh encode at {l}: "
+                    f"chain={g!r} fresh={w!r}"
+                ),
+            )
+            shrunk = enc.without_switch(grown, ids[-1])
+            want_shrunk = enc.encode(hops[:-1])
+            result.check(
+                (shrunk.route_id, shrunk.modulus)
+                == (want_shrunk.route_id, want_shrunk.modulus),
+                lambda l=label, g=shrunk, w=want_shrunk: (
+                    f"without_switch does not invert with_hop at {l}: "
+                    f"got={g!r} want={w!r}"
+                ),
+            )
+
+    # Integer backends: the full case run must be bit-identical to the
+    # default datapath (decode hook None, same controller numbers).
+    ks_ref, src, sink = _run_case_sim(case, scenario, case.strategy, case.ttl)
+    ref = _outcome_record(ks_ref, src, sink)
+    ref_paths = ks_ref.tracer._paths
+    for name in ("crt", "pooled"):
+        ks_b, src, sink = _run_case_sim(
+            case, scenario, case.strategy, case.ttl, backend=name
+        )
+        got = _outcome_record(ks_b, src, sink)
+        for key in ref:
+            result.check(
+                got[key] == ref[key],
+                lambda key=key, name=name, got=got: (
+                    f"[{name}] outcome[{key}] differs from the default "
+                    f"datapath: default={ref[key]!r} {name}={got[key]!r}"
+                ),
+            )
+        # Packet uids come from a process-global counter — traces pair
+        # up in uid order, the same pairing check_datapaths uses.
+        got_paths = ks_b.tracer._paths
+        result.check(
+            [got_paths[u] for u in sorted(got_paths)]
+            == [ref_paths[u] for u in sorted(ref_paths)],
+            lambda name=name: (
+                f"[{name}] hop traces differ from the default datapath"
+            ),
+        )
+
+    # XSR: run the case statically (the walk model has no clock) and
+    # diff the simulator against the pure-graph walk driven by the
+    # backend's own port_at.
+    xsr = backend_by_name("xsr")
+    down = tuple({tuple(sorted((a, b))) for a, b, _, _ in case.failures})
+    ks = KarSimulation(
+        scenario, deflection="none", protection="none",
+        seed=case.seed, ttl=case.ttl, trace_paths=True, backend=xsr,
+    )
+    graph = ks.scenario.graph  # possibly the re-IDed deep copy
+    ingress_edge = graph.edge_of_host(ks.scenario.src_host)
+    edge = ks.network.node(ingress_edge)
+    entry = edge.ingress_entry(ks.scenario.dst_host)
+    assert entry is not None
+    for a, b in down:
+        ks.network.link_between(a, b).set_up(False)
+    src, sink = ks.add_udp_probe(
+        rate_pps=case.rate_pps, duration_s=case.traffic_s
+    )
+    src.start(at=0.01)
+    ks.run(until=case.traffic_s + 2.0)
+
+    def reencode(edge_name: str, dst: str):
+        fresh = ks.controller.reencode(edge_name, dst)
+        return None if fresh is None else (fresh.route_id, fresh.out_port)
+
+    verdict = deterministic_route_walk(
+        graph, entry.route_id, entry.ttl, ingress_edge,
+        entry.out_port, ks.scenario.dst_host,
+        down_links=down, reencode=reencode, port_at=xsr.port_at,
+    )
+    expected_hops = [
+        (h.node, h.in_port, h.out_port, h.deflected) for h in verdict.hops
+    ]
+    tracer = ks.tracer
+    drops_by_uid = {d.packet_uid: d for d in tracer.drops}
+    uids = sorted(
+        set(tracer._paths) | set(drops_by_uid) | set(tracer.deliveries)
+    )
+    result.check(
+        len(uids) == src.sent,
+        lambda n=len(uids), s=src.sent: (
+            f"[xsr] {s} packets sent but {n} accounted for in traces"
+        ),
+    )
+    for uid in uids:
+        got_hops = [
+            (h.node, h.in_port, h.out_port, h.deflected)
+            for h in tracer._paths.get(uid, [])
+        ]
+        result.check(
+            got_hops == expected_hops,
+            lambda u=uid, g=got_hops: (
+                f"[xsr] packet #{u} hop trace differs from the walk "
+                f"model: sim={g!r} model={expected_hops!r}"
+            ),
+        )
+        if uid in tracer.deliveries:
+            _, host = tracer.deliveries[uid]
+            result.check(
+                verdict.delivered and host == verdict.node,
+                lambda u=uid, h=host: (
+                    f"[xsr] packet #{u} delivered to {h} but the walk "
+                    f"model predicted "
+                    f"{verdict.outcome}({verdict.node}, {verdict.reason})"
+                ),
+            )
+        else:
+            drop = drops_by_uid.get(uid)
+            result.check(
+                drop is not None
+                and not verdict.delivered
+                and (drop.node, drop.reason) == (verdict.node, verdict.reason),
+                lambda u=uid, d=drop: (
+                    f"[xsr] packet #{u} sim fate "
+                    f"{(d.node, d.reason) if d else 'lost'} differs from "
+                    f"walk model {verdict.outcome}({verdict.node}, "
+                    f"{verdict.reason})"
+                ),
+            )
+    return result
+
+
+# ---------------------------------------------------------------------------
 # (f) epoch datapath: reference KarSwitch engine vs vector vs sharded
 # ---------------------------------------------------------------------------
 
@@ -896,6 +1121,7 @@ _ORACLES: Dict[str, Callable[..., OracleResult]] = {
     "walk": check_walk,
     "encoder": check_encoder,
     "vector": check_vector,
+    "backend": check_backend,
 }
 
 #: All oracle names, in stable order.

@@ -1,0 +1,103 @@
+"""Tests for the cached-prefix bit-growth analysis."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.bitgrowth import (
+    bit_growth_by_strategy,
+    growth_pool,
+    max_prefix_within_budget,
+    prefix_route_bits,
+    protection_budget_table,
+)
+from repro.rns.bitlength import route_id_bit_length
+from repro.rns.gf2 import gf2_degree
+
+
+class TestPrefixRouteBits:
+    def test_matches_direct_products(self):
+        ids = [5, 7, 9, 11]
+        base = [4, 13]
+        bits = prefix_route_bits(ids, base_ids=base)
+        for i, got in enumerate(bits):
+            direct = math.prod(base) * math.prod(ids[: i + 1])
+            assert got == route_id_bit_length(direct)
+
+    @given(seed=st.integers(0, 2_000))
+    @settings(max_examples=25, deadline=None)
+    def test_non_decreasing_on_any_pool(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        ids = [rng.randrange(2, 200) for _ in range(rng.randrange(1, 20))]
+        bits = prefix_route_bits(ids)
+        assert bits == sorted(bits)
+
+    def test_budget_bisection_equals_linear_scan(self):
+        ids = [23, 29, 31, 37, 41, 43, 47]
+        bits = prefix_route_bits(ids)
+        for budget in range(0, bits[-1] + 5):
+            linear = sum(1 for b in bits if b <= budget)
+            assert max_prefix_within_budget(bits, budget) == linear
+
+    def test_empty(self):
+        assert prefix_route_bits([]) == []
+        assert max_prefix_within_budget([], 64) == 0
+
+
+class TestGrowthPool:
+    def test_weighted_shares_greedy_pool(self):
+        assert growth_pool("weighted", 10) == growth_pool("greedy", 10)
+
+    def test_xsr_pool_is_dual_coprime(self):
+        from repro.rns import pairwise_coprime
+        from repro.rns.gf2 import gf2_pairwise_coprime
+
+        pool = growth_pool("xsr", 12)
+        assert pairwise_coprime(pool)
+        assert gf2_pairwise_coprime(pool)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            growth_pool("fibonacci", 4)
+
+
+class TestGrowth:
+    def test_greedy_never_worse_than_prime(self):
+        points = bit_growth_by_strategy(12)
+        for g, p in zip(points["greedy"], points["prime"]):
+            assert g.hops == p.hops
+            assert g.bits <= p.bits
+
+    def test_xsr_bits_are_degree_sums(self):
+        points = bit_growth_by_strategy(8, strategies=("xsr",))
+        pool = sorted(growth_pool("xsr", 8), reverse=True)
+        running = 0
+        for point, sid in zip(points["xsr"], pool):
+            running += gf2_degree(sid)
+            assert point.bits == running
+
+    def test_zero_hops_rejected(self):
+        with pytest.raises(ValueError, match="max_hops"):
+            bit_growth_by_strategy(0)
+
+
+class TestProtectionBudget:
+    def test_rows_match_per_budget_remultiplication(self):
+        route = [23, 29, 31]
+        protection = [37, 41, 43, 47]
+        budgets = range(0, 40)
+        table = protection_budget_table(route, protection, budgets)
+        for budget, fit in table:
+            # The loop this replaced: multiply until the budget breaks.
+            product = math.prod(route)
+            count = 0
+            for sid in protection:
+                product *= sid
+                if route_id_bit_length(product) > budget:
+                    break
+                count += 1
+            assert fit == count, budget

@@ -53,3 +53,104 @@ class TestAssignment:
         ids = assign_switch_ids(degrees)
         assert len(set(ids.values())) == 60
         assert pairwise_coprime(ids.values())
+
+
+class TestWeightedAssignment:
+    def test_heaviest_switch_gets_smallest_feasible_id(self):
+        degrees = {"hot": 2, "cold": 2}
+        ids = assign_switch_ids(
+            degrees, "weighted", weights={"hot": 100.0, "cold": 1.0}
+        )
+        assert ids["hot"] < ids["cold"]
+        # Same pool, opposite pairing under swapped weights.
+        swapped = assign_switch_ids(
+            degrees, "weighted", weights={"hot": 1.0, "cold": 100.0}
+        )
+        assert swapped["cold"] < swapped["hot"]
+        assert sorted(ids.values()) == sorted(swapped.values())
+
+    def test_defaults_to_degree_weights(self):
+        degrees = {"big": 6, "small": 2}
+        assert assign_switch_ids(degrees, "weighted") == assign_switch_ids(
+            degrees, "weighted", weights={"big": 6.0, "small": 2.0}
+        )
+
+    def test_still_respects_port_floor(self):
+        # A heavy switch cannot take an ID below its port count.
+        ids = assign_switch_ids(
+            {"hub": 10, "leaf": 2}, "weighted",
+            weights={"hub": 100.0, "leaf": 1.0},
+        )
+        assert ids["hub"] >= 10
+        assert pairwise_coprime(ids.values())
+
+    def test_weighted_never_costs_more_bits_than_greedy(self):
+        from repro.rns.bitlength import route_id_bit_length
+
+        degrees = {f"n{i}": (i % 5) + 2 for i in range(20)}
+        weights = {f"n{i}": float(20 - i) for i in range(20)}
+        greedy = assign_switch_ids(degrees, "greedy")
+        weighted = assign_switch_ids(degrees, "weighted", weights=weights)
+        # Weighted routes through the heaviest switches are cheaper.
+        heavy = [f"n{i}" for i in range(6)]
+        w_bits = route_id_bit_length(
+            math.prod(weighted[n] for n in heavy)
+        )
+        g_bits = route_id_bit_length(math.prod(greedy[n] for n in heavy))
+        assert w_bits <= g_bits
+
+
+class TestXsrAssignment:
+    def test_pool_is_dual_coprime(self):
+        from repro.rns.gf2 import gf2_pairwise_coprime
+
+        degrees = {f"n{i}": (i % 4) + 1 for i in range(16)}
+        ids = assign_switch_ids(degrees, "xsr")
+        assert pairwise_coprime(ids.values())
+        assert gf2_pairwise_coprime(ids.values())
+
+    def test_ids_cover_ports_in_both_rings(self):
+        from repro.rns.gf2 import gf2_degree
+
+        degrees = {f"n{i}": i + 1 for i in range(10)}
+        ids = assign_switch_ids(degrees, "xsr")
+        for name, ports in degrees.items():
+            assert ids[name] >= ports
+            assert (1 << gf2_degree(ids[name])) >= ports
+
+
+class TestRouteFrequencyWeights:
+    def test_path_graph_middle_is_heaviest(self):
+        from repro.controller.idassign import route_frequency_weights
+        from repro.topology.graph import PortGraph
+
+        g = PortGraph()
+        for n, sid in zip(("A", "B", "C"), (5, 7, 9)):
+            g.add_node(n, switch_id=sid)
+        g.add_link("A", "B")
+        g.add_link("B", "C")
+        w = route_frequency_weights(g)
+        # B forwards for A<->C pairs on top of its own traffic.
+        assert w["B"] > w["A"] == w["C"]
+
+
+class TestReassign:
+    def test_reassign_to_xsr_keeps_graph_valid(self):
+        from repro.controller.idassign import reassign_switch_ids
+        from repro.rns.gf2 import gf2_pairwise_coprime
+        from repro.topology.generators import random_connected
+
+        g = random_connected(12, extra_links=6, seed=3, min_switch_id=23)
+        reassign_switch_ids(g, strategy="xsr")
+        g.validate()
+        assert gf2_pairwise_coprime(g.switch_ids().values())
+
+    def test_reassign_weighted_is_deterministic(self):
+        from repro.controller.idassign import reassign_switch_ids
+        from repro.topology.generators import random_connected
+
+        a = random_connected(10, extra_links=4, seed=5, min_switch_id=23)
+        b = random_connected(10, extra_links=4, seed=5, min_switch_id=23)
+        reassign_switch_ids(a, strategy="weighted")
+        reassign_switch_ids(b, strategy="weighted")
+        assert a.switch_ids() == b.switch_ids()

@@ -91,6 +91,20 @@ class TestRunOnce:
         assert a.chaos_events == b.chaos_events > 0
         assert a.digest != c.digest
 
+    def test_per_backend_header_bits(self):
+        from repro.rns import BACKEND_NAMES
+
+        cell = run_frontier_once("clique", "nip", "static", 0, seed=5,
+                                 **FAST)
+        bits = dict(cell.header_bits_by_backend)
+        assert set(bits) == set(BACKEND_NAMES)
+        # Integer backends share the modulus; XSR bits differ in general.
+        assert bits["crt"] == bits["pooled"] == cell.header_bits
+        assert bits["xsr"] > 0
+        arb = run_frontier_once("clique", "arb", "static", 0, seed=5,
+                                **FAST)
+        assert all(b == 0 for _, b in arb.header_bits_by_backend)
+
     def test_baseline_costs(self):
         arb = run_frontier_once("clique", "arb", "static", 0, **FAST)
         ff = run_frontier_once("clique", "ff", "static", 0, **FAST)
@@ -182,9 +196,10 @@ class TestReportAndExport:
             assert row["delivery_ratio"] == cell.delivery_ratio
             assert isinstance(row["failed_links"], str)
         field_names = {f.name for f in dataclasses.fields(FrontierCell)}
-        assert field_names - {"drop_reasons"} <= set(rows[0]) | {
-            "violations", "failed_links", "digest",
-        }
+        # header_bits_by_backend flattens to header_bits_<name> columns.
+        assert field_names - {"drop_reasons", "header_bits_by_backend"} <= (
+            set(rows[0]) | {"violations", "failed_links", "digest"}
+        )
 
 
 class TestRunFrontier:

@@ -1,0 +1,107 @@
+"""Tests for the pluggable encoding backends."""
+
+import pytest
+
+from repro.rns import (
+    BACKEND_NAMES,
+    CrtError,
+    Hop,
+    RouteEncoder,
+    XsrEncodedRoute,
+    backend_by_name,
+)
+from repro.rns.gf2 import dual_coprime_pool, gf2_degree
+
+DUAL_POOL = dual_coprime_pool(8)
+
+
+def _pool_for(name):
+    return DUAL_POOL if name == "xsr" else [23, 29, 31, 37, 41, 43]
+
+
+class TestRegistry:
+    def test_names_are_sorted_and_complete(self):
+        assert BACKEND_NAMES == ("crt", "pooled", "xsr")
+        for name in BACKEND_NAMES:
+            assert backend_by_name(name).name == name
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown encoding backend"):
+            backend_by_name("base64")
+
+
+class TestEncodeDecode:
+    @pytest.mark.parametrize("name", BACKEND_NAMES)
+    def test_round_trip(self, name):
+        backend = backend_by_name(name)
+        pool = _pool_for(name)
+        backend.prepare(pool)
+        ports = [i % backend.residue_space(s) for i, s in enumerate(pool)]
+        hops = [Hop(s, p) for s, p in zip(pool, ports)]
+        route = backend.encode(hops)
+        assert backend.decode(route.route_id, pool) == ports
+        assert [route.port_at(s) for s in pool] == ports
+        assert backend.header_bits(route.modulus) == route.bit_length
+
+    @pytest.mark.parametrize("name", ("crt", "pooled"))
+    def test_integer_backends_bit_identical_to_reference(self, name):
+        backend = backend_by_name(name)
+        pool = _pool_for(name)
+        hops = [Hop(s, s % 5) for s in pool]
+        ref = RouteEncoder().encode(hops)
+        route = backend.encode(hops)
+        assert route == ref
+        assert route.residue_map() == ref.residue_map()
+
+    def test_xsr_bits_are_exact_degree_sum(self):
+        backend = backend_by_name("xsr")
+        hops = [Hop(s, 0) for s in DUAL_POOL[:4]]
+        route = backend.encode(hops)
+        assert isinstance(route, XsrEncodedRoute)
+        assert route.bit_length == sum(
+            gf2_degree(s) for s in DUAL_POOL[:4]
+        )
+
+    def test_xsr_incremental_ops_match_fresh_encode(self):
+        enc = backend_by_name("xsr").encoder()
+        hops = [Hop(s, i % 2) for i, s in enumerate(DUAL_POOL[:5])]
+        route = enc.encode(hops[:-1])
+        grown = enc.with_hop(route, hops[-1])
+        fresh = enc.encode(hops)
+        assert (grown.route_id, grown.modulus) == (
+            fresh.route_id, fresh.modulus
+        )
+        shrunk = enc.without_switch(grown, hops[-1].switch_id)
+        assert (shrunk.route_id, shrunk.modulus) == (
+            route.route_id, route.modulus
+        )
+
+
+class TestFeasibility:
+    def test_residue_space(self):
+        assert backend_by_name("crt").residue_space(19) == 19
+        # deg(19) = 4: GF(2) remainders span [0, 16).
+        assert backend_by_name("xsr").residue_space(19) == 16
+
+    def test_min_switch_id_covers_ports(self):
+        for name in BACKEND_NAMES:
+            backend = backend_by_name(name)
+            for ports in range(1, 20):
+                assert backend.residue_space(
+                    backend.min_switch_id(ports)
+                ) >= ports
+
+    def test_xsr_rejects_gf2_noncoprime_pool(self):
+        # 3 = x+1 divides 5 = x^2+1 over GF(2), integers coprime.
+        with pytest.raises(ValueError, match="binary polynomials"):
+            backend_by_name("xsr").validate_switch_ids([3, 5, 7])
+
+    def test_integer_backend_accepts_that_pool(self):
+        backend_by_name("crt").validate_switch_ids([3, 5, 7])
+
+    def test_pooled_encoder_requires_prepare(self):
+        backend = backend_by_name("pooled")
+        with pytest.raises(CrtError, match="empty pool"):
+            backend.encoder()
+        backend.prepare([5, 7, 9])
+        assert backend.encoder() is backend.encoder()

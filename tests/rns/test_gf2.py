@@ -1,0 +1,118 @@
+"""Tests for the GF(2)[X] arithmetic behind the XSR backend."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rns.gf2 import (
+    Gf2NotCoprimeError,
+    dual_coprime_pool,
+    gf2_crt,
+    gf2_crt_extend,
+    gf2_degree,
+    gf2_divmod,
+    gf2_egcd,
+    gf2_first_noncoprime_pair,
+    gf2_gcd,
+    gf2_inverse,
+    gf2_mod,
+    gf2_mul,
+    gf2_pairwise_coprime,
+    gf2_product,
+    min_gf2_id_for_ports,
+)
+
+polys = st.integers(min_value=1, max_value=(1 << 24) - 1)
+
+
+class TestPrimitives:
+    def test_degree(self):
+        assert gf2_degree(1) == 0
+        assert gf2_degree(0b1000) == 3
+
+    def test_mul_is_carryless(self):
+        # (x+1)(x+1) = x^2 + 1 over GF(2): the cross terms cancel.
+        assert gf2_mul(0b11, 0b11) == 0b101
+
+    @given(a=polys, b=polys)
+    def test_mul_commutes_and_adds_degrees(self, a, b):
+        assert gf2_mul(a, b) == gf2_mul(b, a)
+        assert gf2_degree(gf2_mul(a, b)) == gf2_degree(a) + gf2_degree(b)
+
+    @given(a=st.integers(min_value=0, max_value=(1 << 24) - 1), b=polys)
+    def test_divmod_reconstructs(self, a, b):
+        q, r = gf2_divmod(a, b)
+        assert gf2_mul(q, b) ^ r == a
+        assert r == gf2_mod(a, b)
+        assert r == 0 or gf2_degree(r) < gf2_degree(b)
+
+    @given(a=polys, b=polys)
+    def test_gcd_divides_both(self, a, b):
+        g = gf2_gcd(a, b)
+        assert gf2_divmod(a, g)[1] == 0
+        assert gf2_divmod(b, g)[1] == 0
+
+    @given(a=polys, b=polys)
+    def test_egcd_bezout(self, a, b):
+        g, x, y = gf2_egcd(a, b)
+        assert gf2_mul(a, x) ^ gf2_mul(b, y) == g
+
+    def test_inverse(self):
+        # x is invertible mod x^2+x+1 (irreducible).
+        inv = gf2_inverse(0b10, 0b111)
+        assert gf2_mod(gf2_mul(0b10, inv), 0b111) == 1
+
+    def test_inverse_of_noncoprime_raises(self):
+        with pytest.raises(Gf2NotCoprimeError):
+            gf2_inverse(0b10, 0b100)
+
+
+class TestCrt:
+    def test_solution_hits_every_residue(self):
+        moduli = [0b111, 0b1011, 0b10]  # pairwise GF(2)-coprime
+        residues = [0b10, 0b101, 0b1]
+        rid, mod = gf2_crt(residues, moduli)
+        assert mod == gf2_product(moduli)
+        for p, s in zip(residues, moduli):
+            assert gf2_mod(rid, s) == p
+
+    def test_residue_must_fit_the_degree(self):
+        # 2 < 3 as integers but deg(3) = 1 only admits residues {0, 1}.
+        with pytest.raises(Exception):
+            gf2_crt([2], [3])
+
+    def test_noncoprime_rejected(self):
+        with pytest.raises(Gf2NotCoprimeError):
+            gf2_crt([0, 0], [0b10, 0b110])
+
+    @given(seed=st.integers(0, 500))
+    @settings(max_examples=25)
+    def test_extend_matches_fresh_solve(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        pool = dual_coprime_pool(8)
+        k = rng.randrange(2, 6)
+        moduli = rng.sample(pool, k)
+        residues = [rng.randrange(1 << gf2_degree(s)) for s in moduli]
+        rid, mod = gf2_crt(residues[:-1], moduli[:-1])
+        ext_id, ext_mod = gf2_crt_extend(rid, mod, moduli[-1], residues[-1])
+        assert (ext_id, ext_mod) == gf2_crt(residues, moduli)
+
+
+class TestPools:
+    def test_dual_pool_is_coprime_in_both_rings(self):
+        import math
+
+        pool = dual_coprime_pool(24)
+        assert len(pool) == 24
+        assert gf2_pairwise_coprime(pool)
+        assert gf2_first_noncoprime_pair(pool) is None
+        for i, a in enumerate(pool):
+            for b in pool[i + 1:]:
+                assert math.gcd(a, b) == 1
+
+    def test_min_gf2_id_covers_ports(self):
+        for ports in range(1, 40):
+            sid = min_gf2_id_for_ports(ports)
+            assert (1 << gf2_degree(sid)) >= ports

@@ -181,6 +181,50 @@ class TestBenchProvisionParser:
         assert sorted(_BENCH_PROVISION_CELLS) == sorted(CELLS)
 
 
+class TestBenchEncodingParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["bench", "encoding"])
+        assert args.bench_command == "encoding"
+        assert not args.quick
+        assert args.cells is None
+        assert args.seed == 1
+        assert args.repeats is None and args.iters is None
+        assert args.out == "BENCH_encoding.json"
+
+    def test_flags(self):
+        args = build_parser().parse_args([
+            "bench", "encoding", "--quick", "--cells", "abilene",
+            "--seed", "9", "--repeats", "2", "--iters", "4",
+            "--out", "x.json",
+        ])
+        assert args.quick
+        assert args.cells == ["abilene"]
+        assert args.seed == 9
+        assert args.repeats == 2
+        assert args.iters == 4
+        assert args.out == "x.json"
+
+    def test_bad_cell_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["bench", "encoding", "--cells", "fatman"]
+            )
+
+    def test_cells_literal_matches_bench_registry(self):
+        # Same pattern as _BENCH_SIZES: the CLI keeps a literal copy so
+        # the parser builds without importing the bench.
+        from repro.bench.encodingbench import CELLS
+        from repro.cli import _BENCH_ENCODING_CELLS
+
+        assert sorted(_BENCH_ENCODING_CELLS) == sorted(CELLS)
+
+    def test_backend_literal_matches_rns_registry(self):
+        from repro.cli import _BACKEND_NAMES
+        from repro.rns import BACKEND_NAMES
+
+        assert _BACKEND_NAMES == BACKEND_NAMES
+
+
 class TestProfileFlag:
     def test_off_by_default(self):
         assert build_parser().parse_args(["table1"]).profile is None

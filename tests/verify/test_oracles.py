@@ -68,7 +68,8 @@ class TestBookkeeping:
 class TestDispatch:
     def test_oracle_names(self):
         assert ORACLE_NAMES == (
-            "datapath", "encoder", "strategy", "vector", "walk", "wire"
+            "backend", "datapath", "encoder", "strategy", "vector",
+            "walk", "wire",
         )
 
     def test_unknown_oracle_rejected(self):
